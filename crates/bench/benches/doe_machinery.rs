@@ -1,0 +1,55 @@
+//! Criterion bench: cost of the DoE machinery itself — design
+//! generation, quadratic OLS fit, and surface optimisation — showing
+//! that the statistical layer is negligible next to simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehsim_doe::design::ccd::CentralComposite;
+use ehsim_doe::design::lhs::latin_hypercube;
+use ehsim_doe::fit::fit;
+use ehsim_doe::model::ModelSpec;
+use ehsim_doe::optimize::{optimize_model, Goal};
+use std::hint::black_box;
+
+fn synthetic_response(p: &[f64]) -> f64 {
+    2.0 + p[0] - 0.5 * p[1] + 0.3 * p[0] * p[2] - 0.8 * p[1] * p[1] + 0.2 * p[3] * p[3]
+}
+
+fn doe_machinery(c: &mut Criterion) {
+    let design = CentralComposite::face_centered(4)
+        .expect("builder")
+        .with_center_points(3)
+        .build()
+        .expect("design");
+    let spec = ModelSpec::quadratic(4).expect("spec");
+    let y: Vec<f64> = design.points().iter().map(|p| synthetic_response(p)).collect();
+    let fitted = fit(&spec, design.points(), &y).expect("fit");
+
+    c.bench_function("design_ccd_k4", |b| {
+        b.iter(|| {
+            black_box(
+                CentralComposite::face_centered(black_box(4))
+                    .expect("builder")
+                    .with_center_points(3)
+                    .build()
+                    .expect("design"),
+            )
+        })
+    });
+    c.bench_function("design_lhs_k4_n30", |b| {
+        b.iter(|| black_box(latin_hypercube(4, 30, black_box(42)).expect("design")))
+    });
+    c.bench_function("fit_quadratic_k4_27runs", |b| {
+        b.iter(|| black_box(fit(&spec, design.points(), black_box(&y)).expect("fit")))
+    });
+    c.bench_function("optimize_surface_k4", |b| {
+        b.iter(|| {
+            black_box(
+                optimize_model(&fitted, (-1.0, 1.0), Goal::Maximize, black_box(7))
+                    .expect("optimum"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, doe_machinery);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: circuit-engine cost on the full harvester
+//! front-end (the E2/E7 kernel, measured statistically).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehsim_bench::frontend_netlist;
+use ehsim_circuit::{LinearizedStateSpaceEngine, NewtonRaphsonEngine, TransientConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn engines(c: &mut Criterion) {
+    let (nl, _) = frontend_netlist();
+    let mut group = c.benchmark_group("circuit_engines_0p2s");
+    group.sample_size(10).measurement_time(Duration::from_secs(12));
+
+    group.bench_function("newton_raphson", |b| {
+        b.iter(|| {
+            let cfg = TransientConfig::new(0.2, 2e-5).expect("cfg");
+            let res = NewtonRaphsonEngine::default()
+                .simulate(black_box(&nl), &cfg, &[])
+                .expect("nr runs");
+            black_box(res.stats.lu_factorizations)
+        })
+    });
+    group.bench_function("linearized_state_space", |b| {
+        b.iter(|| {
+            let cfg = TransientConfig::new(0.2, 2e-4).expect("cfg");
+            let res = LinearizedStateSpaceEngine::default()
+                .simulate(black_box(&nl), &cfg, &[])
+                .expect("lss runs");
+            black_box(res.stats.steps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: one design-point evaluation — full system
+//! simulation vs a single RSM prediction (the paper's headline
+//! "practically instant" comparison, E2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehsim_bench::flagship_campaign;
+use ehsim_core::flow::{DesignChoice, DoeFlow};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rsm_vs_sim(c: &mut Criterion) {
+    let campaign = flagship_campaign(1800.0);
+    let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
+        .with_threads(8)
+        .run(&campaign)
+        .expect("flow runs");
+    let model = surrogates.model(0).clone();
+
+    let mut group = c.benchmark_group("design_point_evaluation");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("system_simulation_30min", |b| {
+        b.iter(|| {
+            black_box(
+                campaign
+                    .evaluate_coded(black_box(&[0.1, -0.2, 0.3, -0.4]))
+                    .expect("simulation runs"),
+            )
+        })
+    });
+    group.finish();
+
+    let mut fast = c.benchmark_group("design_point_evaluation_fast");
+    fast.bench_function("rsm_prediction", |b| {
+        b.iter(|| black_box(model.predict(black_box(&[0.1, -0.2, 0.3, -0.4]))))
+    });
+    fast.finish();
+}
+
+criterion_group!(benches, rsm_vs_sim);
+criterion_main!(benches);

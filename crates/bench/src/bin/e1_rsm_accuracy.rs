@@ -1,0 +1,51 @@
+//! Experiment E1 — Table: RSM accuracy against fresh simulations.
+//!
+//! Builds the flagship surrogates from a face-centred CCD (27 runs)
+//! and validates every indicator's model against 25 fresh Latin-
+//! hypercube simulations. Reproduces the paper's claim that exploration
+//! on the RSM retains high accuracy.
+
+use ehsim_bench::flagship_campaign;
+use ehsim_core::flow::{DesignChoice, DoeFlow};
+
+fn main() {
+    println!("E1 — RSM accuracy (CCD 24+3 runs, 25 validation simulations)\n");
+    let campaign = flagship_campaign(3600.0);
+    let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
+        .with_threads(8)
+        .run(&campaign)
+        .expect("flow runs");
+    println!(
+        "surrogates built from {} simulations in {:.2?}\n",
+        surrogates.campaign_result().sim_count,
+        surrogates.build_wall()
+    );
+
+    let rows = surrogates
+        .validate(&campaign, 25, 2024, 8)
+        .expect("validation runs");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "indicator", "R²", "adj R²", "pred R²", "val RMSE", "max |err|", "RMSE/range"
+    );
+    println!("{}", "-".repeat(86));
+    for (i, row) in rows.iter().enumerate() {
+        let m = surrogates.model(i);
+        println!(
+            "{:<22} {:>8.4} {:>8.4} {:>8.4} {:>12.4} {:>12.4} {:>9.1}%",
+            row.indicator.name(),
+            m.r_squared(),
+            m.adj_r_squared(),
+            m.predicted_r_squared(),
+            row.rmse,
+            row.max_abs_error,
+            row.rmse_pct_of_range
+        );
+    }
+    println!(
+        "\npaper claim: design-space exploration on the RSM is 'practically instant \
+         but still with high accuracy' — smooth indicators validate within a few \
+         percent of their range; the packet rate, which crosses the brown-out \
+         cliff, is the worst case."
+    );
+}

@@ -1,0 +1,106 @@
+//! Experiment E6 — Table: the DoE/RSM flow vs classical
+//! simulation-driven optimisers, at matched objective quality.
+//!
+//! Task: maximise packets/hour subject to a non-negative brown-out
+//! margin. The classical methods pay one full system simulation per
+//! probe; the DoE flow pays a fixed campaign and optimises on the
+//! surface for free.
+
+use ehsim_bench::flagship_campaign;
+use ehsim_core::baselines::{genetic, grid_search, nelder_mead, simulated_annealing};
+use ehsim_core::flow::{DesignChoice, DoeFlow};
+use ehsim_doe::optimize::Goal;
+use std::time::Instant;
+
+fn main() {
+    println!("E6 — optimisation cost comparison (maximise packets/h, margin >= 0)\n");
+    let campaign = flagship_campaign(1800.0);
+
+    // The penalised simulation objective every classical method sees.
+    let sim_calls = std::cell::Cell::new(0usize);
+    let mut objective = |x: &[f64]| -> f64 {
+        sim_calls.set(sim_calls.get() + 1);
+        let y = campaign.evaluate_coded(x).expect("simulation runs");
+        let packets = y[0];
+        let margin = y[1];
+        if margin < 0.0 {
+            packets - 2000.0 * (-margin)
+        } else {
+            packets
+        }
+    };
+
+    let mut labels: Vec<String> = Vec::new();
+    let mut table: Vec<Vec<f64>> = Vec::new();
+
+    // DoE flow.
+    let t0 = Instant::now();
+    let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
+        .with_threads(8)
+        .run(&campaign)
+        .expect("flow runs");
+    let best = surrogates
+        .optimize_constrained(0, Goal::Maximize, &[(1, 0.0)], 42)
+        .expect("surface optimisation");
+    let verify = campaign.evaluate_coded(&best.x).expect("verification");
+    let doe_wall = t0.elapsed();
+    labels.push("doe-rsm flow".into());
+    table.push(vec![
+        (surrogates.campaign_result().sim_count + 1) as f64,
+        verify[0],
+        verify[1],
+        doe_wall.as_secs_f64(),
+    ]);
+
+    // Classical methods, budget-matched to roughly 2-3x the DoE cost.
+    {
+        sim_calls.set(0);
+        let t = Instant::now();
+        let out = grid_search(&mut objective, 4, 3).expect("grid runs");
+        let y = campaign.evaluate_coded(&out.best).expect("verify");
+        labels.push("grid 3^4".into());
+        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+    }
+    {
+        sim_calls.set(0);
+        let t = Instant::now();
+        let out = nelder_mead(&mut objective, 4, 60).expect("nelder-mead runs");
+        let y = campaign.evaluate_coded(&out.best).expect("verify");
+        labels.push("nelder-mead (60 evals)".into());
+        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+    }
+    {
+        sim_calls.set(0);
+        let t = Instant::now();
+        let out = simulated_annealing(&mut objective, 4, 60, 7).expect("annealing runs");
+        let y = campaign.evaluate_coded(&out.best).expect("verify");
+        labels.push("sim-annealing (60 evals)".into());
+        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+    }
+    {
+        sim_calls.set(0);
+        let t = Instant::now();
+        let out = genetic(&mut objective, 4, 10, 6, 13).expect("genetic runs");
+        let y = campaign.evaluate_coded(&out.best).expect("verify");
+        labels.push("genetic (10x6)".into());
+        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+    }
+
+    println!(
+        "{:<26} {:>10} {:>14} {:>12} {:>10}",
+        "method", "sim calls", "packets/h", "margin (V)", "wall (s)"
+    );
+    println!("{}", "-".repeat(78));
+    for (label, row) in labels.iter().zip(table.iter()) {
+        println!(
+            "{:<26} {:>10.0} {:>14.1} {:>12.3} {:>10.2}",
+            label, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!(
+        "\nthe DoE flow reaches comparable or better feasible designs from a \
+         fixed, parallelisable simulation budget — and every *further* \
+         trade-off question afterwards is free, whereas each classical \
+         method restarts from zero."
+    );
+}

@@ -1,0 +1,53 @@
+//! Experiment E8 — Table: experimental-design ablation. How does the
+//! choice of design (the only knob controlling simulation cost) affect
+//! RSM accuracy?
+
+use ehsim_bench::flagship_campaign;
+use ehsim_core::flow::{DesignChoice, DoeFlow};
+
+fn main() {
+    println!("E8 — design-choice ablation (4 factors, quadratic RSM)\n");
+    let campaign = flagship_campaign(1800.0);
+
+    let choices: Vec<(&str, DesignChoice)> = vec![
+        ("ccd face-centered +3c", DesignChoice::FaceCenteredCcd { center_points: 3 }),
+        ("box-behnken +3c", DesignChoice::BoxBehnken { center_points: 3 }),
+        ("full factorial 3^4", DesignChoice::FullFactorial3),
+        ("latin hypercube n=27", DesignChoice::LatinHypercube { n: 27, seed: 5 }),
+        ("latin hypercube n=60", DesignChoice::LatinHypercube { n: 60, seed: 5 }),
+        ("d-optimal n=20", DesignChoice::DOptimal { n: 20, seed: 5 }),
+    ];
+
+    println!(
+        "{:<24} {:>6} {:>12} {:>14} {:>14}",
+        "design", "runs", "build wall", "packets RMSE%", "margin RMSE%"
+    );
+    println!("{}", "-".repeat(76));
+    for (name, choice) in choices {
+        let flow = DoeFlow::new(choice).with_threads(8);
+        let surrogates = match flow.run(&campaign) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{name:<24} failed: {e}");
+                continue;
+            }
+        };
+        let rows = surrogates
+            .validate(&campaign, 20, 777, 8)
+            .expect("validation runs");
+        println!(
+            "{:<24} {:>6} {:>12.2?} {:>13.1}% {:>13.1}%",
+            name,
+            surrogates.campaign_result().sim_count,
+            surrogates.build_wall(),
+            rows[0].rmse_pct_of_range,
+            rows[1].rmse_pct_of_range
+        );
+    }
+    println!(
+        "\nreading: the structured quadratic designs (CCD, Box-Behnken) match \
+         the 81-run full factorial at a third of the simulations; space-filling \
+         LHS needs substantially more runs for the same accuracy; D-optimal \
+         squeezes the budget further at some robustness cost."
+    );
+}

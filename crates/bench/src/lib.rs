@@ -1,0 +1,75 @@
+//! Shared fixtures for the experiment harnesses and benches.
+//!
+//! Every table and figure of the (reconstructed) DATE'13 evaluation has
+//! a binary in `src/bin/` that regenerates it:
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `e1_rsm_accuracy` | Table E1 — RSM accuracy vs fresh simulations |
+//! | `e2_cpu_time` | Table E2 — CPU cost: NR vs LSS vs system sim vs RSM |
+//! | `e3_surfaces` | Figure E3 — response surfaces (ASCII + CSV) |
+//! | `e4_tradeoff` | Figure E4 — packets-vs-margin Pareto front |
+//! | `e5_tuning_benefit` | Scenario E5 — tuning vs no tuning under drift |
+//! | `e6_optimization` | Table E6 — DoE flow vs classical optimisers |
+//! | `e7_speedup` | Figure E7 — engine speed-up vs horizon |
+//! | `e8_design_ablation` | Table E8 — design choice vs accuracy/cost |
+//!
+//! Criterion benches (`benches/`) time the same kernels statistically.
+
+use ehsim_circuit::Netlist;
+use ehsim_core::experiment::{Campaign, StandardFactors};
+use ehsim_core::indicators::Indicator;
+use ehsim_core::scenario::Scenario;
+use ehsim_harvester::Harvester;
+use ehsim_power::frontend::build_frontend;
+use ehsim_power::Multiplier;
+use ehsim_vibration::Sine;
+use std::sync::Arc;
+
+/// The flagship campaign used across experiments: the four standard
+/// factors, the drifting-machine scenario, packets + margin + tuning
+/// overhead.
+pub fn flagship_campaign(duration_s: f64) -> Campaign {
+    Campaign::standard(
+        StandardFactors::default(),
+        Scenario::drifting_machine(duration_s),
+        vec![
+            Indicator::PacketsPerHour,
+            Indicator::BrownoutMarginV,
+            Indicator::TuningOverheadFraction,
+        ],
+    )
+    .expect("flagship campaign is valid")
+}
+
+/// The circuit-level front-end netlist used by the engine experiments,
+/// with the name of the storage-voltage signal.
+pub fn frontend_netlist() -> (Netlist, String) {
+    let h = Harvester::default_tunable();
+    let pos = h.position_for_frequency(64.0);
+    let fe = build_frontend(
+        &h,
+        pos,
+        Arc::new(Sine::new(0.9, 64.0).expect("valid source")),
+        &Multiplier::default(),
+        100e-6,
+        0.0,
+        None,
+    )
+    .expect("frontend builds");
+    (fe.netlist, format!("v({})", fe.store_node_name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let c = flagship_campaign(60.0);
+        assert_eq!(c.space().k(), 4);
+        let (nl, signal) = frontend_netlist();
+        assert!(nl.node_count() > 10);
+        assert!(signal.starts_with("v("));
+    }
+}

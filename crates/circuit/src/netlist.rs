@@ -1,0 +1,635 @@
+//! Netlist representation: nodes, elements, and the builder API.
+
+use crate::waveform::SourceWaveform;
+use crate::{CircuitError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a circuit node. `NodeId(0)` is the ground reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (0 = ground).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of an element within a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Raw index into the netlist's element list.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Diode model parameters used by both engines.
+///
+/// The Newton–Raphson engine uses the exponential Shockley parameters
+/// (`i_sat`, `n_vt`); the linearized state-space engine uses the
+/// piecewise-linear parameters (`v_fwd`, `r_on`, `g_off`). The defaults
+/// describe a small Schottky diode, the usual choice in harvester
+/// rectifiers for its low forward drop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Saturation current (A) of the Shockley model.
+    pub i_sat: f64,
+    /// Emission coefficient times thermal voltage (V).
+    pub n_vt: f64,
+    /// PWL forward threshold voltage (V).
+    pub v_fwd: f64,
+    /// PWL on-state series resistance (Ω).
+    pub r_on: f64,
+    /// PWL off-state leakage conductance (S).
+    pub g_off: f64,
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel {
+            i_sat: 1e-8,
+            n_vt: 1.5 * 0.02585,
+            v_fwd: 0.3,
+            r_on: 1.0,
+            g_off: 1e-9,
+        }
+    }
+}
+
+impl DiodeModel {
+    /// A silicon junction diode (higher forward drop).
+    pub fn silicon() -> Self {
+        DiodeModel {
+            i_sat: 1e-14,
+            n_vt: 2.0 * 0.02585,
+            v_fwd: 0.65,
+            r_on: 2.0,
+            g_off: 1e-12,
+        }
+    }
+
+    /// Shockley current at junction voltage `v`.
+    pub fn current(&self, v: f64) -> f64 {
+        // Clamp the exponent to avoid overflow during NR excursions.
+        let x = (v / self.n_vt).min(80.0);
+        self.i_sat * (x.exp() - 1.0) + self.g_off * v
+    }
+
+    /// Shockley small-signal conductance at junction voltage `v`.
+    pub fn conductance(&self, v: f64) -> f64 {
+        let x = (v / self.n_vt).min(80.0);
+        self.i_sat / self.n_vt * x.exp() + self.g_off
+    }
+}
+
+/// One element of a netlist.
+#[derive(Debug, Clone)]
+pub enum ElementKind {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Positive terminal (state is `v(a) - v(b)`).
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+        /// Initial voltage `v(a) - v(b)` at `t = 0`.
+        ic: f64,
+    },
+    /// Linear inductor between `a` and `b`.
+    Inductor {
+        /// Terminal the state current flows out of.
+        a: NodeId,
+        /// Terminal the state current flows into.
+        b: NodeId,
+        /// Inductance in henries (> 0).
+        henries: f64,
+        /// Initial current from `a` to `b` at `t = 0`.
+        ic: f64,
+    },
+    /// Diode conducting from `anode` to `cathode`.
+    Diode {
+        /// Anode terminal.
+        anode: NodeId,
+        /// Cathode terminal.
+        cathode: NodeId,
+        /// Device model.
+        model: DiodeModel,
+    },
+    /// Independent voltage source; `v(plus) - v(minus) = wave(t)`.
+    VoltageSource {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Source waveform.
+        wave: SourceWaveform,
+    },
+    /// Independent current source pushing `wave(t)` amps from `from`
+    /// into `to` (through the source).
+    CurrentSource {
+        /// Terminal the current is drawn from.
+        from: NodeId,
+        /// Terminal the current is injected into.
+        to: NodeId,
+        /// Source waveform.
+        wave: SourceWaveform,
+    },
+    /// Current-controlled voltage source:
+    /// `v(plus) - v(minus) = trans_ohms * i(ctrl)`, where `ctrl` must be
+    /// an inductor (its state current is the controlling quantity).
+    Ccvs {
+        /// Positive output terminal.
+        plus: NodeId,
+        /// Negative output terminal.
+        minus: NodeId,
+        /// Controlling inductor.
+        ctrl: ElementId,
+        /// Transresistance in ohms.
+        trans_ohms: f64,
+    },
+}
+
+/// A named element.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Unique element name.
+    pub name: String,
+    /// Element definition.
+    pub kind: ElementKind,
+}
+
+/// A circuit netlist.
+///
+/// Build it with the `node` / `resistor` / `capacitor` / … methods, then
+/// hand it to one of the engines. See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    node_index: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    element_index: HashMap<String, ElementId>,
+}
+
+impl Netlist {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist containing only the ground node.
+    pub fn new() -> Self {
+        let mut nl = Netlist {
+            node_names: vec!["0".to_string()],
+            node_index: HashMap::new(),
+            elements: Vec::new(),
+            element_index: HashMap::new(),
+        };
+        nl.node_index.insert("0".to_string(), NodeId(0));
+        nl
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The name `"0"` always refers to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_index.get(name).copied()
+    }
+
+    /// Looks up an element by name.
+    pub fn find_element(&self, name: &str) -> Option<ElementId> {
+        self.element_index.get(name).copied()
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Element lookup by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    fn add_element(&mut self, name: &str, kind: ElementKind) -> Result<ElementId> {
+        if self.element_index.contains_key(name) {
+            return Err(CircuitError::invalid(format!(
+                "duplicate element name `{name}`"
+            )));
+        }
+        let id = ElementId(self.elements.len());
+        self.elements.push(Element {
+            name: name.to_string(),
+            kind,
+        });
+        self.element_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<()> {
+        if n.0 >= self.node_names.len() {
+            return Err(CircuitError::invalid(format!(
+                "node id {} does not exist",
+                n.0
+            )));
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] if the name is a duplicate, a
+    /// node is unknown, or `ohms <= 0`.
+    pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<ElementId> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(CircuitError::invalid(format!(
+                "resistor `{name}` must have positive resistance, got {ohms}"
+            )));
+        }
+        self.add_element(name, ElementKind::Resistor { a, b, ohms })
+    }
+
+    /// Adds a capacitor with initial voltage `ic`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name, unknown node,
+    /// or non-positive capacitance.
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+        ic: f64,
+    ) -> Result<ElementId> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(farads > 0.0) || !farads.is_finite() {
+            return Err(CircuitError::invalid(format!(
+                "capacitor `{name}` must have positive capacitance, got {farads}"
+            )));
+        }
+        self.add_element(name, ElementKind::Capacitor { a, b, farads, ic })
+    }
+
+    /// Adds an inductor with initial current `ic` (flowing `a -> b`).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name, unknown node,
+    /// or non-positive inductance.
+    pub fn inductor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        henries: f64,
+        ic: f64,
+    ) -> Result<ElementId> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(henries > 0.0) || !henries.is_finite() {
+            return Err(CircuitError::invalid(format!(
+                "inductor `{name}` must have positive inductance, got {henries}"
+            )));
+        }
+        self.add_element(name, ElementKind::Inductor { a, b, henries, ic })
+    }
+
+    /// Adds a diode with the default Schottky model.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name or unknown node.
+    pub fn diode(&mut self, name: &str, anode: NodeId, cathode: NodeId) -> Result<ElementId> {
+        self.diode_with_model(name, anode, cathode, DiodeModel::default())
+    }
+
+    /// Adds a diode with an explicit model.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name, unknown node,
+    /// or non-physical model parameters.
+    pub fn diode_with_model(
+        &mut self,
+        name: &str,
+        anode: NodeId,
+        cathode: NodeId,
+        model: DiodeModel,
+    ) -> Result<ElementId> {
+        self.check_node(anode)?;
+        self.check_node(cathode)?;
+        if !(model.i_sat > 0.0)
+            || !(model.n_vt > 0.0)
+            || !(model.v_fwd >= 0.0)
+            || !(model.r_on > 0.0)
+            || !(model.g_off > 0.0)
+        {
+            return Err(CircuitError::invalid(format!(
+                "diode `{name}` has non-physical model parameters"
+            )));
+        }
+        self.add_element(
+            name,
+            ElementKind::Diode {
+                anode,
+                cathode,
+                model,
+            },
+        )
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name or unknown node.
+    pub fn vsource(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        wave: SourceWaveform,
+    ) -> Result<ElementId> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        self.add_element(name, ElementKind::VoltageSource { plus, minus, wave })
+    }
+
+    /// Adds an independent current source (current flows from `from`
+    /// into `to` through the source).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name or unknown node.
+    pub fn isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        wave: SourceWaveform,
+    ) -> Result<ElementId> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        self.add_element(name, ElementKind::CurrentSource { from, to, wave })
+    }
+
+    /// Adds a current-controlled voltage source whose controlling
+    /// current is the state current of the inductor `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] on duplicate name, unknown node,
+    /// or if `ctrl` is not an inductor of this netlist.
+    pub fn ccvs(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        ctrl: ElementId,
+        trans_ohms: f64,
+    ) -> Result<ElementId> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        match self.elements.get(ctrl.0) {
+            Some(e) if matches!(e.kind, ElementKind::Inductor { .. }) => {}
+            _ => {
+                return Err(CircuitError::invalid(format!(
+                    "ccvs `{name}` controlling element must be an existing inductor"
+                )))
+            }
+        }
+        if !trans_ohms.is_finite() {
+            return Err(CircuitError::invalid(format!(
+                "ccvs `{name}` transresistance must be finite"
+            )));
+        }
+        self.add_element(
+            name,
+            ElementKind::Ccvs {
+                plus,
+                minus,
+                ctrl,
+                trans_ohms,
+            },
+        )
+    }
+
+    /// Validates global structure: non-empty, and every node reachable
+    /// from ground through element connectivity (floating subcircuits
+    /// make the MNA matrix singular).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidNetlist`] describing the first problem
+    /// found.
+    pub fn validate(&self) -> Result<()> {
+        if self.elements.is_empty() {
+            return Err(CircuitError::invalid("netlist has no elements"));
+        }
+        // Union-find over nodes through element terminals.
+        let n = self.node_names.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            let mut i = i;
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        for e in &self.elements {
+            let (a, b) = match &e.kind {
+                ElementKind::Resistor { a, b, .. }
+                | ElementKind::Capacitor { a, b, .. }
+                | ElementKind::Inductor { a, b, .. } => (*a, *b),
+                ElementKind::Diode { anode, cathode, .. } => (*anode, *cathode),
+                ElementKind::VoltageSource { plus, minus, .. }
+                | ElementKind::Ccvs { plus, minus, .. } => (*plus, *minus),
+                ElementKind::CurrentSource { from, to, .. } => (*from, *to),
+            };
+            union(&mut parent, a.0, b.0);
+        }
+        for i in 1..n {
+            if find(&mut parent, i) != find(&mut parent, 0) {
+                return Err(CircuitError::invalid(format!(
+                    "node `{}` is not connected to ground",
+                    self.node_names[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterator over `(ElementId, &Element)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ElementId(i), e))
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "netlist: {} nodes, {} elements",
+            self.node_names.len(),
+            self.elements.len()
+        )?;
+        for e in &self.elements {
+            writeln!(f, "  {}: {:?}", e.name, e.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_dedup_and_ground() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(nl.node("0"), Netlist::GROUND);
+        assert!(Netlist::GROUND.is_ground());
+        assert!(!a.is_ground());
+        assert_eq!(nl.node_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_element_names_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        assert!(nl.resistor("R1", a, Netlist::GROUND, 1.0).is_err());
+    }
+
+    #[test]
+    fn nonphysical_values_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(nl.resistor("R", a, Netlist::GROUND, 0.0).is_err());
+        assert!(nl.resistor("R", a, Netlist::GROUND, -5.0).is_err());
+        assert!(nl.capacitor("C", a, Netlist::GROUND, 0.0, 0.0).is_err());
+        assert!(nl.inductor("L", a, Netlist::GROUND, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn ccvs_requires_inductor_control() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let r = nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        assert!(nl.ccvs("H1", b, Netlist::GROUND, r, 2.0).is_err());
+        let l = nl.inductor("L1", a, Netlist::GROUND, 1e-3, 0.0).unwrap();
+        assert!(nl.ccvs("H2", b, Netlist::GROUND, l, 2.0).is_ok());
+    }
+
+    #[test]
+    fn validate_detects_floating_node() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let x = nl.node("float1");
+        let y = nl.node("float2");
+        nl.resistor("R1", a, Netlist::GROUND, 1.0).unwrap();
+        nl.resistor("R2", x, y, 1.0).unwrap();
+        let err = nl.validate().unwrap_err();
+        assert!(err.to_string().contains("not connected to ground"));
+    }
+
+    #[test]
+    fn validate_accepts_connected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.resistor("R1", a, b, 1.0).unwrap();
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-6, 0.0).unwrap();
+        assert!(nl.validate().is_ok());
+        assert!(Netlist::new().validate().is_err());
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let mut nl = Netlist::new();
+        let a = nl.node("in");
+        let id = nl.resistor("R1", a, Netlist::GROUND, 50.0).unwrap();
+        assert_eq!(nl.find_element("R1"), Some(id));
+        assert_eq!(nl.find_element("R2"), None);
+        assert_eq!(nl.find_node("in"), Some(a));
+        assert_eq!(nl.node_name(a), "in");
+        assert_eq!(nl.element(id).name, "R1");
+        assert!(!format!("{nl}").is_empty());
+    }
+
+    #[test]
+    fn diode_model_shockley_sanity() {
+        let m = DiodeModel::default();
+        assert!(m.current(0.0).abs() < 1e-12);
+        assert!(m.current(0.3) > 1e-6);
+        assert!(m.current(-1.0) < 0.0);
+        assert!(m.conductance(0.3) > m.conductance(0.0));
+        // Silicon has a larger drop: less current at the same voltage.
+        assert!(DiodeModel::silicon().current(0.3) < m.current(0.3));
+    }
+}

@@ -1,0 +1,197 @@
+//! Time-domain waveforms for independent sources.
+
+use ehsim_numeric::LinearTable;
+use std::fmt;
+use std::sync::Arc;
+
+/// Waveform of an independent voltage or current source.
+///
+/// Cloning is cheap (`Expr` holds an [`Arc`]).
+///
+/// # Example
+///
+/// ```
+/// use ehsim_circuit::SourceWaveform;
+///
+/// let w = SourceWaveform::sine(2.0, 50.0);
+/// assert!((w.eval(0.005) - 2.0).abs() < 1e-12); // peak at quarter period
+/// ```
+#[derive(Clone)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amp * sin(2π f t + phase)`.
+    Sine {
+        /// Amplitude.
+        amp: f64,
+        /// Frequency in hertz.
+        freq_hz: f64,
+        /// Phase in radians.
+        phase: f64,
+        /// DC offset.
+        offset: f64,
+    },
+    /// Step from `before` to `after` at `t_step`.
+    Step {
+        /// Value for `t < t_step`.
+        before: f64,
+        /// Value for `t >= t_step`.
+        after: f64,
+        /// Switching time.
+        t_step: f64,
+    },
+    /// Piecewise-linear waveform over a time/value table (clamped
+    /// outside the table's domain).
+    Pwl(LinearTable),
+    /// Arbitrary closure of time.
+    Expr(Arc<dyn Fn(f64) -> f64 + Send + Sync>),
+}
+
+impl SourceWaveform {
+    /// Convenience constructor for a pure sine at `freq_hz` with
+    /// amplitude `amp` (zero phase and offset).
+    pub fn sine(amp: f64, freq_hz: f64) -> Self {
+        SourceWaveform::Sine {
+            amp,
+            freq_hz,
+            phase: 0.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Wraps a closure as a waveform.
+    pub fn from_fn(f: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+        SourceWaveform::Expr(Arc::new(f))
+    }
+
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Sine {
+                amp,
+                freq_hz,
+                phase,
+                offset,
+            } => offset + amp * (2.0 * std::f64::consts::PI * freq_hz * t + phase).sin(),
+            SourceWaveform::Step {
+                before,
+                after,
+                t_step,
+            } => {
+                if t < *t_step {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            SourceWaveform::Pwl(table) => table.eval(t),
+            SourceWaveform::Expr(f) => f(t),
+        }
+    }
+
+    /// Whether the waveform is identically zero (used to skip work).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, SourceWaveform::Dc(v) if *v == 0.0)
+    }
+}
+
+impl fmt::Debug for SourceWaveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceWaveform::Dc(v) => write!(f, "Dc({v})"),
+            SourceWaveform::Sine {
+                amp,
+                freq_hz,
+                phase,
+                offset,
+            } => write!(
+                f,
+                "Sine {{ amp: {amp}, freq_hz: {freq_hz}, phase: {phase}, offset: {offset} }}"
+            ),
+            SourceWaveform::Step {
+                before,
+                after,
+                t_step,
+            } => write!(f, "Step {{ {before} -> {after} at {t_step} }}"),
+            SourceWaveform::Pwl(t) => write!(f, "Pwl({} knots)", t.len()),
+            SourceWaveform::Expr(_) => write!(f, "Expr(<closure>)"),
+        }
+    }
+}
+
+impl From<f64> for SourceWaveform {
+    fn from(v: f64) -> Self {
+        SourceWaveform::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWaveform::Dc(3.3);
+        assert_eq!(w.eval(0.0), 3.3);
+        assert_eq!(w.eval(100.0), 3.3);
+        assert!(!w.is_zero());
+        assert!(SourceWaveform::Dc(0.0).is_zero());
+    }
+
+    #[test]
+    fn sine_peak_and_zero_crossings() {
+        let w = SourceWaveform::sine(1.0, 1.0);
+        assert!(w.eval(0.0).abs() < 1e-12);
+        assert!((w.eval(0.25) - 1.0).abs() < 1e-12);
+        assert!(w.eval(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_offset_and_phase() {
+        let w = SourceWaveform::Sine {
+            amp: 2.0,
+            freq_hz: 1.0,
+            phase: std::f64::consts::FRAC_PI_2,
+            offset: 1.0,
+        };
+        assert!((w.eval(0.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_switches() {
+        let w = SourceWaveform::Step {
+            before: 0.0,
+            after: 5.0,
+            t_step: 1.0,
+        };
+        assert_eq!(w.eval(0.999), 0.0);
+        assert_eq!(w.eval(1.0), 5.0);
+    }
+
+    #[test]
+    fn pwl_and_expr() {
+        let table = LinearTable::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        let w = SourceWaveform::Pwl(table);
+        assert_eq!(w.eval(0.5), 1.0);
+        let e = SourceWaveform::from_fn(|t| t * t);
+        assert_eq!(e.eval(3.0), 9.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        for w in [
+            SourceWaveform::Dc(1.0),
+            SourceWaveform::sine(1.0, 1.0),
+            SourceWaveform::from_fn(|t| t),
+        ] {
+            assert!(!format!("{w:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn from_f64() {
+        let w: SourceWaveform = 2.5.into();
+        assert_eq!(w.eval(0.0), 2.5);
+    }
+}

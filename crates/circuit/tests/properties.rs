@@ -1,0 +1,145 @@
+//! Property-based tests for the circuit engines: on randomly generated
+//! linear networks the two engines must agree, energy must balance, and
+//! passive circuits must never generate energy.
+
+use ehsim_circuit::{
+    LinearizedStateSpaceEngine, Netlist, NewtonRaphsonEngine, Probe, SourceWaveform,
+    TransientConfig,
+};
+use proptest::prelude::*;
+
+/// A random RC ladder: source → R1 → n1 → R2 → n2 → … with a capacitor
+/// from each internal node to ground.
+fn rc_ladder(stages: usize, rs: &[f64], cs: &[f64], amp: f64, freq: f64) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut prev = nl.node("in");
+    nl.vsource(
+        "V1",
+        prev,
+        Netlist::GROUND,
+        SourceWaveform::sine(amp, freq),
+    )
+    .expect("source");
+    for i in 0..stages {
+        let node = nl.node(&format!("n{i}"));
+        nl.resistor(&format!("R{i}"), prev, node, rs[i]).expect("resistor");
+        nl.capacitor(&format!("C{i}"), node, Netlist::GROUND, cs[i], 0.0)
+            .expect("capacitor");
+        prev = node;
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engines_agree_on_random_rc_ladders(
+        stages in 1usize..4,
+        r_exp in prop::collection::vec(2.0f64..5.0, 4),
+        c_exp in prop::collection::vec(-7.0f64..-5.0, 4),
+        amp in 0.5f64..3.0,
+        freq in 20.0f64..200.0,
+    ) {
+        let rs: Vec<f64> = r_exp.iter().map(|e| 10f64.powf(*e)).collect();
+        let cs: Vec<f64> = c_exp.iter().map(|e| 10f64.powf(*e)).collect();
+        let nl = rc_ladder(stages, &rs, &cs, amp, freq);
+        let last = format!("n{}", stages - 1);
+        let probe = [Probe::node_voltage(&last)];
+        let t_end = (4.0 / freq).min(0.05);
+
+        let nr = NewtonRaphsonEngine::default()
+            .simulate(&nl, &TransientConfig::new(t_end, t_end / 4000.0).expect("cfg"), &probe)
+            .expect("nr runs");
+        let lss = LinearizedStateSpaceEngine::default()
+            .simulate(&nl, &TransientConfig::new(t_end, t_end / 4000.0).expect("cfg"), &probe)
+            .expect("lss runs");
+        let sig = format!("v({last})");
+        let v_nr = *nr.signal(&sig).expect("recorded").last().expect("samples");
+        let v_lss = *lss.signal(&sig).expect("recorded").last().expect("samples");
+        // Linear circuit, same step: the engines agree closely.
+        prop_assert!(
+            (v_nr - v_lss).abs() < 1e-3 * amp.max(v_nr.abs()),
+            "nr {v_nr} vs lss {v_lss}"
+        );
+    }
+
+    #[test]
+    fn passive_rc_never_exceeds_source_amplitude(
+        r in 100.0f64..100_000.0,
+        c in 1e-8f64..1e-5,
+        amp in 0.1f64..10.0,
+    ) {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::sine(amp, 50.0))
+            .expect("source");
+        nl.resistor("R1", vin, out, r).expect("resistor");
+        nl.capacitor("C1", out, Netlist::GROUND, c, 0.0).expect("cap");
+        let res = LinearizedStateSpaceEngine::default()
+            .simulate(
+                &nl,
+                &TransientConfig::new(0.1, 1e-4).expect("cfg"),
+                &[Probe::node_voltage("out")],
+            )
+            .expect("runs");
+        for &v in res.signal("v(out)").expect("recorded") {
+            prop_assert!(v.abs() <= amp * 1.0001, "v = {v} exceeds source {amp}");
+        }
+    }
+
+    #[test]
+    fn rectifier_output_is_bounded_and_nonnegative(
+        amp in 0.8f64..4.0,
+        freq in 30.0f64..120.0,
+        c in 1e-6f64..5e-5,
+    ) {
+        // Half-wave rectifier with storage: output stays within
+        // [-(leakage dip), peak] for any parameter draw.
+        let mut nl = Netlist::new();
+        let src = nl.node("src");
+        let out = nl.node("out");
+        nl.vsource("V1", src, Netlist::GROUND, SourceWaveform::sine(amp, freq))
+            .expect("source");
+        nl.diode("D1", src, out).expect("diode");
+        nl.capacitor("CL", out, Netlist::GROUND, c, 0.0).expect("cap");
+        nl.resistor("RL", out, Netlist::GROUND, 1e5).expect("load");
+        let res = LinearizedStateSpaceEngine::default()
+            .simulate(
+                &nl,
+                &TransientConfig::new(0.2, 5e-5).expect("cfg"),
+                &[Probe::node_voltage("out")],
+            )
+            .expect("runs");
+        let sig = res.signal("v(out)").expect("recorded");
+        for &v in sig {
+            prop_assert!(v > -0.05, "negative output {v}");
+            prop_assert!(v <= amp, "output {v} above source peak {amp}");
+        }
+        // It must actually rectify: the tail average is positive.
+        let tail = &sig[sig.len() / 2..];
+        let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        prop_assert!(mean > 0.2 * (amp - 0.4).max(0.0), "mean {mean}");
+    }
+
+    #[test]
+    fn lss_respects_initial_conditions(v0 in -3.0f64..3.0, c in 1e-7f64..1e-5) {
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        nl.capacitor("C1", top, Netlist::GROUND, c, v0).expect("cap");
+        nl.resistor("R1", top, Netlist::GROUND, 1e4).expect("res");
+        let tau = 1e4 * c;
+        let res = LinearizedStateSpaceEngine::default()
+            .simulate(
+                &nl,
+                &TransientConfig::new(tau, tau / 100.0).expect("cfg"),
+                &[Probe::node_voltage("top")],
+            )
+            .expect("runs");
+        let sig = res.signal("v(top)").expect("recorded");
+        prop_assert!((sig[0] - v0).abs() < 1e-9 + 1e-6 * v0.abs());
+        let expect = v0 * (-1.0f64).exp();
+        prop_assert!((sig.last().unwrap() - expect).abs() < 1e-6 + 1e-4 * v0.abs());
+    }
+}

@@ -1,0 +1,335 @@
+//! Experiment campaigns: map design points to node configurations, run
+//! the system simulator at each, and collect the indicator responses.
+
+use crate::indicators::Indicator;
+use crate::scenario::Scenario;
+use crate::space::{DesignSpace, Factor};
+use crate::{CoreError, Result};
+use ehsim_doe::Design;
+use ehsim_node::{NodeConfig, SystemSimulator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The paper-style four-factor design problem over the default node:
+/// storage capacitance, task period, retune threshold, and radio TX
+/// power.
+#[derive(Debug, Clone)]
+pub struct StandardFactors {
+    /// Base node configuration; each design point modifies a copy.
+    pub base: NodeConfig,
+    /// Storage capacitance range (F).
+    pub c_store: (f64, f64),
+    /// Task period range (s).
+    pub task_period: (f64, f64),
+    /// Retune threshold range (Hz).
+    pub retune_threshold: (f64, f64),
+    /// Radio TX power range (dBm).
+    pub tx_power: (f64, f64),
+}
+
+impl Default for StandardFactors {
+    fn default() -> Self {
+        let mut base = NodeConfig::default_node();
+        // Campaign runs cover hours of simulated time; a coarser tick
+        // keeps one run in the tens of milliseconds.
+        base.tick_s = 0.25;
+        StandardFactors {
+            base,
+            c_store: (0.05, 0.5),
+            task_period: (2.0, 30.0),
+            retune_threshold: (0.25, 4.0),
+            tx_power: (-10.0, 4.0),
+        }
+    }
+}
+
+impl StandardFactors {
+    /// The corresponding [`DesignSpace`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if any range is inverted.
+    pub fn space(&self) -> Result<DesignSpace> {
+        DesignSpace::new(vec![
+            Factor::new("c_store_f", self.c_store.0, self.c_store.1)?,
+            Factor::new("task_period_s", self.task_period.0, self.task_period.1)?,
+            Factor::new(
+                "retune_threshold_hz",
+                self.retune_threshold.0,
+                self.retune_threshold.1,
+            )?,
+            Factor::new("tx_power_dbm", self.tx_power.0, self.tx_power.1)?,
+        ])
+    }
+
+    /// Builds the node configuration for a physical design point
+    /// `[c_store, task_period, retune_threshold, tx_power]`.
+    pub fn config_for(&self, physical: &[f64]) -> NodeConfig {
+        let mut cfg = self.base.clone();
+        cfg.storage.capacitance = physical[0];
+        cfg.task.period_s = physical[1];
+        cfg.tuning.retune_threshold_hz = physical[2];
+        cfg.radio.tx_power_dbm = physical[3];
+        cfg
+    }
+}
+
+/// Maps a physical design point to a node configuration.
+pub type Configure = Arc<dyn Fn(&[f64]) -> NodeConfig + Send + Sync>;
+
+/// A simulation campaign: design space + configuration mapping +
+/// scenario + indicators.
+#[derive(Clone)]
+pub struct Campaign {
+    space: DesignSpace,
+    configure: Configure,
+    scenario: Scenario,
+    indicators: Vec<Indicator>,
+}
+
+/// Results of running a design through the simulator.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Coded design points, one per run.
+    pub coded: Vec<Vec<f64>>,
+    /// Physical design points, one per run.
+    pub physical: Vec<Vec<f64>>,
+    /// Responses: `responses[run][indicator]`.
+    pub responses: Vec<Vec<f64>>,
+    /// Number of simulator invocations.
+    pub sim_count: usize,
+    /// Wall-clock time of the campaign.
+    pub wall: Duration,
+}
+
+impl CampaignResult {
+    /// One indicator's response vector across all runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn response_column(&self, idx: usize) -> Vec<f64> {
+        self.responses.iter().map(|r| r[idx]).collect()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign from explicit parts.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if no indicators are given.
+    pub fn new(
+        space: DesignSpace,
+        configure: Configure,
+        scenario: Scenario,
+        indicators: Vec<Indicator>,
+    ) -> Result<Self> {
+        if indicators.is_empty() {
+            return Err(CoreError::invalid("need at least one indicator"));
+        }
+        Ok(Campaign {
+            space,
+            configure,
+            scenario,
+            indicators,
+        })
+    }
+
+    /// Creates the standard four-factor campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn standard(
+        factors: StandardFactors,
+        scenario: Scenario,
+        indicators: Vec<Indicator>,
+    ) -> Result<Self> {
+        let space = factors.space()?;
+        let configure: Configure = Arc::new(move |phys| factors.config_for(phys));
+        Campaign::new(space, configure, scenario, indicators)
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The indicators, in response-column order.
+    pub fn indicators(&self) -> &[Indicator] {
+        &self.indicators
+    }
+
+    /// Runs one simulation at a coded point and returns the indicator
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (e.g. an invalid generated
+    /// configuration).
+    pub fn evaluate_coded(&self, coded: &[f64]) -> Result<Vec<f64>> {
+        let physical = self.space.decode(coded);
+        let cfg = (self.configure)(&physical);
+        let sim = SystemSimulator::new(cfg.clone())?;
+        let metrics = sim.run(self.scenario.source().as_ref(), self.scenario.duration_s())?;
+        Ok(self
+            .indicators
+            .iter()
+            .map(|ind| ind.extract(&metrics, &cfg))
+            .collect())
+    }
+
+    /// Runs every design point, using up to `threads` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on factor-count mismatch;
+    /// propagates the first simulation error encountered.
+    pub fn run_design(&self, design: &Design, threads: usize) -> Result<CampaignResult> {
+        if design.k() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "design has {} factors, space has {}",
+                design.k(),
+                self.space.k()
+            )));
+        }
+        let start = Instant::now();
+        let points: Vec<Vec<f64>> = design.points().to_vec();
+        let n = points.len();
+        let threads = threads.clamp(1, n.max(1));
+
+        let mut responses: Vec<Option<Vec<f64>>> = vec![None; n];
+        let mut first_error: Option<CoreError> = None;
+        std::thread::scope(|scope| {
+            let chunks: Vec<(usize, &[Vec<f64>])> = {
+                let chunk_size = n.div_ceil(threads);
+                points
+                    .chunks(chunk_size)
+                    .enumerate()
+                    .map(|(ci, c)| (ci * chunk_size, c))
+                    .collect()
+            };
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(offset, chunk)| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for p in chunk {
+                            out.push(self.evaluate_coded(p));
+                        }
+                        (offset, out)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (offset, results) = h.join().expect("campaign worker panicked");
+                for (i, r) in results.into_iter().enumerate() {
+                    match r {
+                        Ok(v) => responses[offset + i] = Some(v),
+                        Err(e) => {
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let responses: Vec<Vec<f64>> = responses
+            .into_iter()
+            .map(|r| r.expect("no error implies every run succeeded"))
+            .collect();
+        let physical: Vec<Vec<f64>> = points.iter().map(|p| self.space.decode(p)).collect();
+        Ok(CampaignResult {
+            coded: points,
+            physical,
+            responses,
+            sim_count: n,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Campaign({} factors, {:?}, {} indicators)",
+            self.space.k(),
+            self.scenario,
+            self.indicators.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_doe::design::factorial::full_factorial_2k;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::standard(
+            StandardFactors::default(),
+            Scenario::stationary_machine(300.0),
+            vec![Indicator::PacketsPerHour, Indicator::BrownoutMarginV],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_space_has_four_factors() {
+        let f = StandardFactors::default();
+        let s = f.space().unwrap();
+        assert_eq!(s.k(), 4);
+        let cfg = f.config_for(&[0.1, 5.0, 1.0, -3.0]);
+        assert!((cfg.storage.capacitance - 0.1).abs() < 1e-12);
+        assert!((cfg.task.period_s - 5.0).abs() < 1e-12);
+        assert!((cfg.tuning.retune_threshold_hz - 1.0).abs() < 1e-12);
+        assert!((cfg.radio.tx_power_dbm + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_coded_returns_indicator_vector() {
+        let c = tiny_campaign();
+        let y = c.evaluate_coded(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(y.len(), 2);
+        assert!(y[0] > 0.0, "packets/hour = {}", y[0]);
+    }
+
+    #[test]
+    fn run_design_parallel_matches_serial() {
+        let c = tiny_campaign();
+        let d = full_factorial_2k(4).unwrap();
+        let serial = c.run_design(&d, 1).unwrap();
+        let parallel = c.run_design(&d, 4).unwrap();
+        assert_eq!(serial.responses, parallel.responses);
+        assert_eq!(serial.sim_count, 16);
+        assert_eq!(parallel.coded.len(), 16);
+        assert_eq!(parallel.physical.len(), 16);
+        let col = parallel.response_column(0);
+        assert_eq!(col.len(), 16);
+    }
+
+    #[test]
+    fn design_dimension_mismatch_rejected() {
+        let c = tiny_campaign();
+        let d = full_factorial_2k(3).unwrap();
+        assert!(c.run_design(&d, 2).is_err());
+    }
+
+    #[test]
+    fn no_indicators_rejected() {
+        let f = StandardFactors::default();
+        let r = Campaign::standard(f, Scenario::stationary_machine(60.0), vec![]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! The DoE design flow: design → simulate → fit → validate → explore.
+
+use crate::experiment::{Campaign, CampaignResult};
+use crate::indicators::Indicator;
+use crate::space::DesignSpace;
+use crate::{CoreError, Result};
+use ehsim_doe::design::box_behnken::box_behnken;
+use ehsim_doe::design::ccd::CentralComposite;
+use ehsim_doe::design::doptimal::d_optimal_grid;
+use ehsim_doe::design::factorial::full_factorial_3k;
+use ehsim_doe::design::lhs::latin_hypercube;
+use ehsim_doe::optimize::{optimize_fn, Goal, Optimum};
+use ehsim_doe::stepwise::backward_eliminate;
+use ehsim_doe::{fit, Design, FittedModel, ModelSpec};
+use std::time::{Duration, Instant};
+
+/// Which experimental design plans the simulation campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignChoice {
+    /// Face-centred central composite (all runs inside the box).
+    FaceCenteredCcd {
+        /// Centre-point replicates.
+        center_points: usize,
+    },
+    /// Rotatable central composite (axial points at `α = (2^k)^¼`).
+    RotatableCcd {
+        /// Centre-point replicates.
+        center_points: usize,
+    },
+    /// Box–Behnken (3 ≤ k ≤ 7).
+    BoxBehnken {
+        /// Centre-point replicates.
+        center_points: usize,
+    },
+    /// Full three-level factorial (expensive beyond k = 4).
+    FullFactorial3,
+    /// Seeded Latin hypercube.
+    LatinHypercube {
+        /// Number of runs.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// D-optimal selection from the 3-level grid for a quadratic model.
+    DOptimal {
+        /// Number of runs.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl DesignChoice {
+    /// Builds the design for `k` factors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the design constructors' validation errors.
+    pub fn build(&self, k: usize) -> Result<Design> {
+        let d = match self {
+            DesignChoice::FaceCenteredCcd { center_points } => CentralComposite::face_centered(k)?
+                .with_center_points(*center_points)
+                .build()?,
+            DesignChoice::RotatableCcd { center_points } => CentralComposite::rotatable(k)?
+                .with_center_points(*center_points)
+                .build()?,
+            DesignChoice::BoxBehnken { center_points } => {
+                box_behnken(k)?.with_center_points(*center_points)
+            }
+            DesignChoice::FullFactorial3 => full_factorial_3k(k)?,
+            DesignChoice::LatinHypercube { n, seed } => latin_hypercube(k, *n, *seed)?,
+            DesignChoice::DOptimal { n, seed } => {
+                d_optimal_grid(&ModelSpec::quadratic(k)?, *n, *seed)?
+            }
+        };
+        Ok(d)
+    }
+}
+
+/// The DoE-based design flow.
+#[derive(Debug, Clone)]
+pub struct DoeFlow {
+    choice: DesignChoice,
+    stepwise_alpha: Option<f64>,
+    threads: usize,
+}
+
+impl DoeFlow {
+    /// Creates a flow with the given design choice, full quadratic
+    /// models, and 4 worker threads.
+    pub fn new(choice: DesignChoice) -> Self {
+        DoeFlow {
+            choice,
+            stepwise_alpha: None,
+            threads: 4,
+        }
+    }
+
+    /// Enables hierarchy-respecting backward elimination at the given
+    /// significance level.
+    pub fn with_stepwise(mut self, alpha: f64) -> Self {
+        self.stepwise_alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the simulation worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the complete flow: build the design, simulate every run,
+    /// fit one model per indicator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, simulation, and fitting errors.
+    pub fn run(&self, campaign: &Campaign) -> Result<SurrogateSet> {
+        let start = Instant::now();
+        let k = campaign.space().k();
+        let design = self.choice.build(k)?;
+        let result = campaign.run_design(&design, self.threads)?;
+        let spec = ModelSpec::quadratic(k)?;
+        let mut models = Vec::with_capacity(campaign.indicators().len());
+        for (idx, _) in campaign.indicators().iter().enumerate() {
+            let y = result.response_column(idx);
+            let model = match self.stepwise_alpha {
+                None => fit(&spec, &result.coded, &y)?,
+                Some(alpha) => backward_eliminate(&spec, &result.coded, &y, alpha)?.model,
+            };
+            models.push(model);
+        }
+        Ok(SurrogateSet {
+            space: campaign.space().clone(),
+            indicators: campaign.indicators().to_vec(),
+            models,
+            design,
+            result,
+            build_wall: start.elapsed(),
+        })
+    }
+}
+
+/// The fitted response-surface models for every indicator, plus the
+/// campaign data they were built from.
+#[derive(Debug, Clone)]
+pub struct SurrogateSet {
+    space: DesignSpace,
+    indicators: Vec<Indicator>,
+    models: Vec<FittedModel>,
+    design: Design,
+    result: CampaignResult,
+    build_wall: Duration,
+}
+
+/// Validation metrics of one indicator's surrogate against fresh
+/// simulations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationRow {
+    /// Indicator validated.
+    pub indicator: Indicator,
+    /// Root-mean-square prediction error (physical units).
+    pub rmse: f64,
+    /// Maximum absolute prediction error.
+    pub max_abs_error: f64,
+    /// RMSE normalised by the observed response range (%).
+    pub rmse_pct_of_range: f64,
+    /// Validation R².
+    pub r_squared: f64,
+}
+
+impl SurrogateSet {
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The indicators, in model order.
+    pub fn indicators(&self) -> &[Indicator] {
+        &self.indicators
+    }
+
+    /// The experimental design used.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The raw campaign result.
+    pub fn campaign_result(&self) -> &CampaignResult {
+        &self.result
+    }
+
+    /// Wall-clock time of the whole build (simulations + fits).
+    pub fn build_wall(&self) -> Duration {
+        self.build_wall
+    }
+
+    /// The fitted model of one indicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn model(&self, idx: usize) -> &FittedModel {
+        &self.models[idx]
+    }
+
+    /// Index of an indicator within the set.
+    pub fn indicator_index(&self, ind: Indicator) -> Option<usize> {
+        self.indicators.iter().position(|i| *i == ind)
+    }
+
+    /// Predicts an indicator at a coded point — the "practically
+    /// instant" exploration primitive.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a bad indicator index or
+    /// dimension mismatch.
+    pub fn predict(&self, indicator_idx: usize, coded: &[f64]) -> Result<f64> {
+        let model = self
+            .models
+            .get(indicator_idx)
+            .ok_or_else(|| CoreError::invalid(format!("no indicator {indicator_idx}")))?;
+        if coded.len() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "point has {} coordinates, expected {}",
+                coded.len(),
+                self.space.k()
+            )));
+        }
+        Ok(model.predict(coded))
+    }
+
+    /// Predicts an indicator at a physical point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SurrogateSet::predict`].
+    pub fn predict_physical(&self, indicator_idx: usize, physical: &[f64]) -> Result<f64> {
+        if physical.len() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "point has {} coordinates, expected {}",
+                physical.len(),
+                self.space.k()
+            )));
+        }
+        self.predict(indicator_idx, &self.space.encode(physical))
+    }
+
+    /// Validates every surrogate against `n` fresh simulations at
+    /// seeded Latin-hypercube points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn validate(
+        &self,
+        campaign: &Campaign,
+        n: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Vec<ValidationRow>> {
+        let lhs = latin_hypercube(self.space.k(), n, seed)?;
+        let fresh = campaign.run_design(&lhs, threads)?;
+        let mut rows = Vec::with_capacity(self.indicators.len());
+        for (idx, ind) in self.indicators.iter().enumerate() {
+            let observed = fresh.response_column(idx);
+            let predicted: Vec<f64> = fresh
+                .coded
+                .iter()
+                .map(|p| self.models[idx].predict(p))
+                .collect();
+            let mut sse = 0.0;
+            let mut max_err: f64 = 0.0;
+            for (p, o) in predicted.iter().zip(observed.iter()) {
+                let e = p - o;
+                sse += e * e;
+                max_err = max_err.max(e.abs());
+            }
+            let rmse = (sse / n as f64).sqrt();
+            let mean = observed.iter().sum::<f64>() / n as f64;
+            let tss: f64 = observed.iter().map(|y| (y - mean) * (y - mean)).sum();
+            let r2 = if tss > 0.0 { 1.0 - sse / tss } else { 1.0 };
+            let lo = observed.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = observed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let range = (hi - lo).max(1e-12);
+            rows.push(ValidationRow {
+                indicator: *ind,
+                rmse,
+                max_abs_error: max_err,
+                rmse_pct_of_range: 100.0 * rmse / range,
+                r_squared: r2,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Optimises one indicator over the coded box on the surrogate.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a bad index.
+    pub fn optimize(&self, indicator_idx: usize, goal: Goal, seed: u64) -> Result<Optimum> {
+        let model = self
+            .models
+            .get(indicator_idx)
+            .ok_or_else(|| CoreError::invalid(format!("no indicator {indicator_idx}")))?;
+        Ok(ehsim_doe::optimize::optimize_model(
+            model,
+            (-1.0, 1.0),
+            goal,
+            seed,
+        )?)
+    }
+
+    /// Constrained optimisation on the surrogates: optimise
+    /// `indicator_idx` subject to other indicators staying above given
+    /// floors, via an exact-penalty formulation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for bad indices.
+    pub fn optimize_constrained(
+        &self,
+        indicator_idx: usize,
+        goal: Goal,
+        floors: &[(usize, f64)],
+        seed: u64,
+    ) -> Result<Optimum> {
+        if indicator_idx >= self.models.len()
+            || floors.iter().any(|(i, _)| *i >= self.models.len())
+        {
+            return Err(CoreError::invalid("indicator index out of range"));
+        }
+        let sign = match goal {
+            Goal::Maximize => 1.0,
+            Goal::Minimize => -1.0,
+        };
+        // Scale the penalty to the objective's observed range so it
+        // dominates without destroying the gradient signal.
+        let obj_col: Vec<f64> = self
+            .result
+            .responses
+            .iter()
+            .map(|r| r[indicator_idx])
+            .collect();
+        let lo = obj_col.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = obj_col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let penalty_scale = 100.0 * (hi - lo).max(1.0);
+
+        let objective = |x: &[f64]| {
+            let mut v = sign * self.models[indicator_idx].predict(x);
+            for (ci, floor) in floors {
+                let c = self.models[*ci].predict(x);
+                if c < *floor {
+                    v -= penalty_scale * (floor - c);
+                }
+            }
+            v
+        };
+        let opt = optimize_fn(
+            &objective,
+            self.space.k(),
+            (-1.0, 1.0),
+            Goal::Maximize,
+            seed,
+            16,
+        )?;
+        // Report the true (unpenalised) objective value at the winner.
+        let value = self.models[indicator_idx].predict(&opt.x);
+        Ok(Optimum { x: opt.x, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::StandardFactors;
+    use crate::scenario::Scenario;
+
+    fn small_flow_campaign() -> Campaign {
+        Campaign::standard(
+            StandardFactors::default(),
+            Scenario::stationary_machine(300.0),
+            vec![Indicator::PacketsPerHour, Indicator::BrownoutMarginV],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn design_choices_build() {
+        for (choice, expect_runs) in [
+            (DesignChoice::FaceCenteredCcd { center_points: 3 }, 16 + 8 + 3),
+            (DesignChoice::RotatableCcd { center_points: 1 }, 16 + 8 + 1),
+            (DesignChoice::BoxBehnken { center_points: 2 }, 24 + 2),
+            (DesignChoice::FullFactorial3, 81),
+            (DesignChoice::LatinHypercube { n: 30, seed: 1 }, 30),
+        ] {
+            let d = choice.build(4).unwrap();
+            assert_eq!(d.n_runs(), expect_runs, "{choice:?}");
+        }
+        let d = DesignChoice::DOptimal { n: 18, seed: 2 }.build(4).unwrap();
+        assert_eq!(d.n_runs(), 18);
+    }
+
+    #[test]
+    fn flow_produces_usable_surrogates() {
+        let campaign = small_flow_campaign();
+        let flow = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 })
+            .with_threads(4);
+        let s = flow.run(&campaign).unwrap();
+        assert_eq!(s.indicators().len(), 2);
+        assert_eq!(s.campaign_result().sim_count, 16 + 8 + 2);
+        // The packets model must be strongly driven by the task period
+        // (factor 1): moving from slow to fast sampling raises packets.
+        let fast = s.predict(0, &[0.0, -1.0, 0.0, 0.0]).unwrap();
+        let slow = s.predict(0, &[0.0, 1.0, 0.0, 0.0]).unwrap();
+        assert!(fast > slow, "fast={fast} slow={slow}");
+        // Physical-unit prediction agrees with coded prediction.
+        let phys = s.space().decode(&[0.0, -1.0, 0.0, 0.0]);
+        let via_phys = s.predict_physical(0, &phys).unwrap();
+        assert!((via_phys - fast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surrogate_optimization_runs() {
+        let campaign = small_flow_campaign();
+        let s = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 })
+            .run(&campaign)
+            .unwrap();
+        let best = s.optimize(0, Goal::Maximize, 3).unwrap();
+        assert_eq!(best.x.len(), 4);
+        // The unconstrained packet maximum is at least as good as the
+        // centre.
+        let center = s.predict(0, &s.space().center()).unwrap();
+        assert!(best.value >= center - 1e-9);
+
+        // Constrained: keep the brown-out margin above 0.2 V.
+        let con = s
+            .optimize_constrained(0, Goal::Maximize, &[(1, 0.2)], 3)
+            .unwrap();
+        let margin = s.predict(1, &con.x).unwrap();
+        assert!(margin >= 0.15, "margin = {margin}");
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        let campaign = small_flow_campaign();
+        let s = DoeFlow::new(DesignChoice::LatinHypercube { n: 20, seed: 5 })
+            .run(&campaign)
+            .unwrap();
+        assert!(s.predict(9, &s.space().center()).is_err());
+        assert!(s.predict(0, &[0.0]).is_err());
+        assert!(s.optimize(9, Goal::Maximize, 0).is_err());
+        assert!(s
+            .optimize_constrained(0, Goal::Maximize, &[(9, 0.0)], 0)
+            .is_err());
+    }
+}

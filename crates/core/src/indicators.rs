@@ -1,0 +1,131 @@
+//! Node performance indicators — the responses the RSMs model.
+
+use ehsim_node::{NodeConfig, NodeMetrics};
+use std::fmt;
+
+/// A scalar performance indicator extracted from a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Indicator {
+    /// Application packets delivered per hour.
+    PacketsPerHour,
+    /// Fraction of time the node was powered.
+    UptimeFraction,
+    /// Brown-out margin: minimum storage voltage minus `v_off` (V);
+    /// negative values mean the node browned out.
+    BrownoutMarginV,
+    /// Fraction of consumed energy spent on the tuning subsystem
+    /// (actuator moves plus frequency measurements).
+    TuningOverheadFraction,
+    /// Mean harvested power (µW).
+    AvgHarvestPowerUw,
+    /// Storage voltage at the end of the run (V).
+    FinalStorageV,
+    /// Net stored-energy change over the run (J): positive means the
+    /// node ran energy-positive.
+    EnergyBalanceJ,
+    /// Number of actuator retunes.
+    RetuneCount,
+}
+
+impl Indicator {
+    /// All indicators, in canonical order.
+    pub fn all() -> Vec<Indicator> {
+        vec![
+            Indicator::PacketsPerHour,
+            Indicator::UptimeFraction,
+            Indicator::BrownoutMarginV,
+            Indicator::TuningOverheadFraction,
+            Indicator::AvgHarvestPowerUw,
+            Indicator::FinalStorageV,
+            Indicator::EnergyBalanceJ,
+            Indicator::RetuneCount,
+        ]
+    }
+
+    /// Canonical short name (CSV headers, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Indicator::PacketsPerHour => "packets_per_hour",
+            Indicator::UptimeFraction => "uptime_fraction",
+            Indicator::BrownoutMarginV => "brownout_margin_v",
+            Indicator::TuningOverheadFraction => "tuning_overhead",
+            Indicator::AvgHarvestPowerUw => "avg_harvest_uw",
+            Indicator::FinalStorageV => "final_storage_v",
+            Indicator::EnergyBalanceJ => "energy_balance_j",
+            Indicator::RetuneCount => "retune_count",
+        }
+    }
+
+    /// Extracts the indicator value from a run's metrics.
+    pub fn extract(&self, metrics: &NodeMetrics, cfg: &NodeConfig) -> f64 {
+        match self {
+            Indicator::PacketsPerHour => {
+                metrics.packets_delivered as f64 * 3600.0 / metrics.duration_s
+            }
+            Indicator::UptimeFraction => metrics.uptime_fraction,
+            Indicator::BrownoutMarginV => metrics.min_v_store - cfg.thresholds.v_off,
+            Indicator::TuningOverheadFraction => {
+                let tuning = metrics.tuning_energy_j
+                    + metrics.measurement_count as f64 * cfg.tuning.measure_energy_j
+                        / cfg.regulator.efficiency;
+                if metrics.consumed_energy_j > 0.0 {
+                    tuning / metrics.consumed_energy_j
+                } else {
+                    0.0
+                }
+            }
+            Indicator::AvgHarvestPowerUw => metrics.avg_harvest_power_w * 1e6,
+            Indicator::FinalStorageV => metrics.final_v_store,
+            Indicator::EnergyBalanceJ => {
+                cfg.storage.energy_j(metrics.final_v_store) - cfg.storage.energy_j(cfg.v_store0)
+            }
+            Indicator::RetuneCount => metrics.retune_count as f64,
+        }
+    }
+}
+
+impl fmt::Display for Indicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_node::SystemSimulator;
+    use ehsim_vibration::Sine;
+
+    #[test]
+    fn extraction_consistency() {
+        let cfg = NodeConfig::default_node();
+        let f = cfg.harvester.resonant_frequency(cfg.initial_position);
+        let src = Sine::new(0.9, f).unwrap();
+        let m = SystemSimulator::new(cfg.clone())
+            .unwrap()
+            .run(&src, 600.0)
+            .unwrap();
+        let pph = Indicator::PacketsPerHour.extract(&m, &cfg);
+        assert!((pph - m.packets_delivered as f64 * 6.0).abs() < 1e-9);
+        let margin = Indicator::BrownoutMarginV.extract(&m, &cfg);
+        assert!(margin > 0.0, "node should not brown out on resonance");
+        let uptime = Indicator::UptimeFraction.extract(&m, &cfg);
+        assert!((0.0..=1.0).contains(&uptime));
+        let overhead = Indicator::TuningOverheadFraction.extract(&m, &cfg);
+        assert!((0.0..=1.0).contains(&overhead), "overhead = {overhead}");
+        let harvest = Indicator::AvgHarvestPowerUw.extract(&m, &cfg);
+        assert!(harvest > 0.0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = Indicator::all();
+        let mut names: Vec<&str> = all.iter().map(|i| i.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        for i in &all {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

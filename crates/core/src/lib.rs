@@ -1,0 +1,150 @@
+//! The DATE'13 contribution: a DoE-based design flow for energy
+//! management in sensor nodes powered by tunable energy harvesters.
+//!
+//! The toolkit wires together every substrate of the workspace:
+//!
+//! 1. A [`space::DesignSpace`] names the design factors (storage size,
+//!    task period, retune threshold, radio power, …) with their physical
+//!    ranges, mapped to/from coded `[-1, 1]` units.
+//! 2. A [`experiment::Campaign`] runs the system-level node simulator at
+//!    each design point of a chosen experimental design — in parallel —
+//!    and collects the performance indicators.
+//! 3. [`flow::DoeFlow`] fits one quadratic response-surface model per
+//!    indicator, validates it against fresh simulations, and hands back
+//!    a [`flow::SurrogateSet`].
+//! 4. From there, exploration is *practically instant*: grid sweeps and
+//!    contours ([`explorer`]), Pareto trade-off fronts ([`tradeoff`]),
+//!    and constrained optimisation on the surface.
+//! 5. For honest comparison, [`baselines`] implements the classical
+//!    simulation-driven optimisers the paper argues against (grid
+//!    search, Nelder–Mead, simulated annealing, genetic search), which
+//!    pay one full simulation per objective evaluation.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ehsim_core::flow::{DoeFlow, DesignChoice};
+//! use ehsim_core::experiment::{Campaign, StandardFactors};
+//! use ehsim_core::indicators::Indicator;
+//! use ehsim_core::scenario::Scenario;
+//!
+//! # fn main() -> Result<(), ehsim_core::CoreError> {
+//! let campaign = Campaign::standard(
+//!     StandardFactors::default(),
+//!     Scenario::drifting_machine(3600.0),
+//!     vec![Indicator::PacketsPerHour, Indicator::BrownoutMarginV],
+//! )?;
+//! let flow = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 });
+//! let surrogates = flow.run(&campaign)?;
+//! // Instant what-if: predicted packets/hour at a design point.
+//! let x = surrogates.space().center();
+//! let packets = surrogates.predict(0, &x)?;
+//! println!("predicted packets/hour at centre: {packets:.1}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod experiment;
+pub mod explorer;
+pub mod flow;
+pub mod indicators;
+pub mod report;
+pub mod scenario;
+pub mod sensitivity;
+pub mod space;
+pub mod tradeoff;
+
+pub use experiment::{Campaign, CampaignResult, StandardFactors};
+pub use flow::{DesignChoice, DoeFlow, SurrogateSet};
+pub use indicators::Indicator;
+pub use scenario::Scenario;
+pub use space::{DesignSpace, Factor};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the design-flow toolkit.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An argument violated its precondition.
+    InvalidArgument {
+        /// Description of the violated precondition.
+        message: String,
+    },
+    /// The underlying node simulator failed.
+    Simulation(ehsim_node::NodeError),
+    /// The DoE machinery failed.
+    Doe(ehsim_doe::DoeError),
+    /// Writing a report file failed.
+    Io(std::io::Error),
+}
+
+impl CoreError {
+    pub(crate) fn invalid(message: impl Into<String>) -> Self {
+        CoreError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+            CoreError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Doe(e) => write!(f, "doe failure: {e}"),
+            CoreError::Io(e) => write!(f, "io failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Simulation(e) => Some(e),
+            CoreError::Doe(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ehsim_node::NodeError> for CoreError {
+    fn from(e: ehsim_node::NodeError) -> Self {
+        CoreError::Simulation(e)
+    }
+}
+
+impl From<ehsim_doe::DoeError> for CoreError {
+    fn from(e: ehsim_doe::DoeError) -> Self {
+        CoreError::Doe(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::invalid("x"),
+            CoreError::Simulation(ehsim_node::NodeError::Model("m".into())),
+            CoreError::Doe(ehsim_doe::DoeError::RankDeficient),
+            CoreError::Io(std::io::Error::new(std::io::ErrorKind::Other, "io")),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Report helpers: CSV export and fixed-width text tables for the
+//! experiment harnesses.
+
+use crate::Result;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a CSV file with a header row and numeric data rows.
+///
+/// # Errors
+///
+/// [`crate::CoreError::Io`] on filesystem failures;
+/// [`crate::CoreError::InvalidArgument`] if any row width differs from
+/// the header width.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<f64>]) -> Result<()> {
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != headers.len() {
+            return Err(crate::CoreError::invalid(format!(
+                "row {i} has {} columns, header has {}",
+                r.len(),
+                headers.len()
+            )));
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", headers.join(","))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(file, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a fixed-width text table (headers + numeric rows) for
+/// terminal output.
+pub fn format_table(headers: &[&str], rows: &[Vec<f64>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| {
+                    if v.abs() >= 1e5 || (v.abs() < 1e-3 && *v != 0.0) {
+                        format!("{v:.4e}")
+                    } else {
+                        format!("{v:.4}")
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for row in &formatted {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:>width$}  ", h, width = widths[i]);
+    }
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &formatted {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a table with string-valued first column (e.g. method names).
+pub fn format_labeled_table(
+    headers: &[&str],
+    labels: &[String],
+    rows: &[Vec<f64>],
+) -> String {
+    let mut out = String::new();
+    let label_w = labels
+        .iter()
+        .map(|l| l.len())
+        .chain(std::iter::once(headers[0].len()))
+        .max()
+        .unwrap_or(8);
+    let _ = write!(out, "{:<label_w$}  ", headers[0]);
+    for h in &headers[1..] {
+        let _ = write!(out, "{h:>14}  ");
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + 16 * (headers.len() - 1)));
+    out.push('\n');
+    for (label, row) in labels.iter().zip(rows.iter()) {
+        let _ = write!(out, "{label:<label_w$}  ");
+        for v in row {
+            if v.abs() >= 1e5 || (v.abs() < 1e-3 && *v != 0.0) {
+                let _ = write!(out, "{v:>14.4e}  ");
+            } else {
+                let _ = write!(out, "{v:>14.4}  ");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ehsim_report_test.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec![1.0, 2.0], vec![3.5, -4.0]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("3.5,-4"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ehsim_report_ragged.csv");
+        let err = write_csv(&path, &["a", "b"], &[vec![1.0]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn table_formatting() {
+        let t = format_table(&["x", "y"], &[vec![1.0, 2e-6], vec![123456.0, 3.0]]);
+        assert!(t.contains('x'));
+        assert!(t.contains("2.0000e-6"));
+        assert!(t.lines().count() == 4);
+        let lt = format_labeled_table(
+            &["method", "value"],
+            &["grid".into(), "ga".into()],
+            &[vec![1.0], vec![2.0]],
+        );
+        assert!(lt.contains("grid"));
+        assert!(lt.contains("ga"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Named design factors with physical ranges and the coded-unit
+//! mapping.
+
+use crate::{CoreError, Result};
+use std::fmt;
+
+/// One design factor: a name and its physical range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    name: String,
+    low: f64,
+    high: f64,
+}
+
+impl Factor {
+    /// Creates a factor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if `low >= high` or either bound
+    /// is non-finite.
+    pub fn new(name: &str, low: f64, high: f64) -> Result<Self> {
+        if !(low < high) || !low.is_finite() || !high.is_finite() {
+            return Err(CoreError::invalid(format!(
+                "factor `{name}` needs finite low < high (got {low}, {high})"
+            )));
+        }
+        Ok(Factor {
+            name: name.to_string(),
+            low,
+            high,
+        })
+    }
+
+    /// Factor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lower physical bound.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper physical bound.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Maps a coded value (−1 = low, +1 = high) to physical units.
+    /// Values outside `[-1, 1]` (e.g. rotatable CCD axial points)
+    /// extrapolate linearly but are clamped to stay within 20 % outside
+    /// the range, protecting the models from nonphysical inputs.
+    pub fn decode(&self, coded: f64) -> f64 {
+        let mid = 0.5 * (self.low + self.high);
+        let half = 0.5 * (self.high - self.low);
+        let physical = mid + coded * half;
+        physical.clamp(
+            self.low - 0.2 * (self.high - self.low),
+            self.high + 0.2 * (self.high - self.low),
+        )
+    }
+
+    /// Maps a physical value to coded units.
+    pub fn encode(&self, physical: f64) -> f64 {
+        let mid = 0.5 * (self.low + self.high);
+        let half = 0.5 * (self.high - self.low);
+        (physical - mid) / half
+    }
+}
+
+impl fmt::Display for Factor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ∈ [{}, {}]", self.name, self.low, self.high)
+    }
+}
+
+/// An ordered set of design factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    factors: Vec<Factor>,
+}
+
+impl DesignSpace {
+    /// Creates a design space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if empty or names repeat.
+    pub fn new(factors: Vec<Factor>) -> Result<Self> {
+        if factors.is_empty() {
+            return Err(CoreError::invalid("design space needs at least one factor"));
+        }
+        for i in 0..factors.len() {
+            for j in (i + 1)..factors.len() {
+                if factors[i].name == factors[j].name {
+                    return Err(CoreError::invalid(format!(
+                        "duplicate factor name `{}`",
+                        factors[i].name
+                    )));
+                }
+            }
+        }
+        Ok(DesignSpace { factors })
+    }
+
+    /// Number of factors.
+    pub fn k(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factors in order.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Factor lookup by name.
+    pub fn factor(&self, name: &str) -> Option<&Factor> {
+        self.factors.iter().find(|f| f.name == name)
+    }
+
+    /// Index of a factor by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.factors.iter().position(|f| f.name == name)
+    }
+
+    /// Decodes a coded point into physical units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coded.len() != self.k()`.
+    pub fn decode(&self, coded: &[f64]) -> Vec<f64> {
+        assert_eq!(coded.len(), self.k(), "dimension mismatch");
+        self.factors
+            .iter()
+            .zip(coded.iter())
+            .map(|(f, &c)| f.decode(c))
+            .collect()
+    }
+
+    /// Encodes a physical point into coded units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical.len() != self.k()`.
+    pub fn encode(&self, physical: &[f64]) -> Vec<f64> {
+        assert_eq!(physical.len(), self.k(), "dimension mismatch");
+        self.factors
+            .iter()
+            .zip(physical.iter())
+            .map(|(f, &p)| f.encode(p))
+            .collect()
+    }
+
+    /// The centre of the space in coded units (all zeros).
+    pub fn center(&self) -> Vec<f64> {
+        vec![0.0; self.k()]
+    }
+}
+
+impl fmt::Display for DesignSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for factor in &self.factors {
+            writeln!(f, "  {factor}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Factor::new("c_store", 0.05, 0.5).unwrap();
+        assert!((f.decode(-1.0) - 0.05).abs() < 1e-12);
+        assert!((f.decode(1.0) - 0.5).abs() < 1e-12);
+        assert!((f.decode(0.0) - 0.275).abs() < 1e-12);
+        for p in [0.05, 0.1, 0.3, 0.5] {
+            assert!((f.decode(f.encode(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decode_clamps_extrapolation() {
+        let f = Factor::new("x", 0.0, 1.0).unwrap();
+        // 20% margin outside the range.
+        assert!((f.decode(2.0) - 1.2).abs() < 1e-12);
+        assert!((f.decode(-3.0) + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_lookup() {
+        let s = DesignSpace::new(vec![
+            Factor::new("a", 0.0, 1.0).unwrap(),
+            Factor::new("b", -5.0, 5.0).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(s.k(), 2);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert!(s.factor("c").is_none());
+        assert_eq!(s.center(), vec![0.0, 0.0]);
+        let phys = s.decode(&[1.0, -1.0]);
+        assert_eq!(phys, vec![1.0, -5.0]);
+        assert_eq!(s.encode(&phys), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Factor::new("x", 1.0, 1.0).is_err());
+        assert!(Factor::new("x", f64::NAN, 1.0).is_err());
+        assert!(DesignSpace::new(vec![]).is_err());
+        assert!(DesignSpace::new(vec![
+            Factor::new("a", 0.0, 1.0).unwrap(),
+            Factor::new("a", 0.0, 2.0).unwrap(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = DesignSpace::new(vec![Factor::new("a", 0.0, 1.0).unwrap()]).unwrap();
+        assert!(!format!("{s}").is_empty());
+    }
+}

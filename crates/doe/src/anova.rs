@@ -1,0 +1,258 @@
+//! Analysis of variance for fitted models: overall model significance
+//! and — when the design contains replicated runs — the lack-of-fit
+//! test that tells a designer whether the polynomial order suffices.
+
+use crate::fit::FittedModel;
+use crate::{DoeError, Result};
+use ehsim_numeric::stats::dist::FisherF;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Overall ANOVA decomposition of a fitted model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnovaTable {
+    /// Regression (model) sum of squares.
+    pub ss_model: f64,
+    /// Model degrees of freedom (`p - 1`).
+    pub df_model: usize,
+    /// Residual sum of squares.
+    pub ss_resid: f64,
+    /// Residual degrees of freedom (`n - p`).
+    pub df_resid: usize,
+    /// Total corrected sum of squares.
+    pub ss_total: f64,
+    /// F statistic of the model.
+    pub f: f64,
+    /// p-value of the model F test.
+    pub p_value: f64,
+}
+
+impl fmt::Display for AnovaTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "source      SS          df    MS          F         p")?;
+        let ms_model = self.ss_model / self.df_model.max(1) as f64;
+        let ms_resid = self.ss_resid / self.df_resid.max(1) as f64;
+        writeln!(
+            f,
+            "model      {:<11.4e} {:<5} {:<11.4e} {:<9.4} {:.4e}",
+            self.ss_model, self.df_model, ms_model, self.f, self.p_value
+        )?;
+        writeln!(
+            f,
+            "residual   {:<11.4e} {:<5} {:<11.4e}",
+            self.ss_resid, self.df_resid, ms_resid
+        )?;
+        write!(
+            f,
+            "total      {:<11.4e} {:<5}",
+            self.ss_total,
+            self.df_model + self.df_resid
+        )
+    }
+}
+
+/// Computes the overall ANOVA table.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if the model has no residual degrees of
+/// freedom or no non-intercept terms.
+pub fn anova(model: &FittedModel) -> Result<AnovaTable> {
+    let p = model.p();
+    let df_model = p.saturating_sub(1);
+    let df_resid = model.df_residual();
+    if df_model == 0 {
+        return Err(DoeError::invalid("anova needs at least one model term"));
+    }
+    if df_resid == 0 {
+        return Err(DoeError::invalid(
+            "anova needs residual degrees of freedom (unsaturated fit)",
+        ));
+    }
+    let ss_total = model.tss();
+    let ss_resid = model.rss();
+    let ss_model = (ss_total - ss_resid).max(0.0);
+    let ms_model = ss_model / df_model as f64;
+    let ms_resid = ss_resid / df_resid as f64;
+    let (f_stat, p_value) = if ms_resid > 0.0 {
+        let f_stat = ms_model / ms_resid;
+        let dist = FisherF::new(df_model as f64, df_resid as f64)?;
+        (f_stat, dist.sf(f_stat))
+    } else {
+        (f64::INFINITY, 0.0)
+    };
+    Ok(AnovaTable {
+        ss_model,
+        df_model,
+        ss_resid,
+        df_resid,
+        ss_total,
+        f: f_stat,
+        p_value,
+    })
+}
+
+/// Lack-of-fit decomposition (only defined with replicated runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LackOfFit {
+    /// Lack-of-fit sum of squares.
+    pub ss_lof: f64,
+    /// Lack-of-fit degrees of freedom.
+    pub df_lof: usize,
+    /// Pure-error sum of squares (within replicate groups).
+    pub ss_pe: f64,
+    /// Pure-error degrees of freedom.
+    pub df_pe: usize,
+    /// F statistic of lack of fit vs pure error.
+    pub f: f64,
+    /// p-value (small means the model order is inadequate).
+    pub p_value: f64,
+}
+
+/// Computes the lack-of-fit test. Returns `Ok(None)` when the design has
+/// no replicated runs (the test is undefined).
+///
+/// # Errors
+///
+/// Propagates distribution errors (cannot normally occur).
+pub fn lack_of_fit(model: &FittedModel) -> Result<Option<LackOfFit>> {
+    // Group runs by identical coded coordinates.
+    let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    for (i, p) in model.points().iter().enumerate() {
+        let key: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
+        groups.entry(key).or_default().push(i);
+    }
+    let n = model.n();
+    let m_groups = groups.len();
+    let df_pe = n - m_groups;
+    if df_pe == 0 {
+        return Ok(None);
+    }
+    let responses = model.responses();
+    let mut ss_pe = 0.0;
+    for idxs in groups.values() {
+        if idxs.len() < 2 {
+            continue;
+        }
+        let mean: f64 = idxs.iter().map(|&i| responses[i]).sum::<f64>() / idxs.len() as f64;
+        ss_pe += idxs
+            .iter()
+            .map(|&i| (responses[i] - mean) * (responses[i] - mean))
+            .sum::<f64>();
+    }
+    let ss_lof = (model.rss() - ss_pe).max(0.0);
+    let df_lof = m_groups.saturating_sub(model.p());
+    if df_lof == 0 {
+        return Ok(None);
+    }
+    let ms_lof = ss_lof / df_lof as f64;
+    let ms_pe = ss_pe / df_pe as f64;
+    let (f_stat, p_value) = if ms_pe > 0.0 {
+        let f_stat = ms_lof / ms_pe;
+        let dist = FisherF::new(df_lof as f64, df_pe as f64)?;
+        (f_stat, dist.sf(f_stat))
+    } else {
+        // Zero pure error: any lack of fit is infinitely significant,
+        // none at all means a perfect model.
+        if ss_lof > 1e-20 {
+            (f64::INFINITY, 0.0)
+        } else {
+            (0.0, 1.0)
+        }
+    };
+    Ok(Some(LackOfFit {
+        ss_lof,
+        df_lof,
+        ss_pe,
+        df_pe,
+        f: f_stat,
+        p_value,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::ccd::CentralComposite;
+    use crate::fit::fit;
+    use crate::model::ModelSpec;
+
+    fn noisy(i: usize) -> f64 {
+        // Deterministic pseudo-noise in [-0.5, 0.5].
+        (((i * 2654435761) % 1000) as f64 / 1000.0) - 0.5
+    }
+
+    #[test]
+    fn strong_signal_gives_significant_f() {
+        let d = CentralComposite::face_centered(2)
+            .unwrap()
+            .with_center_points(4)
+            .build()
+            .unwrap();
+        let y: Vec<f64> = d
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| 10.0 + 4.0 * p[0] + 0.01 * noisy(i))
+            .collect();
+        let m = fit(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        let a = anova(&m).unwrap();
+        assert!(a.p_value < 1e-6, "p = {}", a.p_value);
+        assert!(a.f > 100.0);
+        assert!((a.ss_model + a.ss_resid - a.ss_total).abs() < 1e-9 * a.ss_total);
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn pure_noise_is_insignificant() {
+        let d = CentralComposite::face_centered(2)
+            .unwrap()
+            .with_center_points(6)
+            .build()
+            .unwrap();
+        let y: Vec<f64> = (0..d.n_runs()).map(|i| 5.0 + noisy(i * 7 + 1)).collect();
+        let m = fit(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        let a = anova(&m).unwrap();
+        assert!(a.p_value > 0.05, "p = {}", a.p_value);
+    }
+
+    #[test]
+    fn lack_of_fit_detects_missing_curvature() {
+        // Strong quadratic truth fitted with a linear model: replicated
+        // centre points expose the inadequacy.
+        let d = CentralComposite::face_centered(2)
+            .unwrap()
+            .with_center_points(5)
+            .build()
+            .unwrap();
+        let y: Vec<f64> = d
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| 3.0 * p[0] * p[0] + 3.0 * p[1] * p[1] + 0.01 * noisy(i))
+            .collect();
+        let m = fit(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        let lof = lack_of_fit(&m).unwrap().expect("replicates exist");
+        assert!(lof.p_value < 1e-6, "lof p = {}", lof.p_value);
+
+        // The quadratic model absorbs the curvature: no lack of fit.
+        let m2 = fit(&ModelSpec::quadratic(2).unwrap(), d.points(), &y).unwrap();
+        let lof2 = lack_of_fit(&m2).unwrap().expect("replicates exist");
+        assert!(lof2.p_value > 0.05, "lof p = {}", lof2.p_value);
+    }
+
+    #[test]
+    fn no_replicates_means_no_test() {
+        let pts = vec![vec![-1.0], vec![0.0], vec![1.0], vec![0.5]];
+        let y = vec![1.0, 2.0, 3.0, 2.4];
+        let m = fit(&ModelSpec::linear(1).unwrap(), &pts, &y).unwrap();
+        assert!(lack_of_fit(&m).unwrap().is_none());
+    }
+
+    #[test]
+    fn anova_rejects_saturated() {
+        let pts = vec![vec![-1.0], vec![1.0]];
+        let m = fit(&ModelSpec::linear(1).unwrap(), &pts, &[0.0, 1.0]).unwrap();
+        assert!(anova(&m).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Box–Behnken designs: three-level quadratic designs that avoid the
+//! corners of the cube — cheaper than a CCD for 3–5 factors and safer
+//! when extreme factor combinations are physically risky.
+
+use super::Design;
+use crate::{DoeError, Result};
+
+/// Builds a Box–Behnken design for `k` factors (3 ≤ k ≤ 7) using the
+/// classic edge-midpoint construction: for each factor pair, the four
+/// `±1` combinations with all other factors at 0.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if `k < 3` or `k > 7`.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_doe::design::box_behnken::box_behnken;
+///
+/// let d = box_behnken(3).expect("supported k").with_center_points(3);
+/// assert_eq!(d.n_runs(), 12 + 3);
+/// ```
+pub fn box_behnken(k: usize) -> Result<Design> {
+    if !(3..=7).contains(&k) {
+        return Err(DoeError::invalid(format!(
+            "box-behnken supports 3 <= k <= 7, got {k}"
+        )));
+    }
+    let mut points = Vec::new();
+    for a in 0..k {
+        for b in (a + 1)..k {
+            for (sa, sb) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0)] {
+                let mut p = vec![0.0; k];
+                p[a] = sa;
+                p[b] = sb;
+                points.push(p);
+            }
+        }
+    }
+    Design::new(k, points, format!("box-behnken k={k}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_counts() {
+        // k(k-1)/2 pairs x 4 runs.
+        assert_eq!(box_behnken(3).unwrap().n_runs(), 12);
+        assert_eq!(box_behnken(4).unwrap().n_runs(), 24);
+        assert_eq!(box_behnken(5).unwrap().n_runs(), 40);
+    }
+
+    #[test]
+    fn no_corner_points() {
+        let d = box_behnken(4).unwrap();
+        for p in d.points() {
+            let nonzero = p.iter().filter(|v| v.abs() > 1e-12).count();
+            assert_eq!(nonzero, 2, "exactly two factors active per run");
+        }
+    }
+
+    #[test]
+    fn levels_are_pm1() {
+        let d = box_behnken(3).unwrap();
+        for p in d.points() {
+            for &v in p {
+                assert!(v == 0.0 || v == 1.0 || v == -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_columns() {
+        let d = box_behnken(5).unwrap();
+        for j in 0..5 {
+            let s: f64 = d.points().iter().map(|p| p[j]).sum();
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(box_behnken(2).is_err());
+        assert!(box_behnken(8).is_err());
+    }
+}

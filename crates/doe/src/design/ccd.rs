@@ -1,0 +1,171 @@
+//! Central composite designs (CCD) — the workhorse for fitting full
+//! quadratic response surfaces, and the design the DATE'13 flow uses by
+//! default.
+
+use super::factorial::full_factorial_2k;
+use super::Design;
+use crate::{DoeError, Result};
+
+/// Builder for central composite designs: a two-level factorial core,
+/// `2k` axial (star) points at distance `±α`, and centre replicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralComposite {
+    k: usize,
+    alpha: f64,
+    center_points: usize,
+    label: String,
+}
+
+impl CentralComposite {
+    /// Rotatable CCD: `α = (2^k)^(1/4)`, giving constant prediction
+    /// variance on spheres.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidArgument`] if `k` is 0 or greater than 12.
+    pub fn rotatable(k: usize) -> Result<Self> {
+        Self::with_alpha(k, (2f64.powi(k as i32)).powf(0.25), "rotatable")
+    }
+
+    /// Face-centred CCD (`α = 1`): axial points on the faces of the
+    /// cube, keeping every run inside the coded `[-1, 1]` box — the
+    /// right choice when the physical ranges are hard limits.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidArgument`] if `k` is 0 or greater than 12.
+    pub fn face_centered(k: usize) -> Result<Self> {
+        Self::with_alpha(k, 1.0, "face-centered")
+    }
+
+    /// CCD with a custom axial distance.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidArgument`] if `k` is out of range or
+    /// `alpha <= 0`.
+    pub fn custom(k: usize, alpha: f64) -> Result<Self> {
+        Self::with_alpha(k, alpha, "custom-alpha")
+    }
+
+    fn with_alpha(k: usize, alpha: f64, kind: &str) -> Result<Self> {
+        if k == 0 || k > 12 {
+            return Err(DoeError::invalid(format!(
+                "central composite needs 1 <= k <= 12, got {k}"
+            )));
+        }
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(DoeError::invalid(format!(
+                "axial distance must be positive, got {alpha}"
+            )));
+        }
+        Ok(CentralComposite {
+            k,
+            alpha,
+            center_points: 1,
+            label: format!("ccd(k={k}, {kind})"),
+        })
+    }
+
+    /// Sets the number of centre replicates (default 1).
+    pub fn with_center_points(mut self, n: usize) -> Self {
+        self.center_points = n;
+        self
+    }
+
+    /// The axial distance α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total number of runs the built design will have.
+    pub fn n_runs(&self) -> usize {
+        (1 << self.k) + 2 * self.k + self.center_points
+    }
+
+    /// Builds the design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot normally occur once the
+    /// builder validated).
+    pub fn build(&self) -> Result<Design> {
+        let core = full_factorial_2k(self.k)?;
+        let mut points = core.points().to_vec();
+        for j in 0..self.k {
+            for sign in [-1.0, 1.0] {
+                let mut p = vec![0.0; self.k];
+                p[j] = sign * self.alpha;
+                points.push(p);
+            }
+        }
+        for _ in 0..self.center_points {
+            points.push(vec![0.0; self.k]);
+        }
+        Design::new(self.k, points, self.label.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_counts() {
+        let d = CentralComposite::rotatable(4)
+            .unwrap()
+            .with_center_points(5)
+            .build()
+            .unwrap();
+        assert_eq!(d.n_runs(), 16 + 8 + 5);
+        assert_eq!(d.k(), 4);
+    }
+
+    #[test]
+    fn rotatable_alpha_value() {
+        let c = CentralComposite::rotatable(2).unwrap();
+        assert!((c.alpha() - 2f64.sqrt()).abs() < 1e-12);
+        let c4 = CentralComposite::rotatable(4).unwrap();
+        assert!((c4.alpha() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn face_centered_stays_in_box() {
+        let d = CentralComposite::face_centered(3)
+            .unwrap()
+            .with_center_points(2)
+            .build()
+            .unwrap();
+        for p in d.points() {
+            assert!(p.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn axial_points_have_single_nonzero() {
+        let d = CentralComposite::rotatable(3).unwrap().build().unwrap();
+        let axial: Vec<_> = d.points()[8..14].to_vec();
+        for p in &axial {
+            let nonzero = p.iter().filter(|v| v.abs() > 1e-12).count();
+            assert_eq!(nonzero, 1);
+            let mag = p.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            assert!((mag - CentralComposite::rotatable(3).unwrap().alpha()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn builder_predicts_run_count() {
+        let b = CentralComposite::face_centered(5)
+            .unwrap()
+            .with_center_points(6);
+        assert_eq!(b.n_runs(), b.build().unwrap().n_runs());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CentralComposite::rotatable(0).is_err());
+        assert!(CentralComposite::rotatable(13).is_err());
+        assert!(CentralComposite::custom(3, 0.0).is_err());
+        assert!(CentralComposite::custom(3, f64::NAN).is_err());
+    }
+}

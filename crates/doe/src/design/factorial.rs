@@ -1,0 +1,162 @@
+//! Full factorial designs.
+
+use super::Design;
+use crate::{DoeError, Result};
+
+/// Maximum factor count for two-level full factorials (2^16 runs).
+const MAX_K_2LEVEL: usize = 16;
+
+/// Builds the full two-level factorial `2^k` with levels `±1`, in
+/// standard (Yates) order: the first factor alternates fastest.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if `k == 0` or `k > 16`.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_doe::design::factorial::full_factorial_2k;
+///
+/// let d = full_factorial_2k(3).expect("valid k");
+/// assert_eq!(d.n_runs(), 8);
+/// ```
+pub fn full_factorial_2k(k: usize) -> Result<Design> {
+    if k == 0 || k > MAX_K_2LEVEL {
+        return Err(DoeError::invalid(format!(
+            "2^k factorial needs 1 <= k <= {MAX_K_2LEVEL}, got {k}"
+        )));
+    }
+    let n = 1usize << k;
+    let mut points = Vec::with_capacity(n);
+    for run in 0..n {
+        let p = (0..k)
+            .map(|j| if run >> j & 1 == 1 { 1.0 } else { -1.0 })
+            .collect();
+        points.push(p);
+    }
+    Design::new(k, points, format!("full-factorial 2^{k}"))
+}
+
+/// Builds the full three-level factorial `3^k` with levels `-1, 0, +1`.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if `k == 0` or `3^k` would exceed
+/// 65 536 runs.
+pub fn full_factorial_3k(k: usize) -> Result<Design> {
+    full_factorial_mixed(&vec![3; k])
+}
+
+/// Builds a general full factorial with an arbitrary number of evenly
+/// spaced levels per factor, coded into `[-1, 1]`.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if any factor has fewer than 2 levels
+/// or the total run count exceeds 65 536.
+pub fn full_factorial_mixed(levels: &[usize]) -> Result<Design> {
+    if levels.is_empty() {
+        return Err(DoeError::invalid("need at least one factor"));
+    }
+    if levels.iter().any(|&l| l < 2) {
+        return Err(DoeError::invalid("every factor needs at least 2 levels"));
+    }
+    let n: usize = levels.iter().try_fold(1usize, |acc, &l| {
+        acc.checked_mul(l).filter(|&v| v <= 65_536)
+    })
+    .ok_or_else(|| DoeError::invalid("factorial design exceeds 65536 runs"))?;
+    let k = levels.len();
+    let mut points = Vec::with_capacity(n);
+    let mut idx = vec![0usize; k];
+    loop {
+        let p: Vec<f64> = idx
+            .iter()
+            .zip(levels.iter())
+            .map(|(&i, &l)| -1.0 + 2.0 * i as f64 / (l as f64 - 1.0))
+            .collect();
+        points.push(p);
+        // Odometer increment.
+        let mut j = 0;
+        loop {
+            idx[j] += 1;
+            if idx[j] < levels[j] {
+                break;
+            }
+            idx[j] = 0;
+            j += 1;
+            if j == k {
+                let labels: Vec<String> = levels.iter().map(|l| l.to_string()).collect();
+                return Design::new(
+                    k,
+                    points,
+                    format!("full-factorial {}", labels.join("x")),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_runs_and_levels() {
+        let d = full_factorial_2k(3).unwrap();
+        assert_eq!(d.n_runs(), 8);
+        assert_eq!(d.k(), 3);
+        // All points at ±1, all distinct.
+        for p in d.points() {
+            assert!(p.iter().all(|&v| v == 1.0 || v == -1.0));
+        }
+        let mut uniq = d.points().to_vec();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+    }
+
+    #[test]
+    fn two_level_is_orthogonal() {
+        let d = full_factorial_2k(4).unwrap();
+        // Columns are mutually orthogonal and balanced.
+        for a in 0..4 {
+            let col_a: Vec<f64> = d.points().iter().map(|p| p[a]).collect();
+            assert_eq!(col_a.iter().sum::<f64>(), 0.0);
+            for b in (a + 1)..4 {
+                let dot: f64 = d.points().iter().map(|p| p[a] * p[b]).sum();
+                assert_eq!(dot, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn three_level_counts() {
+        let d = full_factorial_3k(3).unwrap();
+        assert_eq!(d.n_runs(), 27);
+        for p in d.points() {
+            assert!(p.iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn mixed_levels() {
+        let d = full_factorial_mixed(&[2, 4]).unwrap();
+        assert_eq!(d.n_runs(), 8);
+        // Second factor has 4 evenly spaced levels.
+        let mut lv: Vec<f64> = d.points().iter().map(|p| p[1]).collect();
+        lv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lv.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert_eq!(lv.len(), 4);
+        assert!((lv[1] - (-1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(full_factorial_2k(0).is_err());
+        assert!(full_factorial_2k(17).is_err());
+        assert!(full_factorial_mixed(&[]).is_err());
+        assert!(full_factorial_mixed(&[1, 2]).is_err());
+        assert!(full_factorial_mixed(&[256, 256, 2]).is_err());
+    }
+}

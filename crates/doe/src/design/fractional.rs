@@ -1,0 +1,260 @@
+//! Regular two-level fractional factorial designs `2^(k-p)`.
+//!
+//! Generators are given in the conventional notation, e.g. the
+//! resolution-IV `2^(4-1)` design is built with `D = ABC`: the base
+//! factors A..C form a full `2^3` and the fourth column is their
+//! product.
+
+use super::factorial::full_factorial_2k;
+use super::Design;
+use crate::{DoeError, Result};
+
+/// A generator assigning one additional factor to a product (word) of
+/// base factors, e.g. `D = ABC`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generator {
+    /// Index of the generated factor (0-based over all `k` factors).
+    pub factor: usize,
+    /// Indices of the base factors whose product defines it.
+    pub word: Vec<usize>,
+    /// Sign of the generator (+1 or -1 fraction).
+    pub negate: bool,
+}
+
+/// Builds a `2^(k-p)` fractional factorial.
+///
+/// `k` is the total number of factors; `generators` must assign exactly
+/// the last `p` factors (indices `k-p .. k`) to words over the first
+/// `k-p` base factors.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] on inconsistent generators.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_doe::design::fractional::{fractional_factorial, Generator};
+///
+/// // 2^(4-1) with D = ABC: 8 runs for 4 factors, resolution IV.
+/// let d = fractional_factorial(4, &[Generator { factor: 3, word: vec![0, 1, 2], negate: false }])
+///     .expect("valid generators");
+/// assert_eq!(d.n_runs(), 8);
+/// ```
+pub fn fractional_factorial(k: usize, generators: &[Generator]) -> Result<Design> {
+    let p = generators.len();
+    if p == 0 || p >= k {
+        return Err(DoeError::invalid(format!(
+            "need 1 <= p < k generators (got p={p}, k={k})"
+        )));
+    }
+    let base_k = k - p;
+    // Validate generator structure.
+    let mut assigned = vec![false; k];
+    for g in generators {
+        if g.factor < base_k || g.factor >= k {
+            return Err(DoeError::invalid(format!(
+                "generator assigns factor {} which is not one of the last {p} factors",
+                g.factor
+            )));
+        }
+        if assigned[g.factor] {
+            return Err(DoeError::invalid(format!(
+                "factor {} assigned by two generators",
+                g.factor
+            )));
+        }
+        assigned[g.factor] = true;
+        if g.word.is_empty() {
+            return Err(DoeError::invalid("generator word must be non-empty"));
+        }
+        for &w in &g.word {
+            if w >= base_k {
+                return Err(DoeError::invalid(format!(
+                    "generator word uses factor {w}, but only the first {base_k} are base factors"
+                )));
+            }
+        }
+    }
+
+    let base = full_factorial_2k(base_k)?;
+    let mut points = Vec::with_capacity(base.n_runs());
+    for bp in base.points() {
+        let mut run = vec![0.0; k];
+        run[..base_k].copy_from_slice(bp);
+        for g in generators {
+            let mut v = 1.0;
+            for &w in &g.word {
+                v *= bp[w];
+            }
+            run[g.factor] = if g.negate { -v } else { v };
+        }
+        points.push(run);
+    }
+    Design::new(k, points, format!("fractional-factorial 2^({k}-{p})"))
+}
+
+/// Estimates the resolution of the design from its generator words: the
+/// length of the shortest word in the defining relation.
+///
+/// This walks all products of the defining contrasts, so it is exact
+/// for regular designs.
+pub fn resolution(k: usize, generators: &[Generator]) -> Result<usize> {
+    let p = generators.len();
+    if p == 0 || p >= k {
+        return Err(DoeError::invalid(format!(
+            "need 1 <= p < k generators (got p={p}, k={k})"
+        )));
+    }
+    // Each defining contrast as a bitmask over the k factors:
+    // I = factor * word  →  word ∪ {factor}.
+    let contrasts: Vec<u32> = generators
+        .iter()
+        .map(|g| {
+            let mut m = 1u32 << g.factor;
+            for &w in &g.word {
+                m |= 1 << w;
+            }
+            m
+        })
+        .collect();
+    // All non-empty products of the contrasts (XOR of masks).
+    let mut min_len = usize::MAX;
+    for subset in 1u32..(1 << p) {
+        let mut word = 0u32;
+        for (i, c) in contrasts.iter().enumerate() {
+            if subset >> i & 1 == 1 {
+                word ^= c;
+            }
+        }
+        min_len = min_len.min(word.count_ones() as usize);
+    }
+    Ok(min_len)
+}
+
+/// Full fold-over: appends the sign-reversed mirror of every run.
+///
+/// Folding a resolution-III design de-aliases all main effects from
+/// two-factor interactions (the combined design has resolution ≥ IV) at
+/// the cost of doubling the runs — the standard follow-up when a
+/// screening experiment leaves ambiguity.
+///
+/// # Errors
+///
+/// Propagates [`Design::new`] errors (cannot normally occur).
+pub fn fold_over(design: &Design) -> Result<Design> {
+    let mut points = design.points().to_vec();
+    points.extend(
+        design
+            .points()
+            .iter()
+            .map(|p| p.iter().map(|v| -v).collect::<Vec<f64>>()),
+    );
+    Design::new(
+        design.k(),
+        points,
+        format!("{} + fold-over", design.label()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(factor: usize, word: &[usize]) -> Generator {
+        Generator {
+            factor,
+            word: word.to_vec(),
+            negate: false,
+        }
+    }
+
+    #[test]
+    fn half_fraction_2_4_1() {
+        let d = fractional_factorial(4, &[gen(3, &[0, 1, 2])]).unwrap();
+        assert_eq!(d.n_runs(), 8);
+        assert_eq!(d.k(), 4);
+        // D == A*B*C on every run.
+        for p in d.points() {
+            assert_eq!(p[3], p[0] * p[1] * p[2]);
+        }
+        // Columns remain balanced.
+        for j in 0..4 {
+            let s: f64 = d.points().iter().map(|p| p[j]).sum();
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn quarter_fraction_2_5_2() {
+        // E = ABC, D... use standard 2^(5-2): D = AB, E = AC.
+        let d = fractional_factorial(5, &[gen(3, &[0, 1]), gen(4, &[0, 2])]).unwrap();
+        assert_eq!(d.n_runs(), 8);
+        for p in d.points() {
+            assert_eq!(p[3], p[0] * p[1]);
+            assert_eq!(p[4], p[0] * p[2]);
+        }
+    }
+
+    #[test]
+    fn negated_generator() {
+        let d = fractional_factorial(
+            3,
+            &[Generator {
+                factor: 2,
+                word: vec![0, 1],
+                negate: true,
+            }],
+        )
+        .unwrap();
+        for p in d.points() {
+            assert_eq!(p[2], -p[0] * p[1]);
+        }
+    }
+
+    #[test]
+    fn resolution_of_standard_designs() {
+        // 2^(4-1), D=ABC: resolution IV.
+        assert_eq!(resolution(4, &[gen(3, &[0, 1, 2])]).unwrap(), 4);
+        // 2^(3-1), C=AB: resolution III.
+        assert_eq!(resolution(3, &[gen(2, &[0, 1])]).unwrap(), 3);
+        // 2^(5-2), D=AB, E=AC: resolution III.
+        assert_eq!(resolution(5, &[gen(3, &[0, 1]), gen(4, &[0, 2])]).unwrap(), 3);
+        // 2^(5-1), E=ABCD: resolution V.
+        assert_eq!(resolution(5, &[gen(4, &[0, 1, 2, 3])]).unwrap(), 5);
+    }
+
+    #[test]
+    fn fold_over_doubles_and_dealiases() {
+        // Resolution-III 2^(3-1) with C = AB: in the base fraction the C
+        // column equals the AB interaction column exactly (aliased).
+        let base = fractional_factorial(3, &[gen(2, &[0, 1])]).unwrap();
+        let aligned: f64 = base.points().iter().map(|p| p[2] * p[0] * p[1]).sum();
+        assert_eq!(aligned, base.n_runs() as f64, "C fully aliased with AB");
+
+        let folded = fold_over(&base).unwrap();
+        assert_eq!(folded.n_runs(), 2 * base.n_runs());
+        // After folding, C is orthogonal to AB: main effects are clean.
+        let aligned_folded: f64 = folded.points().iter().map(|p| p[2] * p[0] * p[1]).sum();
+        assert_eq!(aligned_folded, 0.0, "fold-over de-aliases C from AB");
+        // Columns stay balanced.
+        for j in 0..3 {
+            let s: f64 = folded.points().iter().map(|p| p[j]).sum();
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fractional_factorial(3, &[]).is_err());
+        assert!(fractional_factorial(2, &[gen(1, &[0]), gen(1, &[0])]).is_err());
+        // Assigning a base factor is invalid.
+        assert!(fractional_factorial(4, &[gen(0, &[1, 2])]).is_err());
+        // Word referencing a generated factor is invalid.
+        assert!(fractional_factorial(4, &[gen(3, &[3])]).is_err());
+        // Duplicate assignment.
+        assert!(
+            fractional_factorial(5, &[gen(4, &[0, 1]), gen(4, &[0, 2])]).is_err()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Plackett–Burman screening designs.
+//!
+//! Two-level orthogonal main-effect designs in `n ≡ 0 (mod 4)` runs,
+//! built from the classic cyclic first rows for n = 12, 20, 24 (powers
+//! of two fall back to full/fractional factorial structure via n = 8,
+//! 16 cyclic rows as well).
+
+use super::Design;
+use crate::{DoeError, Result};
+
+/// First rows of the cyclic constructions (signs of n-1 columns).
+fn first_row(n: usize) -> Option<Vec<i8>> {
+    let row: &[i8] = match n {
+        8 => &[1, 1, 1, -1, 1, -1, -1],
+        12 => &[1, 1, -1, 1, 1, 1, -1, -1, -1, 1, -1],
+        16 => &[1, 1, 1, 1, -1, 1, -1, 1, 1, -1, -1, 1, -1, -1, -1],
+        20 => &[
+            1, 1, -1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, 1, 1, -1,
+        ],
+        24 => &[
+            1, 1, 1, 1, 1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, -1, -1, -1,
+        ],
+        _ => return None,
+    };
+    Some(row.to_vec())
+}
+
+/// Smallest supported Plackett–Burman run count accommodating `k`
+/// factors.
+pub fn runs_for(k: usize) -> Option<usize> {
+    [8usize, 12, 16, 20, 24].into_iter().find(|&n| n - 1 >= k)
+}
+
+/// Builds a Plackett–Burman design for `k` factors in the smallest
+/// supported run count (8, 12, 16, 20 or 24 runs; up to 23 factors).
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if `k == 0` or `k > 23`.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_doe::design::plackett_burman::plackett_burman;
+///
+/// // 11 factors screened in just 12 runs.
+/// let d = plackett_burman(11).expect("supported size");
+/// assert_eq!(d.n_runs(), 12);
+/// ```
+pub fn plackett_burman(k: usize) -> Result<Design> {
+    if k == 0 {
+        return Err(DoeError::invalid("need at least one factor"));
+    }
+    let n = runs_for(k)
+        .ok_or_else(|| DoeError::invalid(format!("plackett-burman supports k <= 23, got {k}")))?;
+    let row = first_row(n).expect("runs_for only returns supported sizes");
+    let m = n - 1;
+    let mut points = Vec::with_capacity(n);
+    for r in 0..(n - 1) {
+        // Cyclic shift of the first row.
+        let p: Vec<f64> = (0..k).map(|j| row[(j + m - r) % m] as f64).collect();
+        points.push(p);
+    }
+    // Final run: all low.
+    points.push(vec![-1.0; k]);
+    Design::new(k, points, format!("plackett-burman n={n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(runs_for(7), Some(8));
+        assert_eq!(runs_for(11), Some(12));
+        assert_eq!(runs_for(12), Some(16));
+        assert_eq!(runs_for(23), Some(24));
+        assert_eq!(runs_for(24), None);
+    }
+
+    #[test]
+    fn columns_are_balanced_and_orthogonal() {
+        for k in [7usize, 11, 15, 19, 23] {
+            let d = plackett_burman(k).unwrap();
+            let n = d.n_runs();
+            for a in 0..k {
+                let sum: f64 = d.points().iter().map(|p| p[a]).sum();
+                assert_eq!(sum, 0.0, "k={k}, column {a} unbalanced");
+                for b in (a + 1)..k {
+                    let dot: f64 = d.points().iter().map(|p| p[a] * p[b]).sum();
+                    assert_eq!(dot, 0.0, "k={k}, columns {a},{b} not orthogonal (n={n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_factors_than_columns() {
+        let d = plackett_burman(5).unwrap();
+        assert_eq!(d.n_runs(), 8);
+        assert_eq!(d.k(), 5);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(plackett_burman(0).is_err());
+        assert!(plackett_burman(24).is_err());
+    }
+}

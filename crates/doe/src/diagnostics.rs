@@ -1,0 +1,233 @@
+//! Regression diagnostics: studentized residuals, Cook's distance, and
+//! variance inflation factors.
+
+use crate::fit::FittedModel;
+use crate::model::ModelSpec;
+use crate::{DoeError, Result};
+
+/// Internally studentized residuals `e_i / (σ √(1 − h_i))`.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] for a saturated fit (σ undefined).
+pub fn studentized_residuals(model: &FittedModel) -> Result<Vec<f64>> {
+    let sigma = model.sigma2().sqrt();
+    if sigma == 0.0 {
+        return Err(DoeError::invalid(
+            "studentized residuals undefined for an exact fit",
+        ));
+    }
+    Ok(model
+        .residuals()
+        .iter()
+        .zip(model.leverages().iter())
+        .map(|(e, h)| e / (sigma * (1.0 - h).max(1e-12).sqrt()))
+        .collect())
+}
+
+/// Cook's distances `D_i = e_i² h_i / (p σ² (1 − h_i)²)`.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] for a saturated fit.
+pub fn cooks_distances(model: &FittedModel) -> Result<Vec<f64>> {
+    let s2 = model.sigma2();
+    if s2 == 0.0 {
+        return Err(DoeError::invalid(
+            "cook's distance undefined for an exact fit",
+        ));
+    }
+    let p = model.p() as f64;
+    Ok(model
+        .residuals()
+        .iter()
+        .zip(model.leverages().iter())
+        .map(|(e, h)| {
+            let denom = (1.0 - h).max(1e-12);
+            e * e * h / (p * s2 * denom * denom)
+        })
+        .collect())
+}
+
+/// Variance inflation factors of the non-intercept terms: for each term
+/// column, `VIF = 1 / (1 − R²)` of regressing it on the other columns.
+/// Values near 1 mean orthogonality; above ~10, collinearity trouble.
+///
+/// Returns `(term_index, vif)` pairs over non-intercept terms.
+///
+/// # Errors
+///
+/// Propagates fitting errors for the auxiliary regressions.
+pub fn variance_inflation_factors(
+    spec: &ModelSpec,
+    points: &[Vec<f64>],
+) -> Result<Vec<(usize, f64)>> {
+    let x = spec.design_matrix(points)?;
+    let n = x.rows();
+    let p = x.cols();
+    let mut out = Vec::new();
+    for j in 0..p {
+        if spec.terms()[j].is_intercept() {
+            continue;
+        }
+        // Regress column j on all other columns (including intercept).
+        let y: Vec<f64> = (0..n).map(|i| x[(i, j)]).collect();
+        let others: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..p)
+                    .filter(|&c| c != j)
+                    .map(|c| x[(i, c)])
+                    .collect()
+            })
+            .collect();
+        // Build a synthetic "identity" spec over p-1 pseudo-factors: the
+        // columns are already expanded, so a linear model with no
+        // intercept suffices; emulate via least squares directly.
+        let xo = ehsim_numeric::Matrix::from_fn(n, p - 1, |i, c| others[i][c]);
+        let qr = match ehsim_numeric::Qr::factor(&xo) {
+            Ok(qr) => qr,
+            Err(ehsim_numeric::NumericError::Singular) => {
+                // Perfectly collinear: infinite VIF.
+                out.push((j, f64::INFINITY));
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let rss = qr.residual_sum_of_squares(&y)?;
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let tss: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        let vif = if r2 >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - r2)
+        };
+        out.push((j, vif.max(1.0)));
+    }
+    Ok(out)
+}
+
+/// Leave-one-out cross-validated RMSE, computed from the PRESS
+/// statistic.
+pub fn loo_rmse(model: &FittedModel) -> f64 {
+    (model.press() / model.n() as f64).sqrt()
+}
+
+/// Validates a fitted model against fresh points: returns
+/// `(rmse, max_abs_error, r_squared_validation)`.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] on dimension mismatch or empty input.
+pub fn validate_against(
+    model: &FittedModel,
+    points: &[Vec<f64>],
+    responses: &[f64],
+) -> Result<(f64, f64, f64)> {
+    if points.is_empty() || points.len() != responses.len() {
+        return Err(DoeError::invalid(format!(
+            "need matching non-empty validation sets (got {} points, {} responses)",
+            points.len(),
+            responses.len()
+        )));
+    }
+    let preds = model.predict_many(points);
+    let mut sse = 0.0;
+    let mut max_err: f64 = 0.0;
+    for (p, y) in preds.iter().zip(responses.iter()) {
+        let e = p - y;
+        sse += e * e;
+        max_err = max_err.max(e.abs());
+    }
+    let mean = responses.iter().sum::<f64>() / responses.len() as f64;
+    let tss: f64 = responses.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let r2 = if tss > 0.0 { 1.0 - sse / tss } else { 1.0 };
+    Ok(((sse / points.len() as f64).sqrt(), max_err, r2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::factorial::full_factorial_2k;
+    use crate::fit::fit as fit_model;
+
+    fn noisy(i: usize) -> f64 {
+        (((i * 2654435761) % 1000) as f64 / 1000.0) - 0.5
+    }
+
+    #[test]
+    fn studentized_residuals_are_scaled() {
+        let d = full_factorial_2k(2).unwrap().with_center_points(4);
+        let y: Vec<f64> = (0..d.n_runs())
+            .map(|i| 1.0 + noisy(i * 3 + 1))
+            .collect();
+        let m = fit_model(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        let sr = studentized_residuals(&m).unwrap();
+        // Studentized residuals are O(1).
+        assert!(sr.iter().all(|r| r.abs() < 4.0));
+        assert!(sr.iter().any(|r| r.abs() > 0.05));
+    }
+
+    #[test]
+    fn outlier_has_large_cooks_distance() {
+        let d = full_factorial_2k(2).unwrap().with_center_points(4);
+        let mut y: Vec<f64> = (0..d.n_runs()).map(|i| 1.0 + 0.01 * noisy(i)).collect();
+        y[0] += 5.0; // gross outlier at a corner
+        let m = fit_model(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        let cd = cooks_distances(&m).unwrap();
+        // The linear model cannot separate corners 0 and 3 (they share
+        // the unmodelled interaction pattern), but both must dominate
+        // the clean centre points by far.
+        assert!(cd[0] > 10.0 * cd[4], "cook's distances: {cd:?}");
+        assert!(cd[0] >= cd.iter().copied().fold(0.0, f64::max) - 1e-9);
+    }
+
+    #[test]
+    fn orthogonal_design_has_unit_vifs() {
+        let d = full_factorial_2k(3).unwrap();
+        let vifs =
+            variance_inflation_factors(&ModelSpec::linear(3).unwrap(), d.points()).unwrap();
+        for (_, v) in vifs {
+            assert!((v - 1.0).abs() < 1e-9, "vif = {v}");
+        }
+    }
+
+    #[test]
+    fn collinear_columns_inflate() {
+        // Two factors moving together.
+        let pts: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                let x = -1.0 + 2.0 * (i as f64) / 7.0;
+                vec![x, x + 0.01 * noisy(i)]
+            })
+            .collect();
+        let vifs =
+            variance_inflation_factors(&ModelSpec::linear(2).unwrap(), &pts).unwrap();
+        for (_, v) in vifs {
+            assert!(v > 100.0, "vif = {v}");
+        }
+    }
+
+    #[test]
+    fn validation_metrics() {
+        let d = full_factorial_2k(2).unwrap();
+        let truth = |p: &[f64]| 1.0 + p[0] + 2.0 * p[1];
+        let y: Vec<f64> = d.points().iter().map(|p| truth(p)).collect();
+        let m = fit_model(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        let fresh = vec![vec![0.5, -0.5], vec![-0.2, 0.8]];
+        let fresh_y: Vec<f64> = fresh.iter().map(|p| truth(p)).collect();
+        let (rmse, max_err, r2) = validate_against(&m, &fresh, &fresh_y).unwrap();
+        assert!(rmse < 1e-12);
+        assert!(max_err < 1e-12);
+        assert!(r2 > 1.0 - 1e-12);
+        assert!(validate_against(&m, &[], &[]).is_err());
+    }
+
+    #[test]
+    fn loo_rmse_positive_for_noisy_fit() {
+        let d = full_factorial_2k(2).unwrap().with_center_points(3);
+        let y: Vec<f64> = (0..d.n_runs()).map(|i| noisy(i * 11 + 5)).collect();
+        let m = fit_model(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
+        assert!(loo_rmse(&m) > 0.0);
+    }
+}

@@ -1,0 +1,404 @@
+//! Optimisation on fitted response surfaces.
+//!
+//! Once the RSM is built, exploring it is practically free — this module
+//! provides the "instant" optimisation layer of the DATE'13 flow:
+//! multi-start projected gradient search over the coded box, and
+//! Derringer–Suich desirability functions to fold several performance
+//! indicators into a single objective.
+
+use crate::fit::FittedModel;
+use crate::{DoeError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Search direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Maximise the response.
+    Maximize,
+    /// Minimise the response.
+    Minimize,
+}
+
+/// Result of a surface optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimum {
+    /// Optimising point in coded units.
+    pub x: Vec<f64>,
+    /// Model-predicted response there.
+    pub value: f64,
+}
+
+/// Numerical gradient of an arbitrary objective.
+fn numeric_gradient(f: &dyn Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    let h = 1e-6;
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f(&xp);
+        xp[i] = orig - h;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+/// Maximises (or minimises) an arbitrary objective over the coded box
+/// `[lo, hi]^k` with multi-start projected gradient ascent.
+///
+/// Starts: the box centre, all corners (up to 2^k ≤ 64), and seeded
+/// random interior points.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] on malformed bounds or `k == 0`.
+pub fn optimize_fn(
+    f: &dyn Fn(&[f64]) -> f64,
+    k: usize,
+    bounds: (f64, f64),
+    goal: Goal,
+    seed: u64,
+    n_random_starts: usize,
+) -> Result<Optimum> {
+    let (lo, hi) = bounds;
+    if k == 0 {
+        return Err(DoeError::invalid("need at least one factor"));
+    }
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(DoeError::invalid(format!("bad bounds [{lo}, {hi}]")));
+    }
+    let sign = match goal {
+        Goal::Maximize => 1.0,
+        Goal::Minimize => -1.0,
+    };
+    let obj = |x: &[f64]| sign * f(x);
+
+    // Assemble the start list.
+    let mut starts: Vec<Vec<f64>> = Vec::new();
+    starts.push(vec![0.5 * (lo + hi); k]);
+    if k <= 6 {
+        for c in 0..(1usize << k) {
+            starts.push(
+                (0..k)
+                    .map(|j| if c >> j & 1 == 1 { hi } else { lo })
+                    .collect(),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..n_random_starts {
+        starts.push((0..k).map(|_| lo + (hi - lo) * rng.random::<f64>()).collect());
+    }
+
+    let mut best: Option<Optimum> = None;
+    for start in starts {
+        let x = projected_gradient_ascent(&obj, start, lo, hi);
+        let value = f(&x);
+        let score = sign * value;
+        let better = match &best {
+            None => true,
+            Some(b) => score > sign * b.value,
+        };
+        if better {
+            best = Some(Optimum { x, value });
+        }
+    }
+    Ok(best.expect("at least one start"))
+}
+
+fn projected_gradient_ascent(
+    obj: &dyn Fn(&[f64]) -> f64,
+    mut x: Vec<f64>,
+    lo: f64,
+    hi: f64,
+) -> Vec<f64> {
+    let mut step = 0.25 * (hi - lo);
+    let mut fx = obj(&x);
+    for _ in 0..200 {
+        let g = numeric_gradient(obj, &x);
+        let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if gnorm < 1e-12 {
+            break;
+        }
+        // Backtracking line search along the projected gradient.
+        let mut improved = false;
+        let mut s = step;
+        for _ in 0..30 {
+            let cand: Vec<f64> = x
+                .iter()
+                .zip(g.iter())
+                .map(|(xi, gi)| (xi + s * gi / gnorm).clamp(lo, hi))
+                .collect();
+            let fc = obj(&cand);
+            if fc > fx + 1e-15 {
+                x = cand;
+                fx = fc;
+                improved = true;
+                break;
+            }
+            s *= 0.5;
+        }
+        if !improved {
+            break;
+        }
+        step = (s * 2.0).min(0.25 * (hi - lo));
+    }
+    x
+}
+
+/// Maximises or minimises a fitted model over the coded box.
+///
+/// # Errors
+///
+/// Same as [`optimize_fn`].
+pub fn optimize_model(
+    model: &FittedModel,
+    bounds: (f64, f64),
+    goal: Goal,
+    seed: u64,
+) -> Result<Optimum> {
+    let k = model.spec().k();
+    optimize_fn(&|x| model.predict(x), k, bounds, goal, seed, 8)
+}
+
+/// A Derringer–Suich desirability function mapping one response onto
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Desirability {
+    /// Larger is better: 0 below `low`, 1 above `high`.
+    LargerIsBetter {
+        /// Value at which desirability reaches 0.
+        low: f64,
+        /// Value at which desirability reaches 1.
+        high: f64,
+    },
+    /// Smaller is better: 1 below `low`, 0 above `high`.
+    SmallerIsBetter {
+        /// Value at which desirability reaches 1.
+        low: f64,
+        /// Value at which desirability reaches 0.
+        high: f64,
+    },
+    /// Target is best: 1 at `target`, falling to 0 at either bound.
+    Target {
+        /// Lower 0-desirability bound.
+        low: f64,
+        /// The ideal value.
+        target: f64,
+        /// Upper 0-desirability bound.
+        high: f64,
+    },
+}
+
+impl Desirability {
+    /// Validates bounds ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidArgument`] on inverted bounds.
+    pub fn validate(&self) -> Result<()> {
+        let ok = match self {
+            Desirability::LargerIsBetter { low, high }
+            | Desirability::SmallerIsBetter { low, high } => low < high,
+            Desirability::Target { low, target, high } => low < target && target < high,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(DoeError::invalid("desirability bounds out of order"))
+        }
+    }
+
+    /// Evaluates the desirability of a raw response value.
+    pub fn eval(&self, y: f64) -> f64 {
+        match *self {
+            Desirability::LargerIsBetter { low, high } => {
+                ((y - low) / (high - low)).clamp(0.0, 1.0)
+            }
+            Desirability::SmallerIsBetter { low, high } => {
+                ((high - y) / (high - low)).clamp(0.0, 1.0)
+            }
+            Desirability::Target { low, target, high } => {
+                if y <= target {
+                    ((y - low) / (target - low)).clamp(0.0, 1.0)
+                } else {
+                    ((high - y) / (high - target)).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Composite desirability of several `(model, desirability)` pairs at a
+/// point: the geometric mean of the individual desirabilities.
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if the list is empty or the models
+/// disagree on the factor count.
+pub fn composite_desirability(
+    objectives: &[(&FittedModel, Desirability)],
+    x: &[f64],
+) -> Result<f64> {
+    if objectives.is_empty() {
+        return Err(DoeError::invalid("need at least one objective"));
+    }
+    let k = objectives[0].0.spec().k();
+    for (m, d) in objectives {
+        if m.spec().k() != k {
+            return Err(DoeError::invalid("objectives disagree on factor count"));
+        }
+        d.validate()?;
+    }
+    let mut product = 1.0f64;
+    for (m, d) in objectives {
+        product *= d.eval(m.predict(x));
+    }
+    Ok(product.powf(1.0 / objectives.len() as f64))
+}
+
+/// Maximises the composite desirability over the coded box.
+///
+/// # Errors
+///
+/// Same as [`composite_desirability`] and [`optimize_fn`].
+pub fn optimize_desirability(
+    objectives: &[(&FittedModel, Desirability)],
+    bounds: (f64, f64),
+    seed: u64,
+) -> Result<Optimum> {
+    if objectives.is_empty() {
+        return Err(DoeError::invalid("need at least one objective"));
+    }
+    let k = objectives[0].0.spec().k();
+    // Validate eagerly so errors surface before the search.
+    composite_desirability(objectives, &vec![0.0; k])?;
+    optimize_fn(
+        &|x| composite_desirability(objectives, x).unwrap_or(0.0),
+        k,
+        bounds,
+        Goal::Maximize,
+        seed,
+        16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::ccd::CentralComposite;
+    use crate::fit::fit;
+    use crate::model::ModelSpec;
+
+    fn fitted(truth: impl Fn(&[f64]) -> f64, k: usize) -> FittedModel {
+        let d = CentralComposite::rotatable(k)
+            .unwrap()
+            .with_center_points(3)
+            .build()
+            .unwrap();
+        let y: Vec<f64> = d.points().iter().map(|p| truth(p)).collect();
+        fit(&ModelSpec::quadratic(k).unwrap(), d.points(), &y).unwrap()
+    }
+
+    #[test]
+    fn finds_interior_maximum() {
+        let m = fitted(
+            |x| 5.0 - (x[0] - 0.3) * (x[0] - 0.3) - 2.0 * (x[1] + 0.4) * (x[1] + 0.4),
+            2,
+        );
+        let opt = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 42).unwrap();
+        assert!((opt.x[0] - 0.3).abs() < 1e-4, "{:?}", opt.x);
+        assert!((opt.x[1] + 0.4).abs() < 1e-4, "{:?}", opt.x);
+        assert!((opt.value - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_maximum_for_monotone_surface() {
+        let m = fitted(|x| 1.0 + 2.0 * x[0] - x[1], 2);
+        let opt = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 1).unwrap();
+        assert!((opt.x[0] - 1.0).abs() < 1e-9);
+        assert!((opt.x[1] + 1.0).abs() < 1e-9);
+        assert!((opt.value - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization() {
+        let m = fitted(|x| (x[0] - 0.5) * (x[0] - 0.5) + x[1] * x[1], 2);
+        let opt = optimize_model(&m, (-1.0, 1.0), Goal::Minimize, 7).unwrap();
+        assert!((opt.x[0] - 0.5).abs() < 1e-4);
+        assert!(opt.x[1].abs() < 1e-4);
+        assert!(opt.value < 1e-6);
+    }
+
+    #[test]
+    fn saddle_escapes_to_box_corner() {
+        // Saddle at origin: the max over the box is at a corner.
+        let m = fitted(|x| x[0] * x[0] - x[1] * x[1], 2);
+        let opt = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 3).unwrap();
+        assert!((opt.x[0].abs() - 1.0).abs() < 1e-6);
+        assert!(opt.x[1].abs() < 1e-4);
+        assert!((opt.value - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn desirability_shapes() {
+        let d = Desirability::LargerIsBetter { low: 0.0, high: 10.0 };
+        assert_eq!(d.eval(-5.0), 0.0);
+        assert_eq!(d.eval(5.0), 0.5);
+        assert_eq!(d.eval(20.0), 1.0);
+        let s = Desirability::SmallerIsBetter { low: 1.0, high: 3.0 };
+        assert_eq!(s.eval(0.5), 1.0);
+        assert_eq!(s.eval(2.0), 0.5);
+        assert_eq!(s.eval(4.0), 0.0);
+        let t = Desirability::Target {
+            low: 0.0,
+            target: 2.0,
+            high: 6.0,
+        };
+        assert_eq!(t.eval(2.0), 1.0);
+        assert_eq!(t.eval(1.0), 0.5);
+        assert_eq!(t.eval(4.0), 0.5);
+        assert!(Desirability::LargerIsBetter { low: 5.0, high: 1.0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn multi_response_tradeoff() {
+        // Response A peaks at x0 = +0.5; response B (to be minimised)
+        // grows with x0. The compromise sits strictly between the
+        // individual optima (-1 for B alone, +0.5 for A alone).
+        let a = fitted(|x| 10.0 - 8.0 * (x[0] - 0.5) * (x[0] - 0.5), 1);
+        let b = fitted(|x| 2.0 + 1.5 * x[0], 1);
+        let objectives = [
+            (&a, Desirability::LargerIsBetter { low: 0.0, high: 10.0 }),
+            (&b, Desirability::SmallerIsBetter { low: 0.0, high: 4.0 }),
+        ];
+        let opt = optimize_desirability(&objectives, (-1.0, 1.0), 5).unwrap();
+        assert!(
+            opt.x[0] > 0.01 && opt.x[0] < 0.5,
+            "compromise at {:?}",
+            opt.x
+        );
+        assert!(opt.value > 0.5);
+    }
+
+    #[test]
+    fn validation() {
+        let m = fitted(|x| x[0], 1);
+        assert!(optimize_fn(&|_x| 0.0, 0, (-1.0, 1.0), Goal::Maximize, 0, 4).is_err());
+        assert!(optimize_model(&m, (1.0, -1.0), Goal::Maximize, 0).is_err());
+        assert!(optimize_desirability(&[], (-1.0, 1.0), 0).is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let m = fitted(|x| -(x[0] * x[0]) - x[1] * x[1], 2);
+        let a = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 9).unwrap();
+        let b = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

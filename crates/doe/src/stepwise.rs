@@ -1,0 +1,184 @@
+//! Hierarchy-respecting backward elimination.
+//!
+//! Starting from a full model, repeatedly drops the least significant
+//! term (largest p-value above the threshold), never removing a term
+//! that is still contained in a higher-order term of the model
+//! (hierarchy principle), and never removing the intercept.
+
+use crate::fit::{fit, FittedModel};
+use crate::model::ModelSpec;
+use crate::Result;
+
+/// Result of a backward-elimination pass.
+#[derive(Debug, Clone)]
+pub struct StepwiseResult {
+    /// The reduced model specification.
+    pub spec: ModelSpec,
+    /// The final fitted model.
+    pub model: FittedModel,
+    /// Terms dropped, in elimination order (display strings).
+    pub dropped: Vec<String>,
+}
+
+/// Runs backward elimination at significance threshold `alpha`.
+///
+/// # Errors
+///
+/// Propagates fitting errors; the initial model must be estimable on
+/// the data.
+pub fn backward_eliminate(
+    spec: &ModelSpec,
+    points: &[Vec<f64>],
+    responses: &[f64],
+    alpha: f64,
+) -> Result<StepwiseResult> {
+    let mut current = spec.clone();
+    let mut dropped = Vec::new();
+    loop {
+        let model = fit(&current, points, responses)?;
+        // A saturated model has no p-values; stop reducing only when
+        // inference is possible.
+        let p_values = match model.p_values() {
+            Ok(p) => p,
+            Err(_) => {
+                return Ok(StepwiseResult {
+                    spec: current,
+                    model,
+                    dropped,
+                })
+            }
+        };
+        // Find the droppable term with the largest p-value above alpha.
+        let mut worst: Option<(usize, f64)> = None;
+        for (j, term) in current.terms().iter().enumerate() {
+            if term.is_intercept() {
+                continue;
+            }
+            // Hierarchy: keep if any other term contains it.
+            let protected = current
+                .terms()
+                .iter()
+                .any(|other| other.contains(term));
+            if protected {
+                continue;
+            }
+            let p = p_values[j];
+            if p > alpha && worst.map_or(true, |(_, wp)| p > wp) {
+                worst = Some((j, p));
+            }
+        }
+        match worst {
+            None => {
+                return Ok(StepwiseResult {
+                    spec: current,
+                    model,
+                    dropped,
+                })
+            }
+            Some((j, _)) => {
+                let term = current.terms()[j].clone();
+                dropped.push(term.to_string());
+                current = current.without_term(&term)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::ccd::CentralComposite;
+    use crate::model::Term;
+
+    fn noisy(i: usize) -> f64 {
+        (((i * 2654435761) % 1000) as f64 / 1000.0) - 0.5
+    }
+
+    #[test]
+    fn drops_pure_noise_terms() {
+        let d = CentralComposite::face_centered(3)
+            .unwrap()
+            .with_center_points(4)
+            .build()
+            .unwrap();
+        // Truth uses only x0 and x1²; x2 is inert.
+        let y: Vec<f64> = d
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| 2.0 + 3.0 * p[0] + 2.0 * p[1] * p[1] + 0.02 * noisy(i))
+            .collect();
+        let full = ModelSpec::quadratic(3).unwrap();
+        let res = backward_eliminate(&full, d.points(), &y, 0.05).unwrap();
+        let kept: Vec<String> = res.spec.terms().iter().map(|t| t.to_string()).collect();
+        assert!(kept.contains(&"x0".to_string()), "kept: {kept:?}");
+        assert!(kept.contains(&"x1^2".to_string()), "kept: {kept:?}");
+        // The inert factor's pure terms are gone.
+        assert!(!kept.contains(&"x2^2".to_string()), "kept: {kept:?}");
+        assert!(!kept.contains(&"x0·x2".to_string()), "kept: {kept:?}");
+        assert!(!res.dropped.is_empty());
+        // Reduced model still fits well.
+        assert!(res.model.r_squared() > 0.99);
+    }
+
+    #[test]
+    fn hierarchy_is_respected() {
+        let d = CentralComposite::face_centered(2)
+            .unwrap()
+            .with_center_points(4)
+            .build()
+            .unwrap();
+        // Truth: pure interaction, both mains inert.
+        let y: Vec<f64> = d
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| 4.0 * p[0] * p[1] + 0.02 * noisy(i))
+            .collect();
+        let full = ModelSpec::with_interactions(2).unwrap();
+        let res = backward_eliminate(&full, d.points(), &y, 0.05).unwrap();
+        let kept: Vec<String> = res.spec.terms().iter().map(|t| t.to_string()).collect();
+        // The interaction stays, so both main effects must stay too.
+        assert!(kept.contains(&"x0·x1".to_string()));
+        assert!(kept.contains(&"x0".to_string()));
+        assert!(kept.contains(&"x1".to_string()));
+    }
+
+    #[test]
+    fn keeps_intercept() {
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![-1.0 + 2.0 * i as f64 / 9.0])
+            .collect();
+        let y: Vec<f64> = (0..10).map(|i| 5.0 + 0.01 * noisy(i)).collect();
+        let res = backward_eliminate(&ModelSpec::linear(1).unwrap(), &pts, &y, 0.05).unwrap();
+        assert!(res
+            .spec
+            .terms()
+            .iter()
+            .any(|t| t.is_intercept()));
+        // The inert slope was dropped.
+        assert_eq!(res.spec.n_terms(), 1);
+    }
+
+    #[test]
+    fn significant_terms_survive() {
+        let d = CentralComposite::face_centered(2)
+            .unwrap()
+            .with_center_points(3)
+            .build()
+            .unwrap();
+        let y: Vec<f64> = d
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| 1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.01 * noisy(i))
+            .collect();
+        let res =
+            backward_eliminate(&ModelSpec::quadratic(2).unwrap(), d.points(), &y, 0.05)
+                .unwrap();
+        let kept: Vec<String> = res.spec.terms().iter().map(|t| t.to_string()).collect();
+        assert!(kept.contains(&"x0".to_string()));
+        assert!(kept.contains(&"x1".to_string()));
+        let _ = Term::intercept(2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the DoE machinery: exact recovery on
+//! noiseless data, invariance properties of designs, and consistency of
+//! the inference statistics.
+
+use ehsim_doe::design::box_behnken::box_behnken;
+use ehsim_doe::design::ccd::CentralComposite;
+use ehsim_doe::design::factorial::full_factorial_2k;
+use ehsim_doe::design::lhs::latin_hypercube;
+use ehsim_doe::fit::fit;
+use ehsim_doe::model::ModelSpec;
+use ehsim_doe::optimize::{optimize_model, Goal};
+use ehsim_doe::rsm::ResponseSurface;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quadratic_recovery_is_exact_on_ccd(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // Any quadratic in 2 factors is recovered exactly from a CCD.
+        let d = CentralComposite::rotatable(2)
+            .expect("builder")
+            .with_center_points(2)
+            .build()
+            .expect("design");
+        let truth = |x: &[f64]| {
+            coeffs[0]
+                + coeffs[1] * x[0]
+                + coeffs[2] * x[1]
+                + coeffs[3] * x[0] * x[1]
+                + coeffs[4] * x[0] * x[0]
+                + coeffs[5] * x[1] * x[1]
+        };
+        let y: Vec<f64> = d.points().iter().map(|p| truth(p)).collect();
+        let m = fit(&ModelSpec::quadratic(2).expect("spec"), d.points(), &y)
+            .expect("fit");
+        for (got, want) in m.coefficients().iter().zip(coeffs.iter()) {
+            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn prediction_interpolates_training_data_on_saturated_features(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        // With a linear truth, any design that estimates the model gives
+        // residuals of exactly zero.
+        let d = full_factorial_2k(3).expect("design");
+        let truth = |x: &[f64]| {
+            coeffs[0] + coeffs[1] * x[0] + coeffs[2] * x[1] + coeffs[3] * x[2]
+        };
+        let y: Vec<f64> = d.points().iter().map(|p| truth(p)).collect();
+        let m = fit(&ModelSpec::linear(3).expect("spec"), d.points(), &y).expect("fit");
+        for (pt, &yi) in d.points().iter().zip(y.iter()) {
+            prop_assert!((m.predict(pt) - yi).abs() < 1e-9);
+        }
+        prop_assert!(m.r_squared() > 1.0 - 1e-9 || m.tss() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_is_monotone_in_model_size(
+        seed_vals in prop::collection::vec(0.0f64..1.0, 16),
+    ) {
+        // Adding terms never decreases training R².
+        let d = full_factorial_2k(3).expect("design").with_center_points(8);
+        let y: Vec<f64> = seed_vals.iter().map(|v| 1.0 + 3.0 * v).collect();
+        let lin = fit(&ModelSpec::linear(3).expect("spec"), d.points(), &y).expect("fit");
+        let int = fit(
+            &ModelSpec::with_interactions(3).expect("spec"),
+            d.points(),
+            &y,
+        )
+        .expect("fit");
+        prop_assert!(int.r_squared() >= lin.r_squared() - 1e-12);
+    }
+
+    #[test]
+    fn lhs_points_stay_in_box_and_stratify(
+        n in 4usize..40,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let d = latin_hypercube(k, n, seed).expect("design");
+        prop_assert_eq!(d.n_runs(), n);
+        for p in d.points() {
+            prop_assert!(p.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+        // Stratification: each factor has one sample per stratum.
+        for j in 0..k {
+            let mut strata: Vec<usize> = d
+                .points()
+                .iter()
+                .map(|p| ((((p[j] + 1.0) / 2.0) * n as f64).floor() as usize).min(n - 1))
+                .collect();
+            strata.sort_unstable();
+            let expect: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(strata, expect);
+        }
+    }
+
+    #[test]
+    fn designs_are_balanced(k in 3usize..6) {
+        for d in [
+            full_factorial_2k(k).expect("factorial"),
+            box_behnken(k.clamp(3, 7)).expect("bb"),
+        ] {
+            for j in 0..d.k() {
+                let s: f64 = d.points().iter().map(|p| p[j]).sum();
+                prop_assert!(s.abs() < 1e-12, "column {j} sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_of_concave_surface_is_its_stationary_point(
+        cx in -0.6f64..0.6,
+        cy in -0.6f64..0.6,
+        curv_x in 0.5f64..3.0,
+        curv_y in 0.5f64..3.0,
+    ) {
+        let d = CentralComposite::rotatable(2)
+            .expect("builder")
+            .with_center_points(2)
+            .build()
+            .expect("design");
+        let truth = |x: &[f64]| {
+            5.0 - curv_x * (x[0] - cx) * (x[0] - cx) - curv_y * (x[1] - cy) * (x[1] - cy)
+        };
+        let y: Vec<f64> = d.points().iter().map(|p| truth(p)).collect();
+        let m = fit(&ModelSpec::quadratic(2).expect("spec"), d.points(), &y).expect("fit");
+        let opt = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 1).expect("optimum");
+        prop_assert!((opt.x[0] - cx).abs() < 1e-3, "{:?} vs ({cx},{cy})", opt.x);
+        prop_assert!((opt.x[1] - cy).abs() < 1e-3);
+        // Canonical analysis agrees.
+        let rs = ResponseSurface::from_fitted(&m).expect("surface");
+        let s = rs.stationary_point().expect("nonsingular");
+        prop_assert!((s[0] - cx).abs() < 1e-6);
+        prop_assert!((s[1] - cy).abs() < 1e-6);
+        prop_assert_eq!(rs.kind(1e-9), ehsim_doe::rsm::StationaryKind::Maximum);
+    }
+
+    #[test]
+    fn leverages_bounded_and_sum_to_p(
+        n_center in 2usize..8,
+    ) {
+        let d = full_factorial_2k(2).expect("design").with_center_points(n_center);
+        let y: Vec<f64> = (0..d.n_runs()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let m = fit(&ModelSpec::linear(2).expect("spec"), d.points(), &y).expect("fit");
+        let sum: f64 = m.leverages().iter().sum();
+        prop_assert!((sum - m.p() as f64).abs() < 1e-9);
+        for &h in m.leverages() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&h), "leverage {h}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! MCU, radio, and application-task energy models.
+//!
+//! Parameters follow the class of node the paper's authors built
+//! (MSP430-class MCU with a low-power 2.4 GHz transceiver): microwatt
+//! sleep floors, milliwatt active power, and packet energies of tens of
+//! microjoules.
+
+use crate::{NodeError, Result};
+
+/// Microcontroller power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McuModel {
+    /// Sleep (LPM) power, drawn whenever the node is on (W).
+    pub sleep_power_w: f64,
+    /// Active-mode power while executing (W).
+    pub active_power_w: f64,
+    /// One-off energy of a sleep→active transition (J).
+    pub wake_energy_j: f64,
+}
+
+impl Default for McuModel {
+    fn default() -> Self {
+        McuModel {
+            sleep_power_w: 2e-6,
+            active_power_w: 3e-3,
+            wake_energy_j: 1e-6,
+        }
+    }
+}
+
+impl McuModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::InvalidParameter`] for non-positive powers or a
+    /// negative wake energy.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.sleep_power_w > 0.0)
+            || !(self.active_power_w > self.sleep_power_w)
+            || !(self.wake_energy_j >= 0.0)
+        {
+            return Err(NodeError::invalid(
+                "mcu requires 0 < sleep < active power and wake energy >= 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Radio power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// Transmit RF power (dBm) — a DoE design factor: more power means
+    /// better link margin but a larger per-packet energy.
+    pub tx_power_dbm: f64,
+    /// Power-amplifier efficiency in `(0, 1]`.
+    pub pa_efficiency: f64,
+    /// Electronics overhead while transmitting, besides the PA (W).
+    pub tx_base_power_w: f64,
+    /// Radio bitrate (bit/s).
+    pub bitrate_bps: f64,
+    /// Startup/calibration time before each transmission (s).
+    pub startup_time_s: f64,
+    /// Power during startup (W).
+    pub startup_power_w: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel {
+            tx_power_dbm: 0.0,
+            pa_efficiency: 0.35,
+            tx_base_power_w: 5e-3,
+            bitrate_bps: 250e3,
+            startup_time_s: 1.2e-3,
+            startup_power_w: 3e-3,
+        }
+    }
+}
+
+impl RadioModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::InvalidParameter`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if !(-30.0..=20.0).contains(&self.tx_power_dbm) {
+            return Err(NodeError::invalid(format!(
+                "tx power {} dBm outside [-30, 20]",
+                self.tx_power_dbm
+            )));
+        }
+        if !(self.pa_efficiency > 0.0)
+            || self.pa_efficiency > 1.0
+            || !(self.tx_base_power_w >= 0.0)
+            || !(self.bitrate_bps > 0.0)
+            || !(self.startup_time_s >= 0.0)
+            || !(self.startup_power_w >= 0.0)
+        {
+            return Err(NodeError::invalid("radio parameters out of range"));
+        }
+        Ok(())
+    }
+
+    /// Total electrical power while the PA transmits (W).
+    pub fn tx_power_w(&self) -> f64 {
+        let rf_w = 10f64.powf(self.tx_power_dbm / 10.0) * 1e-3;
+        self.tx_base_power_w + rf_w / self.pa_efficiency
+    }
+
+    /// Airtime of a packet of `bits` bits (s), excluding startup.
+    pub fn airtime_s(&self, bits: u32) -> f64 {
+        bits as f64 / self.bitrate_bps
+    }
+
+    /// Energy to transmit one packet of `bits` bits (J), including
+    /// startup.
+    pub fn packet_energy_j(&self, bits: u32) -> f64 {
+        self.startup_power_w * self.startup_time_s + self.tx_power_w() * self.airtime_s(bits)
+    }
+}
+
+/// The periodic application task: wake → sense → process → transmit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskModel {
+    /// Nominal task period (s) — a DoE design factor.
+    pub period_s: f64,
+    /// Sensor + ADC acquisition time (s).
+    pub sense_time_s: f64,
+    /// Sensor + ADC power during acquisition (W).
+    pub sense_power_w: f64,
+    /// MCU processing time per sample (s).
+    pub process_time_s: f64,
+    /// Packet payload + protocol overhead (bits).
+    pub packet_bits: u32,
+}
+
+impl Default for TaskModel {
+    fn default() -> Self {
+        TaskModel {
+            period_s: 10.0,
+            sense_time_s: 4e-3,
+            sense_power_w: 1.5e-3,
+            process_time_s: 4e-3,
+            packet_bits: 352, // 12-byte payload + 32-byte 802.15.4 framing
+        }
+    }
+}
+
+impl TaskModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::InvalidParameter`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.period_s > 0.0)
+            || !(self.sense_time_s >= 0.0)
+            || !(self.sense_power_w >= 0.0)
+            || !(self.process_time_s >= 0.0)
+            || self.packet_bits == 0
+        {
+            return Err(NodeError::invalid("task parameters out of range"));
+        }
+        Ok(())
+    }
+
+    /// Energy of one complete task cycle at the node's rails (J):
+    /// wake-up, sensing, processing, and the radio packet.
+    pub fn cycle_energy_j(&self, mcu: &McuModel, radio: &RadioModel) -> f64 {
+        mcu.wake_energy_j
+            + (self.sense_power_w + mcu.active_power_w) * self.sense_time_s
+            + mcu.active_power_w * self.process_time_s
+            + mcu.active_power_w * self.airtime_margin(radio)
+            + radio.packet_energy_j(self.packet_bits)
+    }
+
+    /// MCU supervision time during the radio transaction.
+    fn airtime_margin(&self, radio: &RadioModel) -> f64 {
+        radio.startup_time_s + radio.airtime_s(self.packet_bits)
+    }
+
+    /// Duration of one active burst (s).
+    pub fn cycle_time_s(&self, radio: &RadioModel) -> f64 {
+        self.sense_time_s + self.process_time_s + self.airtime_margin(radio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        McuModel::default().validate().unwrap();
+        RadioModel::default().validate().unwrap();
+        TaskModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn radio_tx_power_scales_with_dbm() {
+        let r0 = RadioModel {
+            tx_power_dbm: 0.0,
+            ..RadioModel::default()
+        };
+        let r10 = RadioModel {
+            tx_power_dbm: 10.0,
+            ..RadioModel::default()
+        };
+        // 10 dB = 10x the RF power.
+        let pa0 = r0.tx_power_w() - r0.tx_base_power_w;
+        let pa10 = r10.tx_power_w() - r10.tx_base_power_w;
+        assert!((pa10 / pa0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_energy_is_micojoules() {
+        let r = RadioModel::default();
+        let e = r.packet_energy_j(352);
+        assert!(e > 1e-6 && e < 1e-4, "packet energy {e}");
+        // Longer packets cost more.
+        assert!(r.packet_energy_j(704) > e);
+    }
+
+    #[test]
+    fn cycle_energy_realistic_magnitude() {
+        let t = TaskModel::default();
+        let e = t.cycle_energy_j(&McuModel::default(), &RadioModel::default());
+        // Tens of microjoules, the regime that makes 10 s periods
+        // sustainable at tens of microwatts of harvest.
+        assert!(e > 1e-5 && e < 3e-4, "cycle energy {e}");
+        let dur = t.cycle_time_s(&RadioModel::default());
+        assert!(dur > 1e-3 && dur < 0.1, "cycle time {dur}");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(McuModel {
+            sleep_power_w: 1.0,
+            active_power_w: 0.5,
+            wake_energy_j: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(RadioModel {
+            tx_power_dbm: 50.0,
+            ..RadioModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RadioModel {
+            pa_efficiency: 0.0,
+            ..RadioModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TaskModel {
+            period_s: 0.0,
+            ..TaskModel::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TaskModel {
+            packet_bits: 0,
+            ..TaskModel::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

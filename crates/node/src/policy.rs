@@ -1,0 +1,199 @@
+//! Duty-cycle adaptation policies — the *energy management* whose
+//! parameters the DoE flow optimises.
+
+use crate::{NodeError, Result};
+
+/// How the node adapts its task period to the energy situation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DutyCyclePolicy {
+    /// Always run at the task's nominal period.
+    Fixed,
+    /// Scale the period linearly with the storage state of charge:
+    /// at `v_on` the nominal period is used, approaching `v_off` the
+    /// period stretches by up to `max_stretch`.
+    StorageLinear {
+        /// Maximum period multiplier near brown-out (≥ 1).
+        max_stretch: f64,
+    },
+    /// Energy-neutral operation: the period tracks an exponential
+    /// moving average of the harvested power so that consumption matches
+    /// harvest, clamped to `[min_period, max_period]` times the nominal.
+    EnergyNeutral {
+        /// EMA smoothing constant per tick in `(0, 1]`.
+        ema_alpha: f64,
+        /// Lower clamp on the period multiplier (> 0).
+        min_factor: f64,
+        /// Upper clamp on the period multiplier (≥ 1).
+        max_factor: f64,
+    },
+}
+
+impl Default for DutyCyclePolicy {
+    fn default() -> Self {
+        DutyCyclePolicy::EnergyNeutral {
+            ema_alpha: 0.02,
+            min_factor: 0.2,
+            max_factor: 20.0,
+        }
+    }
+}
+
+impl DutyCyclePolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::InvalidParameter`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            DutyCyclePolicy::Fixed => Ok(()),
+            DutyCyclePolicy::StorageLinear { max_stretch } => {
+                if !(*max_stretch >= 1.0) {
+                    return Err(NodeError::invalid(format!(
+                        "max_stretch must be >= 1, got {max_stretch}"
+                    )));
+                }
+                Ok(())
+            }
+            DutyCyclePolicy::EnergyNeutral {
+                ema_alpha,
+                min_factor,
+                max_factor,
+            } => {
+                if !(*ema_alpha > 0.0)
+                    || *ema_alpha > 1.0
+                    || !(*min_factor > 0.0)
+                    || !(*max_factor >= 1.0)
+                    || min_factor > max_factor
+                {
+                    return Err(NodeError::invalid(
+                        "energy-neutral policy parameters out of range",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The period to use for the *next* task, given the nominal period,
+    /// the storage voltage and thresholds, the smoothed harvest power
+    /// estimate, the node's idle floor, and the energy of one task
+    /// cycle.
+    pub fn period_s(
+        &self,
+        nominal_s: f64,
+        v_store: f64,
+        v_on: f64,
+        v_off: f64,
+        p_harvest_ema: f64,
+        p_idle: f64,
+        e_cycle: f64,
+    ) -> f64 {
+        match self {
+            DutyCyclePolicy::Fixed => nominal_s,
+            DutyCyclePolicy::StorageLinear { max_stretch } => {
+                let soc = ((v_store - v_off) / (v_on - v_off)).clamp(0.0, 1.0);
+                nominal_s * (1.0 + (max_stretch - 1.0) * (1.0 - soc))
+            }
+            DutyCyclePolicy::EnergyNeutral {
+                min_factor,
+                max_factor,
+                ..
+            } => {
+                // Budget for tasks = harvest minus the idle floor.
+                let budget = p_harvest_ema - p_idle;
+                let neutral = if budget > 1e-12 {
+                    e_cycle / budget
+                } else {
+                    f64::INFINITY
+                };
+                neutral.clamp(nominal_s * min_factor, nominal_s * max_factor)
+            }
+        }
+    }
+
+    /// Updates the harvest-power EMA (only meaningful for
+    /// [`DutyCyclePolicy::EnergyNeutral`], harmless otherwise).
+    pub fn update_ema(&self, ema: f64, p_harvest: f64) -> f64 {
+        match self {
+            DutyCyclePolicy::EnergyNeutral { ema_alpha, .. } => {
+                ema + ema_alpha * (p_harvest - ema)
+            }
+            _ => p_harvest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_ignores_everything() {
+        let p = DutyCyclePolicy::Fixed;
+        assert_eq!(p.period_s(10.0, 2.5, 3.3, 2.4, 1e-6, 1e-6, 1e-4), 10.0);
+    }
+
+    #[test]
+    fn storage_linear_stretches_near_brownout() {
+        let p = DutyCyclePolicy::StorageLinear { max_stretch: 5.0 };
+        let full = p.period_s(10.0, 3.3, 3.3, 2.4, 0.0, 0.0, 0.0);
+        let empty = p.period_s(10.0, 2.4, 3.3, 2.4, 0.0, 0.0, 0.0);
+        let mid = p.period_s(10.0, 2.85, 3.3, 2.4, 0.0, 0.0, 0.0);
+        assert!((full - 10.0).abs() < 1e-12);
+        assert!((empty - 50.0).abs() < 1e-12);
+        assert!(mid > full && mid < empty);
+    }
+
+    #[test]
+    fn energy_neutral_tracks_budget() {
+        let p = DutyCyclePolicy::EnergyNeutral {
+            ema_alpha: 0.1,
+            min_factor: 0.1,
+            max_factor: 100.0,
+        };
+        // 100 µJ per cycle, 20 µW harvest, 2 µW idle -> period ≈ 5.56 s.
+        let t = p.period_s(10.0, 3.0, 3.3, 2.4, 20e-6, 2e-6, 100e-6);
+        assert!((t - 100e-6 / 18e-6).abs() < 1e-9);
+        // No budget -> clamped to the maximum.
+        let t_starved = p.period_s(10.0, 3.0, 3.3, 2.4, 1e-6, 2e-6, 100e-6);
+        assert!((t_starved - 1000.0).abs() < 1e-9);
+        // Abundant energy -> clamped to the minimum.
+        let t_rich = p.period_s(10.0, 3.0, 3.3, 2.4, 1.0, 2e-6, 100e-6);
+        assert!((t_rich - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ema_update() {
+        let p = DutyCyclePolicy::EnergyNeutral {
+            ema_alpha: 0.5,
+            min_factor: 0.1,
+            max_factor: 10.0,
+        };
+        assert!((p.update_ema(0.0, 10.0) - 5.0).abs() < 1e-12);
+        // Other policies just pass the instantaneous value through.
+        assert_eq!(DutyCyclePolicy::Fixed.update_ema(0.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DutyCyclePolicy::default().validate().is_ok());
+        assert!(DutyCyclePolicy::StorageLinear { max_stretch: 0.5 }
+            .validate()
+            .is_err());
+        assert!(DutyCyclePolicy::EnergyNeutral {
+            ema_alpha: 0.0,
+            min_factor: 0.1,
+            max_factor: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(DutyCyclePolicy::EnergyNeutral {
+            ema_alpha: 0.1,
+            min_factor: 5.0,
+            max_factor: 2.0
+        }
+        .validate()
+        .is_err());
+    }
+}

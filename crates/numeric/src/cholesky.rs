@@ -1,0 +1,177 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! Used by the D-optimal design search (information-matrix updates) and
+//! anywhere a Gram matrix must be solved quickly.
+
+use crate::matrix::Matrix;
+use crate::{NumericError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), ehsim_numeric::NumericError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = Cholesky::factor(&a)?;
+/// let x = ch.solve(&[2.0, 1.0])?;
+/// assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::Dimension`] if `a` is not square.
+    /// * [`NumericError::NotPositiveDefinite`] if a diagonal pivot is not
+    ///   strictly positive.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumericError::dimension(
+                "square matrix",
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NumericError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Dimension`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::dimension(
+                format!("vector of length {n}"),
+                format!("length {}", b.len()),
+            ));
+        }
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * y[j];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (numerically robust for large matrices).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        self.log_det().exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_reconstruct() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = (ch.l() * &ch.l().transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_system() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0], &[2.0, 5.0]]).unwrap();
+        let x_true = [1.5, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        assert!(crate::vector::max_abs_diff(&x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            NumericError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 3)),
+            Err(NumericError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_matches_lu() {
+        let a = Matrix::from_rows(&[&[9.0, 3.0, 1.0], &[3.0, 8.0, 2.0], &[1.0, 2.0, 7.0]])
+            .unwrap();
+        let ch_det = Cholesky::factor(&a).unwrap().det();
+        let lu_det = crate::lu::Lu::factor(&a).unwrap().det();
+        assert!((ch_det - lu_det).abs() < 1e-9 * lu_det.abs());
+    }
+
+    #[test]
+    fn log_det_is_stable_for_small_entries() {
+        let a = Matrix::diagonal(&[1e-8, 1e-8, 1e-8]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 3.0 * (1e-8f64).ln()).abs() < 1e-9);
+    }
+}

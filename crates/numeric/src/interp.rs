@@ -1,0 +1,224 @@
+//! Piecewise-linear interpolation tables.
+//!
+//! Used for the tuning-frequency-vs-actuator-position curve, converter
+//! efficiency maps, and the harvester's calibrated power map.
+
+use crate::{NumericError, Result};
+
+/// A 1-D piecewise-linear lookup table over strictly increasing knots.
+///
+/// Evaluation outside the knot range clamps to the boundary values, which
+/// is the physically sensible behaviour for device curves.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::LinearTable;
+///
+/// # fn main() -> Result<(), ehsim_numeric::NumericError> {
+/// let eff = LinearTable::new(vec![0.0, 1.0, 2.0], vec![0.5, 0.9, 0.8])?;
+/// assert!((eff.eval(0.5) - 0.7).abs() < 1e-12);
+/// assert_eq!(eff.eval(-1.0), 0.5); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearTable {
+    /// Builds a table from knot positions and values.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::Dimension`] if the vectors differ in length or
+    ///   are empty.
+    /// * [`NumericError::InvalidArgument`] if `xs` is not strictly
+    ///   increasing or contains non-finite values.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(NumericError::dimension(
+                "equal-length non-empty knot vectors",
+                format!("xs: {}, ys: {}", xs.len(), ys.len()),
+            ));
+        }
+        for w in xs.windows(2) {
+            if !(w[0] < w[1]) {
+                return Err(NumericError::invalid(format!(
+                    "knots must be strictly increasing, found {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericError::invalid("knots must be finite"));
+        }
+        Ok(LinearTable { xs, ys })
+    }
+
+    /// Builds a table by sampling `f` at `n` evenly spaced points on
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] if `n < 2` or `lo >= hi`.
+    pub fn from_fn(lo: f64, hi: f64, n: usize, f: impl Fn(f64) -> f64) -> Result<Self> {
+        if n < 2 {
+            return Err(NumericError::invalid("need at least 2 sample points"));
+        }
+        if !(lo < hi) {
+            return Err(NumericError::invalid(format!("bad range [{lo}, {hi}]")));
+        }
+        let xs: Vec<f64> = (0..n)
+            .map(|i| lo + (hi - lo) * (i as f64) / ((n - 1) as f64))
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        LinearTable::new(xs, ys)
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the table has no knots (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Knot positions.
+    pub fn knots(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Knot values.
+    pub fn values(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Domain `(min, max)` of the knots.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty"))
+    }
+
+    /// Evaluates the table at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let idx = match self
+            .xs
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite knots"))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Inverse lookup: finds `x` with `eval(x) == y` assuming the values
+    /// are monotonically increasing.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InvalidArgument`] if the table values are not
+    ///   non-decreasing or `y` lies outside the value range.
+    pub fn eval_inverse(&self, y: f64) -> Result<f64> {
+        for w in self.ys.windows(2) {
+            if w[0] > w[1] {
+                return Err(NumericError::invalid(
+                    "inverse lookup requires non-decreasing values",
+                ));
+            }
+        }
+        let n = self.ys.len();
+        if y < self.ys[0] || y > self.ys[n - 1] {
+            return Err(NumericError::invalid(format!(
+                "value {y} outside table range [{}, {}]",
+                self.ys[0],
+                self.ys[n - 1]
+            )));
+        }
+        for i in 1..n {
+            if y <= self.ys[i] {
+                let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+                let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+                if y1 == y0 {
+                    return Ok(x0);
+                }
+                return Ok(x0 + (x1 - x0) * (y - y0) / (y1 - y0));
+            }
+        }
+        Ok(*self.xs.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let t = LinearTable::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert_eq!(t.eval(1.0), 2.0);
+        assert_eq!(t.eval(-5.0), 0.0);
+        assert_eq!(t.eval(5.0), 4.0);
+    }
+
+    #[test]
+    fn eval_hits_knots_exactly() {
+        let t = LinearTable::new(vec![0.0, 1.0, 3.0], vec![1.0, -1.0, 5.0]).unwrap();
+        assert_eq!(t.eval(0.0), 1.0);
+        assert_eq!(t.eval(1.0), -1.0);
+        assert_eq!(t.eval(3.0), 5.0);
+    }
+
+    #[test]
+    fn rejects_unsorted_and_ragged() {
+        assert!(LinearTable::new(vec![1.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearTable::new(vec![0.0, 0.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearTable::new(vec![0.0], vec![0.0, 1.0]).is_err());
+        assert!(LinearTable::new(vec![], vec![]).is_err());
+        assert!(LinearTable::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn from_fn_samples_evenly() {
+        let t = LinearTable::from_fn(0.0, 1.0, 11, |x| x * x).unwrap();
+        assert_eq!(t.len(), 11);
+        // The table is exact at the sample points.
+        assert!((t.eval(0.5) - 0.25).abs() < 1e-12);
+        // Between samples there is linearisation error; for f'' = 2 the
+        // midpoint error is exactly (h/2)^2 = 0.0025.
+        assert!((t.eval(0.55) - 0.3025).abs() <= 0.0025 + 1e-12);
+    }
+
+    #[test]
+    fn inverse_lookup() {
+        let t = LinearTable::new(vec![0.0, 1.0, 2.0], vec![10.0, 20.0, 40.0]).unwrap();
+        assert!((t.eval_inverse(15.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((t.eval_inverse(30.0).unwrap() - 1.5).abs() < 1e-12);
+        assert!(t.eval_inverse(5.0).is_err());
+        assert!(t.eval_inverse(50.0).is_err());
+    }
+
+    #[test]
+    fn inverse_rejects_non_monotone() {
+        let t = LinearTable::new(vec![0.0, 1.0, 2.0], vec![0.0, 5.0, 3.0]).unwrap();
+        assert!(t.eval_inverse(2.0).is_err());
+    }
+
+    #[test]
+    fn domain_reports_range() {
+        let t = LinearTable::new(vec![-1.0, 4.0], vec![0.0, 1.0]).unwrap();
+        assert_eq!(t.domain(), (-1.0, 4.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Numerical substrate for the `ehsim` workspace.
+//!
+//! This crate provides, from scratch, every numerical routine the rest of
+//! the workspace relies on:
+//!
+//! * dense linear algebra — [`Matrix`], [`Lu`], [`Qr`], [`Cholesky`];
+//! * the matrix exponential ([`expm()`]) used by the explicit linearized
+//!   state-space circuit engine;
+//! * ODE integrators ([`ode`]) for reference mechanical simulations;
+//! * scalar root finding ([`rootfind`]);
+//! * univariate polynomials ([`poly`]) and piecewise-linear tables
+//!   ([`interp`]);
+//! * probability distributions and special functions ([`stats`]) needed
+//!   by the ANOVA/F-test machinery of the DoE crate.
+//!
+//! No external numerical dependencies are used; the implementations follow
+//! the classic algorithms (partial-pivoting LU, Householder QR, Padé
+//! scaling-and-squaring `expm`, embedded Runge–Kutta–Fehlberg stepping,
+//! Lanczos log-gamma, continued-fraction incomplete beta).
+//!
+//! # Example
+//!
+//! ```
+//! use ehsim_numeric::{Matrix, Lu};
+//!
+//! # fn main() -> Result<(), ehsim_numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = Lu::factor(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cholesky;
+pub mod complex;
+pub mod eigen;
+pub mod expm;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod ode;
+pub mod poly;
+pub mod qr;
+pub mod rootfind;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use complex::Complex;
+pub use expm::expm;
+pub use interp::LinearTable;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use ode::{FnSystem, OdeSystem, Rk4, Rkf45, Trajectory};
+pub use poly::Polynomial;
+pub use qr::Qr;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A matrix factorisation encountered a (numerically) singular matrix.
+    Singular,
+    /// A Cholesky factorisation was attempted on a matrix that is not
+    /// symmetric positive definite.
+    NotPositiveDefinite,
+    /// Operand dimensions are incompatible.
+    Dimension {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape actually supplied.
+        got: String,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+    },
+    /// An argument was outside the routine's domain.
+    InvalidArgument {
+        /// Description of the violated precondition.
+        message: String,
+    },
+}
+
+impl NumericError {
+    /// Builds a [`NumericError::Dimension`] from shape descriptions.
+    pub fn dimension(expected: impl Into<String>, got: impl Into<String>) -> Self {
+        NumericError::Dimension {
+            expected: expected.into(),
+            got: got.into(),
+        }
+    }
+
+    /// Builds a [`NumericError::InvalidArgument`] from a message.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        NumericError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::Singular => write!(f, "matrix is singular to working precision"),
+            NumericError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            NumericError::Dimension { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            NumericError::NoConvergence { routine } => {
+                write!(f, "routine `{routine}` failed to converge")
+            }
+            NumericError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NumericError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_never_empty() {
+        let errors = [
+            NumericError::Singular,
+            NumericError::NotPositiveDefinite,
+            NumericError::dimension("3x3", "2x3"),
+            NumericError::NoConvergence { routine: "brent" },
+            NumericError::invalid("x must be positive"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

@@ -1,0 +1,514 @@
+//! Ordinary differential equation integrators.
+//!
+//! Provides fixed-step forward Euler and classic Runge–Kutta 4, plus an
+//! embedded Runge–Kutta–Fehlberg 4(5) adaptive stepper. These serve as
+//! accuracy references for the circuit engines and integrate the
+//! nonlinear mechanical models directly.
+
+use crate::{NumericError, Result};
+
+/// A first-order ODE system `ẋ = f(t, x)`.
+pub trait OdeSystem {
+    /// State dimension.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the derivative into `dxdt`.
+    fn eval(&self, t: f64, x: &[f64], dxdt: &mut [f64]);
+}
+
+/// Adapter turning a closure `f(t, x, dxdt)` into an [`OdeSystem`].
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::{FnSystem, Rk4};
+///
+/// # fn main() -> Result<(), ehsim_numeric::NumericError> {
+/// // Exponential decay ẋ = -x.
+/// let sys = FnSystem::new(1, |_t, x, dxdt| dxdt[0] = -x[0]);
+/// let traj = Rk4::new(1e-3).integrate(&sys, 0.0, &[1.0], 1.0)?;
+/// assert!((traj.last_state()[0] - (-1.0f64).exp()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wraps a derivative closure with its state dimension.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&self, t: f64, x: &[f64], dxdt: &mut [f64]) {
+        (self.f)(t, x, dxdt)
+    }
+}
+
+/// A sampled solution trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: f64, x: &[f64]) {
+        self.times.push(t);
+        self.states.push(x.to_vec());
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sampled states (one `Vec` per time point).
+    pub fn states(&self) -> &[Vec<f64>] {
+        &self.states
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the trajectory holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn last_state(&self) -> &[f64] {
+        self.states.last().expect("empty trajectory")
+    }
+
+    /// Final time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn last_time(&self) -> f64 {
+        *self.times.last().expect("empty trajectory")
+    }
+
+    /// Extracts the time series of one state component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for any sample.
+    pub fn component(&self, idx: usize) -> Vec<f64> {
+        self.states.iter().map(|s| s[idx]).collect()
+    }
+
+    /// Linear interpolation of the state at time `t` (clamped to the
+    /// sampled range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn sample(&self, t: f64) -> Vec<f64> {
+        assert!(!self.is_empty(), "cannot sample an empty trajectory");
+        if t <= self.times[0] {
+            return self.states[0].clone();
+        }
+        if t >= self.last_time() {
+            return self.last_state().to_vec();
+        }
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("NaN time"))
+        {
+            Ok(i) => return self.states[i].clone(),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let alpha = (t - t0) / (t1 - t0);
+        crate::vector::lerp(&self.states[idx - 1], &self.states[idx], alpha)
+    }
+}
+
+fn check_inputs(sys: &dyn OdeSystem, x0: &[f64], t0: f64, t_end: f64, h: f64) -> Result<()> {
+    if x0.len() != sys.dim() {
+        return Err(NumericError::dimension(
+            format!("state of length {}", sys.dim()),
+            format!("length {}", x0.len()),
+        ));
+    }
+    if !(h > 0.0) || !h.is_finite() {
+        return Err(NumericError::invalid(format!("step size must be positive, got {h}")));
+    }
+    if t_end < t0 {
+        return Err(NumericError::invalid(format!(
+            "t_end ({t_end}) must be >= t0 ({t0})"
+        )));
+    }
+    Ok(())
+}
+
+/// Fixed-step forward Euler integrator.
+#[derive(Debug, Clone, Copy)]
+pub struct Euler {
+    h: f64,
+}
+
+impl Euler {
+    /// Creates an integrator with step size `h`.
+    pub fn new(h: f64) -> Self {
+        Euler { h }
+    }
+
+    /// Integrates from `t0` to `t_end`, sampling every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Dimension`] / [`NumericError::InvalidArgument`]
+    /// on malformed inputs.
+    pub fn integrate(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        x0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory> {
+        check_inputs(sys, x0, t0, t_end, self.h)?;
+        let n = sys.dim();
+        let mut x = x0.to_vec();
+        let mut dxdt = vec![0.0; n];
+        let mut t = t0;
+        let mut traj = Trajectory::new();
+        traj.push(t, &x);
+        while t < t_end {
+            let h = self.h.min(t_end - t);
+            sys.eval(t, &x, &mut dxdt);
+            crate::vector::axpy(h, &dxdt, &mut x);
+            t += h;
+            traj.push(t, &x);
+        }
+        Ok(traj)
+    }
+}
+
+/// Fixed-step classic Runge–Kutta 4 integrator.
+#[derive(Debug, Clone, Copy)]
+pub struct Rk4 {
+    h: f64,
+}
+
+impl Rk4 {
+    /// Creates an integrator with step size `h`.
+    pub fn new(h: f64) -> Self {
+        Rk4 { h }
+    }
+
+    /// Performs a single RK4 step in place.
+    pub fn step(sys: &impl OdeSystem, t: f64, x: &mut [f64], h: f64) {
+        let n = x.len();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        sys.eval(t, x, &mut k1);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * h * k1[i];
+        }
+        sys.eval(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * h * k2[i];
+        }
+        sys.eval(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = x[i] + h * k3[i];
+        }
+        sys.eval(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+
+    /// Integrates from `t0` to `t_end`, sampling every step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Dimension`] / [`NumericError::InvalidArgument`]
+    /// on malformed inputs.
+    pub fn integrate(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        x0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory> {
+        check_inputs(sys, x0, t0, t_end, self.h)?;
+        let mut x = x0.to_vec();
+        let mut t = t0;
+        let mut traj = Trajectory::new();
+        traj.push(t, &x);
+        while t < t_end {
+            let h = self.h.min(t_end - t);
+            Self::step(sys, t, &mut x, h);
+            t += h;
+            traj.push(t, &x);
+        }
+        Ok(traj)
+    }
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) integrator.
+#[derive(Debug, Clone, Copy)]
+pub struct Rkf45 {
+    /// Relative error tolerance.
+    pub rtol: f64,
+    /// Absolute error tolerance.
+    pub atol: f64,
+    /// Minimum allowed step.
+    pub h_min: f64,
+    /// Maximum allowed step.
+    pub h_max: f64,
+}
+
+impl Default for Rkf45 {
+    fn default() -> Self {
+        Rkf45 {
+            rtol: 1e-8,
+            atol: 1e-10,
+            h_min: 1e-12,
+            h_max: 1.0,
+        }
+    }
+}
+
+impl Rkf45 {
+    /// Creates an adaptive integrator with the given tolerances and
+    /// default step bounds.
+    pub fn new(rtol: f64, atol: f64) -> Self {
+        Rkf45 {
+            rtol,
+            atol,
+            ..Rkf45::default()
+        }
+    }
+
+    /// Integrates from `t0` to `t_end` with adaptive step control,
+    /// sampling every accepted step.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::Dimension`] / [`NumericError::InvalidArgument`] on
+    ///   malformed inputs.
+    /// * [`NumericError::NoConvergence`] if the controller drives the step
+    ///   below `h_min`.
+    pub fn integrate(
+        &self,
+        sys: &impl OdeSystem,
+        t0: f64,
+        x0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory> {
+        check_inputs(sys, x0, t0, t_end, self.h_max)?;
+        // Fehlberg coefficients.
+        const A: [[f64; 5]; 5] = [
+            [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+            [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+            [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+            [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+            [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        ];
+        const C: [f64; 6] = [0.0, 0.25, 0.375, 12.0 / 13.0, 1.0, 0.5];
+        // 5th-order solution weights.
+        const B5: [f64; 6] = [
+            16.0 / 135.0,
+            0.0,
+            6656.0 / 12825.0,
+            28561.0 / 56430.0,
+            -9.0 / 50.0,
+            2.0 / 55.0,
+        ];
+        // 4th-order solution weights (for the error estimate).
+        const B4: [f64; 6] = [
+            25.0 / 216.0,
+            0.0,
+            1408.0 / 2565.0,
+            2197.0 / 4104.0,
+            -1.0 / 5.0,
+            0.0,
+        ];
+
+        let n = sys.dim();
+        let mut x = x0.to_vec();
+        let mut t = t0;
+        let mut h = ((t_end - t0) / 100.0).clamp(self.h_min, self.h_max);
+        let mut traj = Trajectory::new();
+        traj.push(t, &x);
+
+        let mut k = vec![vec![0.0; n]; 6];
+        let mut tmp = vec![0.0; n];
+
+        while t < t_end {
+            h = h.min(t_end - t);
+            sys.eval(t, &x, &mut k[0]);
+            for stage in 1..6 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, kj) in k.iter().enumerate().take(stage) {
+                        acc += A[stage - 1][j] * kj[i];
+                    }
+                    tmp[i] = x[i] + h * acc;
+                }
+                let (head, tail) = k.split_at_mut(stage);
+                let _ = head;
+                sys.eval(t + C[stage] * h, &tmp, &mut tail[0]);
+            }
+
+            // Error estimate = ||x5 - x4||, scaled.
+            let mut err: f64 = 0.0;
+            let mut x5 = vec![0.0; n];
+            for i in 0..n {
+                let mut d5 = 0.0;
+                let mut d4 = 0.0;
+                for s in 0..6 {
+                    d5 += B5[s] * k[s][i];
+                    d4 += B4[s] * k[s][i];
+                }
+                x5[i] = x[i] + h * d5;
+                let scale = self.atol + self.rtol * x[i].abs().max(x5[i].abs());
+                err = err.max((h * (d5 - d4)).abs() / scale);
+            }
+
+            if err <= 1.0 || h <= self.h_min {
+                t += h;
+                x = x5;
+                traj.push(t, &x);
+            }
+            // PI-free step controller with safety factor.
+            let factor = if err > 0.0 {
+                (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+            } else {
+                5.0
+            };
+            h = (h * factor).clamp(self.h_min, self.h_max);
+            if h <= self.h_min && err > 1.0 {
+                return Err(NumericError::NoConvergence { routine: "rkf45" });
+            }
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, x, d| d[0] = -x[0])
+    }
+
+    fn oscillator(w: f64) -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(2, move |_t, x, d| {
+            d[0] = x[1];
+            d[1] = -w * w * x[0];
+        })
+    }
+
+    #[test]
+    fn euler_first_order_accuracy() {
+        let sys = decay();
+        let coarse = Euler::new(1e-2).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let fine = Euler::new(1e-3).integrate(&sys, 0.0, &[1.0], 1.0).unwrap();
+        let exact = (-1.0f64).exp();
+        let e_coarse = (coarse.last_state()[0] - exact).abs();
+        let e_fine = (fine.last_state()[0] - exact).abs();
+        // Halving... reducing h by 10 should reduce error ~10x (order 1).
+        assert!(e_fine < e_coarse / 5.0, "e_coarse={e_coarse}, e_fine={e_fine}");
+    }
+
+    #[test]
+    fn rk4_fourth_order_accuracy() {
+        let sys = decay();
+        let exact = (-1.0f64).exp();
+        let e1 = (Rk4::new(1e-2).integrate(&sys, 0.0, &[1.0], 1.0).unwrap().last_state()[0]
+            - exact)
+            .abs();
+        let e2 = (Rk4::new(5e-3).integrate(&sys, 0.0, &[1.0], 1.0).unwrap().last_state()[0]
+            - exact)
+            .abs();
+        // Halving h should reduce error ~16x; allow slack.
+        assert!(e2 < e1 / 8.0, "e1={e1}, e2={e2}");
+    }
+
+    #[test]
+    fn rk4_oscillator_period() {
+        let w = 2.0 * std::f64::consts::PI; // 1 Hz
+        let sys = oscillator(w);
+        let traj = Rk4::new(1e-4).integrate(&sys, 0.0, &[1.0, 0.0], 1.0).unwrap();
+        // After one period the state returns to the initial condition.
+        assert!((traj.last_state()[0] - 1.0).abs() < 1e-6);
+        assert!(traj.last_state()[1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn rkf45_matches_exact_solution() {
+        let sys = decay();
+        let traj = Rkf45::new(1e-10, 1e-12)
+            .integrate(&sys, 0.0, &[1.0], 2.0)
+            .unwrap();
+        assert!((traj.last_state()[0] - (-2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rkf45_takes_fewer_steps_than_rk4_for_same_accuracy() {
+        let sys = oscillator(2.0 * std::f64::consts::PI);
+        let adaptive = Rkf45::new(1e-8, 1e-10)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 5.0)
+            .unwrap();
+        let fixed = Rk4::new(1e-4).integrate(&sys, 0.0, &[1.0, 0.0], 5.0).unwrap();
+        assert!(adaptive.len() < fixed.len() / 10);
+        assert!((adaptive.last_state()[0] - fixed.last_state()[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trajectory_sampling_interpolates() {
+        let mut traj = Trajectory::new();
+        traj.push(0.0, &[0.0]);
+        traj.push(1.0, &[10.0]);
+        assert!((traj.sample(0.5)[0] - 5.0).abs() < 1e-12);
+        assert_eq!(traj.sample(-1.0)[0], 0.0);
+        assert_eq!(traj.sample(2.0)[0], 10.0);
+    }
+
+    #[test]
+    fn component_extraction() {
+        let mut traj = Trajectory::new();
+        traj.push(0.0, &[1.0, 2.0]);
+        traj.push(1.0, &[3.0, 4.0]);
+        assert_eq!(traj.component(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let sys = decay();
+        assert!(Rk4::new(0.0).integrate(&sys, 0.0, &[1.0], 1.0).is_err());
+        assert!(Rk4::new(1e-3).integrate(&sys, 0.0, &[1.0, 2.0], 1.0).is_err());
+        assert!(Rk4::new(1e-3).integrate(&sys, 1.0, &[1.0], 0.0).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Univariate polynomials with `f64` coefficients.
+//!
+//! The multivariate response-surface polynomials live in `ehsim-doe`;
+//! this module supplies the univariate building blocks (evaluation,
+//! calculus, arithmetic) used for tuning curves and analytic checks.
+
+use crate::{NumericError, Result};
+use std::fmt;
+
+/// A univariate polynomial stored as ascending coefficients:
+/// `coeffs[0] + coeffs[1] x + coeffs[2] x² + …`.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, -3.0, 2.0]); // 2x² - 3x + 1
+/// assert_eq!(p.eval(2.0), 3.0);
+/// let roots = p.real_roots().unwrap();
+/// assert_eq!(roots.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients. Trailing zeros
+    /// are trimmed; the zero polynomial is stored as a single `0.0`.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// Ascending coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::constant(0.0);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * i as f64)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Antiderivative with integration constant zero.
+    pub fn antiderivative(&self) -> Polynomial {
+        let mut coeffs = vec![0.0];
+        coeffs.extend(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c / (i as f64 + 1.0)),
+        );
+        Polynomial::new(coeffs)
+    }
+
+    /// Definite integral over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64) -> f64 {
+        let anti = self.antiderivative();
+        anti.eval(b) - anti.eval(a)
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                self.coeffs.get(i).copied().unwrap_or(0.0)
+                    + other.coeffs.get(i).copied().unwrap_or(0.0)
+            })
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut coeffs = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Real roots, for polynomials of degree at most 3.
+    ///
+    /// Roots are returned in ascending order. Double roots appear once.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] for degree > 3 or the zero
+    /// polynomial.
+    pub fn real_roots(&self) -> Result<Vec<f64>> {
+        let c = &self.coeffs;
+        match self.degree() {
+            0 => {
+                if c[0] == 0.0 {
+                    Err(NumericError::invalid(
+                        "zero polynomial has infinitely many roots",
+                    ))
+                } else {
+                    Ok(vec![])
+                }
+            }
+            1 => Ok(vec![-c[0] / c[1]]),
+            2 => {
+                let (a, b, cc) = (c[2], c[1], c[0]);
+                let disc = b * b - 4.0 * a * cc;
+                if disc < 0.0 {
+                    Ok(vec![])
+                } else if disc == 0.0 {
+                    Ok(vec![-b / (2.0 * a)])
+                } else {
+                    // Numerically stable quadratic formula.
+                    let q = -0.5 * (b + disc.sqrt().copysign(b));
+                    let mut roots = vec![q / a, cc / q];
+                    roots.sort_by(|x, y| x.partial_cmp(y).expect("finite roots"));
+                    Ok(roots)
+                }
+            }
+            3 => {
+                // Depressed-cubic trigonometric/Cardano solution.
+                let (a, b, cc, d) = (c[3], c[2], c[1], c[0]);
+                let b = b / a;
+                let cc = cc / a;
+                let d = d / a;
+                let p = cc - b * b / 3.0;
+                let q = 2.0 * b * b * b / 27.0 - b * cc / 3.0 + d;
+                let shift = -b / 3.0;
+                let disc = (q / 2.0) * (q / 2.0) + (p / 3.0) * (p / 3.0) * (p / 3.0);
+                let mut roots = if disc > 1e-300 {
+                    let sq = disc.sqrt();
+                    let u = (-q / 2.0 + sq).cbrt();
+                    let v = (-q / 2.0 - sq).cbrt();
+                    vec![u + v + shift]
+                } else if disc.abs() <= 1e-300 {
+                    if q.abs() < 1e-300 {
+                        vec![shift]
+                    } else {
+                        let u = (-q / 2.0).cbrt();
+                        vec![2.0 * u + shift, -u + shift]
+                    }
+                } else {
+                    let r = (-p * p * p / 27.0).sqrt();
+                    let phi = (-q / (2.0 * r)).clamp(-1.0, 1.0).acos();
+                    let m = 2.0 * (-p / 3.0).sqrt();
+                    (0..3)
+                        .map(|k| {
+                            m * ((phi + 2.0 * std::f64::consts::PI * k as f64) / 3.0).cos()
+                                + shift
+                        })
+                        .collect()
+                };
+                roots.sort_by(|x, y| x.partial_cmp(y).expect("finite roots"));
+                roots.dedup_by(|x, y| (*x - *y).abs() < 1e-9);
+                Ok(roots)
+            }
+            d => Err(NumericError::invalid(format!(
+                "real_roots supports degree <= 3, got {d}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c >= 0.0 { "+" } else { "-" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let mag = c.abs();
+            match i {
+                0 => write!(f, "{mag}")?,
+                1 => write!(f, "{mag}·x")?,
+                _ => write!(f, "{mag}·x^{i}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 3x² + 2x + 1
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 6.0);
+        assert_eq!(p.eval(-2.0), 9.0);
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(Polynomial::new(vec![]).degree(), 0);
+    }
+
+    #[test]
+    fn derivative_and_antiderivative_roundtrip() {
+        let p = Polynomial::new(vec![4.0, 3.0, 2.0, 1.0]);
+        let back = p.derivative().antiderivative();
+        // Antiderivative drops the constant term.
+        assert_eq!(back.coeffs()[1..], p.coeffs()[1..]);
+        assert_eq!(back.coeffs()[0], 0.0);
+    }
+
+    #[test]
+    fn definite_integral() {
+        let p = Polynomial::new(vec![0.0, 0.0, 3.0]); // 3x²
+        assert!((p.integrate(0.0, 2.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = Polynomial::new(vec![1.0, 1.0]); // 1 + x
+        let q = Polynomial::new(vec![-1.0, 1.0]); // -1 + x
+        assert_eq!(p.add(&q), Polynomial::new(vec![0.0, 2.0]));
+        assert_eq!(p.mul(&q), Polynomial::new(vec![-1.0, 0.0, 1.0])); // x² - 1
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        let p = Polynomial::new(vec![2.0, -3.0, 1.0]); // (x-1)(x-2)
+        let roots = p.real_roots().unwrap();
+        assert!((roots[0] - 1.0).abs() < 1e-12);
+        assert!((roots[1] - 2.0).abs() < 1e-12);
+        // No real roots.
+        assert!(Polynomial::new(vec![1.0, 0.0, 1.0]).real_roots().unwrap().is_empty());
+        // Double root.
+        let d = Polynomial::new(vec![1.0, -2.0, 1.0]).real_roots().unwrap();
+        assert_eq!(d.len(), 1);
+        assert!((d[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_roots_three_real() {
+        // (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6
+        let p = Polynomial::new(vec![-6.0, 11.0, -6.0, 1.0]);
+        let roots = p.real_roots().unwrap();
+        assert_eq!(roots.len(), 3);
+        for (r, expect) in roots.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((r - expect).abs() < 1e-9, "root {r} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn cubic_roots_one_real() {
+        // x³ - 1 has a single real root at 1.
+        let p = Polynomial::new(vec![-1.0, 0.0, 0.0, 1.0]);
+        let roots = p.real_roots().unwrap();
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_and_constant_roots() {
+        assert_eq!(
+            Polynomial::new(vec![-4.0, 2.0]).real_roots().unwrap(),
+            vec![2.0]
+        );
+        assert!(Polynomial::constant(3.0).real_roots().unwrap().is_empty());
+        assert!(Polynomial::constant(0.0).real_roots().is_err());
+        assert!(Polynomial::new(vec![0.0; 5]).real_roots().is_err());
+    }
+
+    #[test]
+    fn quartic_rejected() {
+        let p = Polynomial::new(vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(p.real_roots().is_err());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Polynomial::new(vec![1.0, -2.0, 3.0])).is_empty());
+        assert_eq!(format!("{}", Polynomial::constant(0.0)), "0");
+    }
+}

@@ -1,0 +1,14 @@
+//! Statistics: special functions, probability distributions, and
+//! descriptive summaries.
+//!
+//! The DoE crate's ANOVA tables need F-distribution tail probabilities,
+//! coefficient t-tests need the Student-t distribution, and confidence
+//! intervals need quantiles of both — all built here on top of the
+//! regularized incomplete beta and gamma functions.
+
+pub mod dist;
+pub mod special;
+pub mod summary;
+
+pub use dist::{ChiSquared, FisherF, Normal, StudentT};
+pub use summary::Summary;

@@ -1,0 +1,282 @@
+//! Descriptive statistics over `f64` samples.
+
+use crate::{NumericError, Result};
+
+/// Summary statistics of a sample.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::stats::Summary;
+///
+/// # fn main() -> Result<(), ehsim_numeric::NumericError> {
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of a non-empty sample.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] if the sample is empty or
+    /// contains non-finite values.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(NumericError::invalid("empty sample"));
+        }
+        if !crate::vector::all_finite(data) {
+            return Err(NumericError::invalid("sample contains non-finite values"));
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        })
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero for singleton samples).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Range `max - min`.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+}
+
+/// Sample mean; `0.0` for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance; `0.0` for samples smaller than 2.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() as f64 - 1.0)
+}
+
+/// Quantile with linear interpolation (type-7, the numpy default).
+///
+/// # Errors
+///
+/// [`NumericError::InvalidArgument`] if the sample is empty or
+/// `q ∉ [0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(NumericError::invalid("empty sample"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericError::invalid(format!("quantile q={q} not in [0, 1]")));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Ok(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Errors
+///
+/// [`NumericError::InvalidArgument`] if the sample is empty.
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// # Errors
+///
+/// [`NumericError::Dimension`] if lengths differ;
+/// [`NumericError::InvalidArgument`] if either sample has zero variance
+/// or fewer than 2 points.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::dimension(
+            format!("equal lengths, lhs has {}", a.len()),
+            format!("{}", b.len()),
+        ));
+    }
+    if a.len() < 2 {
+        return Err(NumericError::invalid("need at least 2 points"));
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return Err(NumericError::invalid("zero-variance sample"));
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Root-mean-square error between predictions and observations.
+///
+/// # Errors
+///
+/// [`NumericError::Dimension`] if lengths differ;
+/// [`NumericError::InvalidArgument`] if the samples are empty.
+pub fn rmse(pred: &[f64], obs: &[f64]) -> Result<f64> {
+    if pred.len() != obs.len() {
+        return Err(NumericError::dimension(
+            format!("equal lengths, lhs has {}", pred.len()),
+            format!("{}", obs.len()),
+        ));
+    }
+    if pred.is_empty() {
+        return Err(NumericError::invalid("empty sample"));
+    }
+    let mse = pred
+        .iter()
+        .zip(obs.iter())
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / pred.len() as f64;
+    Ok(mse.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.range(), 7.0);
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::of(&[]).is_err());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&data, 0.5).unwrap(), 2.5);
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rmse_known() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!(rmse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn free_function_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!(quantile(&[1.0], 2.0).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The circuit engines keep their states in plain `Vec<f64>` buffers and
+//! use these kernels in their inner loops, so they panic on dimension
+//! mismatch (callers own the invariant) rather than returning `Result`.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm (maximum absolute entry); `0.0` for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`, in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// Elementwise `a - b` into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise `a + b` into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Maximum absolute elementwise difference.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Linear interpolation `a + t * (b - a)` applied elementwise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x + t * (y - x))
+        .collect()
+}
+
+/// Whether every entry is finite.
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 10.0];
+        let b = [1.0, 20.0];
+        assert_eq!(lerp(&a, &b, 0.0), a.to_vec());
+        assert_eq!(lerp(&a, &b, 1.0), b.to_vec());
+        assert_eq!(lerp(&a, &b, 0.5), vec![0.5, 15.0]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(all_finite(&[1.0, -2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the numerical substrate.
+
+use ehsim_numeric::stats::dist::{FisherF, Normal, StudentT};
+use ehsim_numeric::stats::special::{beta_inc, gamma_p, gamma_q};
+use ehsim_numeric::{expm, vector, Cholesky, Lu, Matrix, Polynomial, Qr};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned square matrix built as D + N with a
+/// dominant diagonal.
+fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::from_vec(n, n, vals).expect("sized buffer");
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_produces_small_residual(
+        a in diag_dominant_matrix(5),
+        b in prop::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let lu = Lu::factor(&a).expect("diagonally dominant is nonsingular");
+        let x = lu.solve(&b).expect("dimension matches");
+        let ax = a.matvec(&x).expect("dimension matches");
+        prop_assert!(vector::max_abs_diff(&ax, &b) < 1e-8);
+    }
+
+    #[test]
+    fn lu_det_matches_expansion_for_2x2(
+        a in -5.0f64..5.0, b in -5.0f64..5.0,
+        c in -5.0f64..5.0, d in -5.0f64..5.0,
+    ) {
+        let det_direct = a * d - b * c;
+        prop_assume!(det_direct.abs() > 1e-6);
+        let m = Matrix::from_rows(&[&[a, b], &[c, d]]).expect("2x2");
+        let lu = Lu::factor(&m).expect("nonsingular by assumption");
+        prop_assert!((lu.det() - det_direct).abs() < 1e-9 * det_direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal_to_columns(
+        vals in prop::collection::vec(-3.0f64..3.0, 8 * 3),
+        b in prop::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let mut a = Matrix::from_vec(8, 3, vals).expect("sized buffer");
+        // Bump towards full rank.
+        for j in 0..3 {
+            a[(j, j)] += 10.0;
+        }
+        let qr = Qr::factor(&a).expect("full rank after bump");
+        let x = qr.solve_least_squares(&b).expect("dimension matches");
+        let ax = a.matvec(&x).expect("dimension matches");
+        let r = vector::sub(&b, &ax);
+        // Normal equations: A^T r == 0 at the LS optimum.
+        let atr = a.matvec_transposed(&r).expect("dimension matches");
+        prop_assert!(vector::norm_inf(&atr) < 1e-7);
+    }
+
+    #[test]
+    fn cholesky_solves_gram_systems(
+        vals in prop::collection::vec(-2.0f64..2.0, 6 * 4),
+        b in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let x_mat = Matrix::from_vec(6, 4, vals).expect("sized buffer");
+        let mut gram = (&x_mat.transpose() * &x_mat).expect("conformable");
+        for i in 0..4 {
+            gram[(i, i)] += 1.0; // regularise
+        }
+        let ch = Cholesky::factor(&gram).expect("SPD after regularisation");
+        let x = ch.solve(&b).expect("dimension matches");
+        let gx = gram.matvec(&x).expect("dimension matches");
+        prop_assert!(vector::max_abs_diff(&gx, &b) < 1e-8);
+    }
+
+    #[test]
+    fn expm_inverse_property(vals in prop::collection::vec(-0.8f64..0.8, 9)) {
+        // e^{A} e^{-A} == I for every A.
+        let a = Matrix::from_vec(3, 3, vals).expect("sized buffer");
+        let e_pos = expm(&a).expect("finite matrix");
+        let e_neg = expm(&a.scaled(-1.0)).expect("finite matrix");
+        let prod = (&e_pos * &e_neg).expect("conformable");
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(3)).expect("same shape") < 1e-10);
+    }
+
+    #[test]
+    fn expm_det_equals_exp_trace(vals in prop::collection::vec(-0.5f64..0.5, 4)) {
+        // det(e^A) == e^{tr A} (Jacobi's formula).
+        let a = Matrix::from_vec(2, 2, vals).expect("sized buffer");
+        let e = expm(&a).expect("finite matrix");
+        let det = e[(0, 0)] * e[(1, 1)] - e[(0, 1)] * e[(1, 0)];
+        prop_assert!((det - a.trace().exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone_and_bounded(x in -6.0f64..6.0, dx in 0.001f64..2.0) {
+        let n = Normal::standard();
+        let c1 = n.cdf(x);
+        let c2 = n.cdf(x + dx);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c2 >= c1);
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(p in 0.001f64..0.999) {
+        let n = Normal::standard();
+        let x = n.quantile(p).expect("p in range");
+        prop_assert!((n.cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn student_t_symmetry(df in 1.0f64..50.0, x in 0.0f64..8.0) {
+        let t = StudentT::new(df).expect("positive df");
+        prop_assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fisher_f_reciprocal_relation(d1 in 1.0f64..20.0, d2 in 1.0f64..20.0, x in 0.01f64..10.0) {
+        // If X ~ F(d1, d2) then 1/X ~ F(d2, d1).
+        let f12 = FisherF::new(d1, d2).expect("positive dfs");
+        let f21 = FisherF::new(d2, d1).expect("positive dfs");
+        prop_assert!((f12.cdf(x) - f21.sf(1.0 / x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_inc_monotone_in_x(a in 0.2f64..10.0, b in 0.2f64..10.0, x in 0.0f64..0.98) {
+        let i1 = beta_inc(a, b, x).expect("in domain");
+        let i2 = beta_inc(a, b, x + 0.01).expect("in domain");
+        prop_assert!(i2 >= i1 - 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_plus_q_is_one(a in 0.1f64..30.0, x in 0.0f64..60.0) {
+        let p = gamma_p(a, x).expect("in domain");
+        let q = gamma_q(a, x).expect("in domain");
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn polynomial_eval_linear_in_add(
+        c1 in prop::collection::vec(-3.0f64..3.0, 1..6),
+        c2 in prop::collection::vec(-3.0f64..3.0, 1..6),
+        x in -2.0f64..2.0,
+    ) {
+        let p = Polynomial::new(c1);
+        let q = Polynomial::new(c2);
+        let sum = p.add(&q);
+        prop_assert!((sum.eval(x) - (p.eval(x) + q.eval(x))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polynomial_mul_matches_pointwise(
+        c1 in prop::collection::vec(-2.0f64..2.0, 1..5),
+        c2 in prop::collection::vec(-2.0f64..2.0, 1..5),
+        x in -1.5f64..1.5,
+    ) {
+        let p = Polynomial::new(c1);
+        let q = Polynomial::new(c2);
+        let prod = p.mul(&q);
+        prop_assert!((prod.eval(x) - p.eval(x) * q.eval(x)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quadratic_roots_actually_vanish(
+        a in 0.1f64..5.0, b in -10.0f64..10.0, c in -10.0f64..10.0,
+    ) {
+        let p = Polynomial::new(vec![c, b, a]);
+        for r in p.real_roots().expect("degree 2") {
+            prop_assert!(p.eval(r).abs() < 1e-6 * (a.abs() + b.abs() + c.abs()).max(1.0));
+        }
+    }
+}

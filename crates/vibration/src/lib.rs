@@ -1,0 +1,676 @@
+//! Vibration excitation sources for the `ehsim` workspace.
+//!
+//! The DATE'13 sensor node is powered by a *tunable* kinetic energy
+//! harvester whose output collapses when the ambient vibration frequency
+//! moves away from the harvester's mechanical resonance. The interesting
+//! workloads are therefore not pure sines but frequencies that *drift*
+//! (machinery changing speed, HVAC load changes) — exactly what the
+//! node's tuning controller has to chase.
+//!
+//! The paper's authors evaluated against measured machinery vibration;
+//! we do not have their traces, so this crate provides deterministic
+//! synthetic equivalents (see `DESIGN.md`, substitution table):
+//!
+//! * [`Sine`] — stationary excitation at a fixed frequency;
+//! * [`MultiTone`] — a dominant tone plus harmonics/spurs;
+//! * [`Sweep`] — linear chirp with continuous phase;
+//! * [`DriftSchedule`] — piecewise-linear frequency drift over hours,
+//!   phase-continuous, the workhorse of the tuning experiments;
+//! * [`BandNoise`] — seeded band-limited noise (sum of random tones);
+//! * [`Composite`] — superposition of any of the above.
+//!
+//! Every source reports both the instantaneous base acceleration
+//! (`acceleration`, m/s²) used by circuit-level simulation and a
+//! spectral [`Envelope`] (dominant frequency + equivalent sinusoidal
+//! amplitude) used by the system-level simulator and the node's
+//! frequency-tuning controller.
+//!
+//! # Example
+//!
+//! ```
+//! use ehsim_vibration::{DriftSchedule, VibrationSource};
+//!
+//! # fn main() -> Result<(), ehsim_vibration::VibrationError> {
+//! // A motor that ramps from 55 Hz to 65 Hz over 100 s.
+//! let src = DriftSchedule::new(vec![(0.0, 55.0), (100.0, 65.0)], 2.5)?;
+//! assert!((src.envelope(0.0).freq_hz - 55.0).abs() < 1e-9);
+//! assert!((src.envelope(50.0).freq_hz - 60.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::error::Error;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Errors produced when constructing vibration sources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VibrationError {
+    /// A constructor argument violated its precondition.
+    InvalidArgument {
+        /// Description of the violated precondition.
+        message: String,
+    },
+}
+
+impl VibrationError {
+    fn invalid(message: impl Into<String>) -> Self {
+        VibrationError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VibrationError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl Error for VibrationError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, VibrationError>;
+
+/// Spectral envelope of a vibration source at a time instant: the
+/// dominant frequency and the equivalent sinusoidal peak amplitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Dominant excitation frequency in hertz.
+    pub freq_hz: f64,
+    /// Equivalent sinusoidal peak acceleration amplitude in m/s².
+    pub amp: f64,
+}
+
+/// A base-acceleration excitation source.
+pub trait VibrationSource: Send + Sync {
+    /// Instantaneous base acceleration in m/s².
+    fn acceleration(&self, t: f64) -> f64;
+
+    /// Dominant frequency and equivalent amplitude at time `t`.
+    fn envelope(&self, t: f64) -> Envelope;
+}
+
+/// Pure sinusoidal excitation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sine {
+    amp: f64,
+    freq_hz: f64,
+    phase: f64,
+}
+
+impl Sine {
+    /// Creates a sine source with peak acceleration `amp` (m/s²) at
+    /// `freq_hz`.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] if `amp < 0` or
+    /// `freq_hz <= 0`.
+    pub fn new(amp: f64, freq_hz: f64) -> Result<Self> {
+        if !(amp >= 0.0) || !amp.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "amplitude must be non-negative, got {amp}"
+            )));
+        }
+        if !(freq_hz > 0.0) || !freq_hz.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "frequency must be positive, got {freq_hz}"
+            )));
+        }
+        Ok(Sine {
+            amp,
+            freq_hz,
+            phase: 0.0,
+        })
+    }
+
+    /// Sets the initial phase in radians (builder style).
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+}
+
+impl VibrationSource for Sine {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.amp * (2.0 * PI * self.freq_hz * t + self.phase).sin()
+    }
+
+    fn envelope(&self, _t: f64) -> Envelope {
+        Envelope {
+            freq_hz: self.freq_hz,
+            amp: self.amp,
+        }
+    }
+}
+
+/// Superposition of several fixed tones; the envelope reports the
+/// strongest one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTone {
+    tones: Vec<(f64, f64, f64)>, // (amp, freq, phase)
+}
+
+impl MultiTone {
+    /// Creates a multi-tone source from `(amp, freq_hz)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] if no tones are given or any
+    /// tone has a negative amplitude / non-positive frequency.
+    pub fn new(tones: &[(f64, f64)]) -> Result<Self> {
+        if tones.is_empty() {
+            return Err(VibrationError::invalid("at least one tone required"));
+        }
+        for &(a, f) in tones {
+            if !(a >= 0.0) || !(f > 0.0) || !a.is_finite() || !f.is_finite() {
+                return Err(VibrationError::invalid(format!(
+                    "bad tone (amp={a}, freq={f})"
+                )));
+            }
+        }
+        Ok(MultiTone {
+            tones: tones.iter().map(|&(a, f)| (a, f, 0.0)).collect(),
+        })
+    }
+
+    /// Adds a harmonic-rich machinery spectrum: a fundamental plus
+    /// progressively weaker harmonics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiTone::new`].
+    pub fn machinery(fundamental_hz: f64, amp: f64, n_harmonics: usize) -> Result<Self> {
+        let mut tones = vec![(amp, fundamental_hz)];
+        for k in 2..=(n_harmonics + 1) {
+            tones.push((amp / (k as f64 * k as f64), fundamental_hz * k as f64));
+        }
+        MultiTone::new(&tones)
+    }
+}
+
+impl VibrationSource for MultiTone {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.tones
+            .iter()
+            .map(|&(a, f, p)| a * (2.0 * PI * f * t + p).sin())
+            .sum()
+    }
+
+    fn envelope(&self, _t: f64) -> Envelope {
+        let &(amp, freq_hz, _) = self
+            .tones
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite amplitudes"))
+            .expect("constructor guarantees at least one tone");
+        Envelope { freq_hz, amp }
+    }
+}
+
+/// Linear chirp from `f0` to `f1` over `duration`, phase-continuous;
+/// holds `f1` afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sweep {
+    amp: f64,
+    f0: f64,
+    f1: f64,
+    duration: f64,
+}
+
+impl Sweep {
+    /// Creates a linear sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for non-positive frequencies,
+    /// negative amplitude, or non-positive duration.
+    pub fn new(amp: f64, f0: f64, f1: f64, duration: f64) -> Result<Self> {
+        if !(amp >= 0.0) || !(f0 > 0.0) || !(f1 > 0.0) || !(duration > 0.0) {
+            return Err(VibrationError::invalid(format!(
+                "bad sweep (amp={amp}, f0={f0}, f1={f1}, duration={duration})"
+            )));
+        }
+        Ok(Sweep {
+            amp,
+            f0,
+            f1,
+            duration,
+        })
+    }
+
+    fn phase(&self, t: f64) -> f64 {
+        if t <= self.duration {
+            // phase = 2π (f0 t + (f1-f0) t² / (2 T))
+            2.0 * PI * (self.f0 * t + 0.5 * (self.f1 - self.f0) * t * t / self.duration)
+        } else {
+            let end = 2.0 * PI * (self.f0 * self.duration
+                + 0.5 * (self.f1 - self.f0) * self.duration);
+            end + 2.0 * PI * self.f1 * (t - self.duration)
+        }
+    }
+}
+
+impl VibrationSource for Sweep {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.amp * self.phase(t).sin()
+    }
+
+    fn envelope(&self, t: f64) -> Envelope {
+        let f = if t <= self.duration {
+            self.f0 + (self.f1 - self.f0) * t / self.duration
+        } else {
+            self.f1
+        };
+        Envelope {
+            freq_hz: f,
+            amp: self.amp,
+        }
+    }
+}
+
+/// Piecewise-linear frequency drift over a `(time, frequency)` schedule
+/// with a fixed amplitude. Phase is continuous across segments — the
+/// instantaneous frequency is the schedule's linear interpolation and
+/// the phase is its exact integral.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSchedule {
+    knots: Vec<(f64, f64)>,
+    /// Cumulative phase (radians) at each knot.
+    phases: Vec<f64>,
+    amp: f64,
+}
+
+impl DriftSchedule {
+    /// Creates a drift schedule from `(time, freq_hz)` knots (strictly
+    /// increasing times, positive frequencies). Frequency is held
+    /// constant before the first and after the last knot.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for fewer than one knot,
+    /// non-increasing times, non-positive frequencies, or a negative
+    /// amplitude.
+    pub fn new(knots: Vec<(f64, f64)>, amp: f64) -> Result<Self> {
+        if knots.is_empty() {
+            return Err(VibrationError::invalid("at least one knot required"));
+        }
+        if !(amp >= 0.0) || !amp.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "amplitude must be non-negative, got {amp}"
+            )));
+        }
+        for w in knots.windows(2) {
+            if !(w[0].0 < w[1].0) {
+                return Err(VibrationError::invalid(
+                    "knot times must be strictly increasing",
+                ));
+            }
+        }
+        for &(_, f) in &knots {
+            if !(f > 0.0) || !f.is_finite() {
+                return Err(VibrationError::invalid(format!(
+                    "frequencies must be positive, got {f}"
+                )));
+            }
+        }
+        // Cumulative phase at knots: integral of 2π f(t).
+        let mut phases = vec![0.0; knots.len()];
+        for i in 1..knots.len() {
+            let (t0, f0) = knots[i - 1];
+            let (t1, f1) = knots[i];
+            phases[i] = phases[i - 1] + 2.0 * PI * 0.5 * (f0 + f1) * (t1 - t0);
+        }
+        Ok(DriftSchedule { knots, phases, amp })
+    }
+
+    /// The schedule's instantaneous frequency at `t`.
+    pub fn frequency(&self, t: f64) -> f64 {
+        let n = self.knots.len();
+        if t <= self.knots[0].0 {
+            return self.knots[0].1;
+        }
+        if t >= self.knots[n - 1].0 {
+            return self.knots[n - 1].1;
+        }
+        let idx = self
+            .knots
+            .partition_point(|&(kt, _)| kt < t);
+        let (t0, f0) = self.knots[idx - 1];
+        let (t1, f1) = self.knots[idx];
+        f0 + (f1 - f0) * (t - t0) / (t1 - t0)
+    }
+
+    fn phase(&self, t: f64) -> f64 {
+        let n = self.knots.len();
+        if t <= self.knots[0].0 {
+            // Constant frequency before the schedule starts.
+            return 2.0 * PI * self.knots[0].1 * (t - self.knots[0].0);
+        }
+        if t >= self.knots[n - 1].0 {
+            return self.phases[n - 1] + 2.0 * PI * self.knots[n - 1].1 * (t - self.knots[n - 1].0);
+        }
+        let idx = self.knots.partition_point(|&(kt, _)| kt < t);
+        let (t0, f0) = self.knots[idx - 1];
+        let (t1, f1) = self.knots[idx];
+        let dt = t - t0;
+        let f_t = f0 + (f1 - f0) * dt / (t1 - t0);
+        self.phases[idx - 1] + 2.0 * PI * 0.5 * (f0 + f_t) * dt
+    }
+}
+
+impl VibrationSource for DriftSchedule {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.amp * self.phase(t).sin()
+    }
+
+    fn envelope(&self, t: f64) -> Envelope {
+        Envelope {
+            freq_hz: self.frequency(t),
+            amp: self.amp,
+        }
+    }
+}
+
+/// Seeded band-limited noise: a sum of `n_tones` random-phase sinusoids
+/// with frequencies uniform in `[center - bw/2, center + bw/2]`, scaled
+/// to a target RMS acceleration. Deterministic for a given seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandNoise {
+    tones: Vec<(f64, f64, f64)>,
+    center: f64,
+    rms: f64,
+}
+
+impl BandNoise {
+    /// Creates band-limited noise.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for non-positive `center`,
+    /// negative `bandwidth`, non-positive `rms`, or zero tones.
+    pub fn new(center: f64, bandwidth: f64, rms: f64, n_tones: usize, seed: u64) -> Result<Self> {
+        if !(center > 0.0) || !(bandwidth >= 0.0) || !(rms > 0.0) || n_tones == 0 {
+            return Err(VibrationError::invalid(format!(
+                "bad noise spec (center={center}, bw={bandwidth}, rms={rms}, n={n_tones})"
+            )));
+        }
+        if bandwidth / 2.0 >= center {
+            return Err(VibrationError::invalid(
+                "bandwidth must keep all frequencies positive",
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amp_each = rms * (2.0 / n_tones as f64).sqrt();
+        let tones = (0..n_tones)
+            .map(|_| {
+                let f = center + bandwidth * (rng.random::<f64>() - 0.5);
+                let p = 2.0 * PI * rng.random::<f64>();
+                (amp_each, f, p)
+            })
+            .collect();
+        Ok(BandNoise { tones, center, rms })
+    }
+}
+
+impl VibrationSource for BandNoise {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.tones
+            .iter()
+            .map(|&(a, f, p)| a * (2.0 * PI * f * t + p).sin())
+            .sum()
+    }
+
+    fn envelope(&self, _t: f64) -> Envelope {
+        Envelope {
+            freq_hz: self.center,
+            amp: self.rms * std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+/// Superposition of sources; the envelope reports the component with the
+/// largest amplitude.
+pub struct Composite {
+    sources: Vec<Box<dyn VibrationSource>>,
+}
+
+impl Composite {
+    /// Creates a composite from boxed sources.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] if empty.
+    pub fn new(sources: Vec<Box<dyn VibrationSource>>) -> Result<Self> {
+        if sources.is_empty() {
+            return Err(VibrationError::invalid("at least one source required"));
+        }
+        Ok(Composite { sources })
+    }
+}
+
+impl fmt::Debug for Composite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Composite({} sources)", self.sources.len())
+    }
+}
+
+impl VibrationSource for Composite {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.sources.iter().map(|s| s.acceleration(t)).sum()
+    }
+
+    fn envelope(&self, t: f64) -> Envelope {
+        self.sources
+            .iter()
+            .map(|s| s.envelope(t))
+            .max_by(|a, b| a.amp.partial_cmp(&b.amp).expect("finite amplitudes"))
+            .expect("constructor guarantees at least one source")
+    }
+}
+
+/// Estimates the dominant frequency of a uniformly sampled signal by
+/// counting zero crossings — the cheap detector a real node's tuning
+/// firmware would run.
+///
+/// Returns `None` for fewer than 2 samples or a signal without
+/// crossings.
+pub fn estimate_frequency_zero_crossings(samples: &[f64], fs_hz: f64) -> Option<f64> {
+    if samples.len() < 2 || !(fs_hz > 0.0) {
+        return None;
+    }
+    let mut first: Option<usize> = None;
+    let mut last = 0usize;
+    let mut crossings = 0usize;
+    for k in 1..samples.len() {
+        if samples[k - 1] <= 0.0 && samples[k] > 0.0 {
+            crossings += 1;
+            if first.is_none() {
+                first = Some(k);
+            }
+            last = k;
+        }
+    }
+    let first = first?;
+    if crossings < 2 || last == first {
+        return None;
+    }
+    let periods = (crossings - 1) as f64;
+    let duration = (last - first) as f64 / fs_hz;
+    Some(periods / duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_values_and_envelope() {
+        let s = Sine::new(2.0, 50.0).unwrap();
+        assert!(s.acceleration(0.0).abs() < 1e-12);
+        assert!((s.acceleration(0.005) - 2.0).abs() < 1e-12);
+        let e = s.envelope(123.0);
+        assert_eq!(e.freq_hz, 50.0);
+        assert_eq!(e.amp, 2.0);
+    }
+
+    #[test]
+    fn sine_with_phase() {
+        let s = Sine::new(1.0, 1.0).unwrap().with_phase(PI / 2.0);
+        assert!((s.acceleration(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_rejects_bad_args() {
+        assert!(Sine::new(-1.0, 50.0).is_err());
+        assert!(Sine::new(1.0, 0.0).is_err());
+        assert!(Sine::new(f64::NAN, 50.0).is_err());
+    }
+
+    #[test]
+    fn multitone_envelope_is_strongest() {
+        let m = MultiTone::new(&[(1.0, 30.0), (3.0, 60.0), (0.5, 90.0)]).unwrap();
+        let e = m.envelope(0.0);
+        assert_eq!(e.freq_hz, 60.0);
+        assert_eq!(e.amp, 3.0);
+        assert!(MultiTone::new(&[]).is_err());
+    }
+
+    #[test]
+    fn machinery_harmonics_decay() {
+        let m = MultiTone::machinery(50.0, 2.0, 3).unwrap();
+        let e = m.envelope(0.0);
+        assert_eq!(e.freq_hz, 50.0);
+        // Acceleration is bounded by the sum of amplitudes.
+        let bound: f64 = 2.0 * (1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0);
+        for k in 0..100 {
+            assert!(m.acceleration(k as f64 * 0.001).abs() <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_frequency_interpolates() {
+        let s = Sweep::new(1.0, 10.0, 20.0, 10.0).unwrap();
+        assert_eq!(s.envelope(0.0).freq_hz, 10.0);
+        assert_eq!(s.envelope(5.0).freq_hz, 15.0);
+        assert_eq!(s.envelope(10.0).freq_hz, 20.0);
+        assert_eq!(s.envelope(20.0).freq_hz, 20.0);
+    }
+
+    #[test]
+    fn sweep_phase_is_continuous() {
+        let s = Sweep::new(1.0, 10.0, 20.0, 1.0).unwrap();
+        // The signal must not jump anywhere, including at the sweep end.
+        let dt = 1e-5;
+        let mut prev = s.acceleration(0.0);
+        let mut t = dt;
+        while t < 1.5 {
+            let cur = s.acceleration(t);
+            // Max slope of sin at 20 Hz: 2π·20·amp ≈ 126/s.
+            assert!(
+                (cur - prev).abs() < 130.0 * dt,
+                "jump at t={t}: {prev} -> {cur}"
+            );
+            prev = cur;
+            t += dt;
+        }
+    }
+
+    #[test]
+    fn drift_schedule_frequency_and_phase() {
+        let d = DriftSchedule::new(vec![(0.0, 50.0), (10.0, 70.0)], 1.0).unwrap();
+        assert_eq!(d.frequency(-1.0), 50.0);
+        assert_eq!(d.frequency(5.0), 60.0);
+        assert_eq!(d.frequency(11.0), 70.0);
+        // Phase continuity across the final knot.
+        let dt = 1e-5;
+        let mut prev = d.acceleration(9.9999);
+        for k in 1..30 {
+            let t = 9.9999 + k as f64 * dt;
+            let cur = d.acceleration(t);
+            assert!((cur - prev).abs() < 2.0 * PI * 71.0 * dt * 1.1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn drift_schedule_validation() {
+        assert!(DriftSchedule::new(vec![], 1.0).is_err());
+        assert!(DriftSchedule::new(vec![(0.0, 50.0), (0.0, 60.0)], 1.0).is_err());
+        assert!(DriftSchedule::new(vec![(0.0, -5.0)], 1.0).is_err());
+        assert!(DriftSchedule::new(vec![(0.0, 50.0)], -1.0).is_err());
+    }
+
+    #[test]
+    fn band_noise_rms_and_determinism() {
+        let n1 = BandNoise::new(60.0, 10.0, 1.5, 32, 42).unwrap();
+        let n2 = BandNoise::new(60.0, 10.0, 1.5, 32, 42).unwrap();
+        let n3 = BandNoise::new(60.0, 10.0, 1.5, 32, 43).unwrap();
+        // Determinism by seed.
+        assert_eq!(n1.acceleration(0.123), n2.acceleration(0.123));
+        assert_ne!(n1.acceleration(0.123), n3.acceleration(0.123));
+        // Empirical RMS over a long window approaches the target.
+        let fs = 1000.0;
+        let n = 20_000;
+        let ms: f64 = (0..n)
+            .map(|k| n1.acceleration(k as f64 / fs).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let rms = ms.sqrt();
+        assert!((rms - 1.5).abs() < 0.25, "rms = {rms}");
+    }
+
+    #[test]
+    fn band_noise_validation() {
+        assert!(BandNoise::new(0.0, 1.0, 1.0, 8, 0).is_err());
+        assert!(BandNoise::new(10.0, 25.0, 1.0, 8, 0).is_err());
+        assert!(BandNoise::new(10.0, 1.0, 0.0, 8, 0).is_err());
+        assert!(BandNoise::new(10.0, 1.0, 1.0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn composite_sums_and_reports_strongest() {
+        let c = Composite::new(vec![
+            Box::new(Sine::new(1.0, 30.0).unwrap()),
+            Box::new(Sine::new(2.0, 60.0).unwrap()),
+        ])
+        .unwrap();
+        let t = 0.0123;
+        let expected = Sine::new(1.0, 30.0).unwrap().acceleration(t)
+            + Sine::new(2.0, 60.0).unwrap().acceleration(t);
+        assert!((c.acceleration(t) - expected).abs() < 1e-12);
+        assert_eq!(c.envelope(0.0).freq_hz, 60.0);
+        assert!(Composite::new(vec![]).is_err());
+        assert!(!format!("{c:?}").is_empty());
+    }
+
+    #[test]
+    fn zero_crossing_estimator_accuracy() {
+        let s = Sine::new(1.0, 47.0).unwrap();
+        let fs = 10_000.0;
+        let samples: Vec<f64> = (0..5000).map(|k| s.acceleration(k as f64 / fs)).collect();
+        let f = estimate_frequency_zero_crossings(&samples, fs).unwrap();
+        assert!((f - 47.0).abs() < 0.5, "estimated {f}");
+    }
+
+    #[test]
+    fn zero_crossing_estimator_edge_cases() {
+        assert!(estimate_frequency_zero_crossings(&[], 100.0).is_none());
+        assert!(estimate_frequency_zero_crossings(&[1.0, 1.0, 1.0], 100.0).is_none());
+        assert!(estimate_frequency_zero_crossings(&[1.0, 2.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn sources_are_object_safe_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync>(_t: &T) {}
+        let boxed: Box<dyn VibrationSource> = Box::new(Sine::new(1.0, 50.0).unwrap());
+        assert!(boxed.acceleration(0.0).abs() < 1e-12);
+        assert_send_sync(&boxed);
+    }
+}

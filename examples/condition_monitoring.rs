@@ -1,0 +1,95 @@
+//! Condition-monitoring scenario: a sensor node bolted to industrial
+//! machinery whose speed drifts over a shift, powered only by the
+//! machine's own vibration.
+//!
+//! Demonstrates the value of the tunable harvester: the same node is
+//! simulated with the closed-loop tuning controller enabled and
+//! disabled while the dominant vibration frequency ramps 58 → 70 Hz.
+//!
+//! Run with: `cargo run --release --example condition_monitoring`
+
+use ehsim::node::{NodeConfig, SystemSimulator};
+use ehsim::vibration::DriftSchedule;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("=== condition monitoring under frequency drift ===\n");
+
+    // An 8-hour shift: the machine warms up, runs fast, slows again.
+    let duration = 8.0 * 3600.0;
+    let source = DriftSchedule::new(
+        vec![
+            (0.0, 58.0),
+            (2.0 * 3600.0, 64.0),
+            (5.0 * 3600.0, 70.0),
+            (7.0 * 3600.0, 62.0),
+            (duration, 60.0),
+        ],
+        0.9,
+    )?;
+
+    let mut base = NodeConfig::default_node();
+    base.tick_s = 0.25;
+    base.initial_position = base.harvester.position_for_frequency(58.0);
+    base.storage.capacitance = 0.2;
+
+    let mut untuned = base.clone();
+    untuned.tuning.enabled = false;
+
+    let sim_tuned = SystemSimulator::new(base)?;
+    let (m_tuned, trace) = sim_tuned.run_with_trace(&source, duration, 1200)?;
+    let m_untuned = SystemSimulator::new(untuned)?.run(&source, duration)?;
+
+    println!("{:<28} {:>12} {:>12}", "metric", "tuned", "untuned");
+    println!("{}", "-".repeat(54));
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "packets delivered",
+            m_tuned.packets_delivered as f64,
+            m_untuned.packets_delivered as f64,
+        ),
+        (
+            "harvested energy (J)",
+            m_tuned.harvested_energy_j,
+            m_untuned.harvested_energy_j,
+        ),
+        ("uptime fraction", m_tuned.uptime_fraction, m_untuned.uptime_fraction),
+        (
+            "min storage voltage (V)",
+            m_tuned.min_v_store,
+            m_untuned.min_v_store,
+        ),
+        ("retunes", m_tuned.retune_count as f64, m_untuned.retune_count as f64),
+        (
+            "tuning energy (J)",
+            m_tuned.tuning_energy_j,
+            m_untuned.tuning_energy_j,
+        ),
+    ];
+    for (name, a, b) in rows {
+        println!("{name:<28} {a:>12.3} {b:>12.3}");
+    }
+    let gain = m_tuned.harvested_energy_j / m_untuned.harvested_energy_j.max(1e-12);
+    println!(
+        "\nclosed-loop tuning harvested {gain:.1}x the energy, spending {:.3} J \
+         ({:.1}% of the gain) on the actuator\n",
+        m_tuned.tuning_energy_j,
+        100.0 * m_tuned.tuning_energy_j
+            / (m_tuned.harvested_energy_j - m_untuned.harvested_energy_j).max(1e-12)
+    );
+
+    // Frequency-tracking timeline (one row every 40 minutes).
+    println!("time(h)  ambient(Hz)  resonance(Hz)  v_store(V)");
+    for (i, t) in trace.t.iter().enumerate() {
+        if i % 8 == 0 {
+            println!(
+                "{:>6.1}  {:>10.1}  {:>12.1}  {:>9.2}",
+                t / 3600.0,
+                trace.ambient_hz[i],
+                trace.resonance_hz[i],
+                trace.v_store[i]
+            );
+        }
+    }
+    Ok(())
+}

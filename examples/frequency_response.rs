@@ -1,0 +1,86 @@
+//! Frequency response of the tunable harvester, computed three ways:
+//! AC small-signal analysis of the electromechanical netlist, the
+//! analytic phasor solution, and what the tuning actuator does to the
+//! curve.
+//!
+//! Run with: `cargo run --release --example frequency_response`
+
+use ehsim::circuit::ac::ac_sweep;
+use ehsim::circuit::Netlist;
+use ehsim::harvester::Harvester;
+use ehsim::vibration::Sine;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("=== tunable harvester frequency response (AC analysis) ===\n");
+    let h = Harvester::default_tunable();
+    let r_load = 20e3;
+    let freqs: Vec<f64> = (0..121).map(|i| 45.0 + i as f64 * 0.4).collect();
+
+    println!("load voltage magnitude per unit force, three actuator positions:\n");
+    let mut curves = Vec::new();
+    for pos in [0.1, 0.5, 0.9] {
+        // The AC source replaces the inertial-force source; magnitude 1.
+        let (mut nl, out) = h.build_netlist(pos, Arc::new(Sine::new(1.0, 60.0)?))?;
+        nl.resistor("Rload", out, Netlist::GROUND, r_load)?;
+        let sweep = ac_sweep(&nl, "Fsrc", &freqs, None)?;
+        let mags = sweep.magnitude("harv_out").expect("output node exists");
+        let peak = sweep.peak_frequency("harv_out").expect("peak exists");
+        println!(
+            "  actuator at {pos:.1}: resonance (mechanical) = {:.1} Hz, AC peak = {peak:.1} Hz",
+            h.resonant_frequency(pos)
+        );
+        curves.push((pos, mags));
+    }
+
+    // ASCII overlay of the three resonance curves.
+    println!("\n  magnitude (normalised)\n");
+    let max_all = curves
+        .iter()
+        .flat_map(|(_, m)| m.iter().copied())
+        .fold(0.0f64, f64::max);
+    let rows = 16;
+    for r in (0..rows).rev() {
+        let threshold = max_all * (r as f64 + 0.5) / rows as f64;
+        let mut line = String::from("  |");
+        for i in 0..freqs.len() {
+            let mut ch = ' ';
+            for (idx, (_, mags)) in curves.iter().enumerate() {
+                if mags[i] >= threshold {
+                    ch = ['1', '2', '3'][idx];
+                }
+            }
+            line.push(ch);
+        }
+        println!("{line}");
+    }
+    println!("  +{}", "-".repeat(freqs.len()));
+    println!(
+        "   {:<10} {:>50} {:>55}",
+        freqs[0],
+        "frequency (Hz)",
+        freqs[freqs.len() - 1]
+    );
+    println!("\n  1 = actuator 0.1, 2 = actuator 0.5, 3 = actuator 0.9");
+    println!(
+        "\nthe actuator slides the resonance across the 55-85 Hz tuning range — \
+         the mechanism the node's tuning controller exploits."
+    );
+
+    // Cross-check one point against the analytic solution.
+    let pos = 0.5;
+    let f_chk = h.resonant_frequency(pos);
+    let ss = h.steady_state(pos, f_chk, 1.0 / h.mass_kg, r_load)?;
+    let (mut nl, out) = h.build_netlist(pos, Arc::new(Sine::new(1.0, f_chk)?))?;
+    nl.resistor("Rload", out, Netlist::GROUND, r_load)?;
+    let sweep = ac_sweep(&nl, "Fsrc", &[f_chk], None)?;
+    let ac_mag = sweep.voltage(0, "harv_out").expect("node").abs();
+    let analytic = ss.current_amp * r_load;
+    println!(
+        "\ncross-check at {f_chk:.1} Hz: AC analysis {ac_mag:.4} V vs analytic {analytic:.4} V \
+         (difference {:.2e})",
+        (ac_mag - analytic).abs()
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Cross-validation of the two circuit engines on the complete
+//! harvester front-end, and verification of the linearized engine's
+//! cost advantage (experiments E2/E7 in test form).
+
+use ehsim::circuit::{
+    LinearizedStateSpaceEngine, NewtonRaphsonEngine, Probe, TransientConfig,
+};
+use ehsim::harvester::Harvester;
+use ehsim::power::frontend::build_frontend;
+use ehsim::power::Multiplier;
+use ehsim::vibration::Sine;
+use std::sync::Arc;
+
+fn frontend() -> (ehsim::circuit::Netlist, String) {
+    let h = Harvester::default_tunable();
+    let pos = h.position_for_frequency(64.0);
+    let fe = build_frontend(
+        &h,
+        pos,
+        Arc::new(Sine::new(0.9, 64.0).expect("valid source")),
+        &Multiplier::default(),
+        47e-6,
+        0.0,
+        None,
+    )
+    .expect("frontend builds");
+    let name = format!("v({})", fe.store_node_name);
+    (fe.netlist, name)
+}
+
+#[test]
+fn engines_agree_on_storage_charging() {
+    let (nl, signal) = frontend();
+    let probe = Probe::NodeVoltage(signal.trim_start_matches("v(").trim_end_matches(')').to_string());
+    let t_end = 0.4;
+
+    let nr = NewtonRaphsonEngine::default()
+        .simulate(
+            &nl,
+            &TransientConfig::new(t_end, 2e-5).expect("config"),
+            &[probe.clone()],
+        )
+        .expect("newton engine runs");
+    let lss = LinearizedStateSpaceEngine::default()
+        .simulate(
+            &nl,
+            &TransientConfig::new(t_end, 2e-4).expect("config"),
+            &[probe],
+        )
+        .expect("lss engine runs");
+
+    let v_nr = *nr.signal(&signal).expect("signal recorded").last().unwrap();
+    let v_lss = *lss.signal(&signal).expect("signal recorded").last().unwrap();
+    assert!(v_nr > 0.005, "storage must charge: {v_nr}");
+    // The engines use different diode models (Shockley vs PWL); they
+    // must agree within ~15% on the charged voltage.
+    let rel = (v_nr - v_lss).abs() / v_nr;
+    assert!(rel < 0.15, "nr {v_nr} vs lss {v_lss} ({:.1}% apart)", 100.0 * rel);
+}
+
+#[test]
+fn lss_is_vastly_cheaper_in_lu_work() {
+    let (nl, _) = frontend();
+    let t_end = 0.2;
+    let nr = NewtonRaphsonEngine::default()
+        .simulate(&nl, &TransientConfig::new(t_end, 2e-5).expect("config"), &[])
+        .expect("newton engine runs");
+    let lss = LinearizedStateSpaceEngine::default()
+        .simulate(&nl, &TransientConfig::new(t_end, 2e-4).expect("config"), &[])
+        .expect("lss engine runs");
+    // Factorisation counts differ by orders of magnitude: the NR engine
+    // refactors every iteration of every step, the LSS engine once per
+    // conduction topology.
+    assert!(
+        nr.stats.lu_factorizations > 500 * lss.stats.lu_factorizations.max(1),
+        "nr {} vs lss {}",
+        nr.stats.lu_factorizations,
+        lss.stats.lu_factorizations
+    );
+    // And the topology cache is effective.
+    assert!(
+        lss.stats.topology_cache_hits > 10 * lss.stats.lu_factorizations,
+        "{:?}",
+        lss.stats
+    );
+}
+
+#[test]
+fn lss_matches_reference_on_linear_harvester() {
+    // With the multiplier removed (pure resistive load) the system is
+    // linear and the LSS engine is exact up to input discretisation:
+    // compare against the analytic steady state.
+    let h = Harvester::default_tunable();
+    let pos = h.position_for_frequency(64.0);
+    let (mut nl, out) = h
+        .build_netlist(pos, Arc::new(Sine::new(0.9, 64.0).expect("valid")))
+        .expect("netlist builds");
+    let r_load = 20e3;
+    nl.resistor("Rload", out, ehsim::circuit::Netlist::GROUND, r_load)
+        .expect("load attaches");
+    let cfg = TransientConfig::new(3.0, 2e-4).expect("config");
+    let res = LinearizedStateSpaceEngine::default()
+        .simulate(&nl, &cfg, &[Probe::element_power("Rload")])
+        .expect("lss runs");
+    let p = res.signal("p(Rload)").expect("power recorded");
+    let tail = &p[p.len() * 2 / 3..];
+    let p_avg: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+    let p_exact = h
+        .steady_state(pos, 64.0, 0.9, r_load)
+        .expect("steady state")
+        .load_power_w;
+    assert!(
+        (p_avg - p_exact).abs() < 0.08 * p_exact,
+        "sim {p_avg} vs analytic {p_exact}"
+    );
+}
