@@ -21,7 +21,11 @@ fn doe_machinery(c: &mut Criterion) {
         .build()
         .expect("design");
     let spec = ModelSpec::quadratic(4).expect("spec");
-    let y: Vec<f64> = design.points().iter().map(|p| synthetic_response(p)).collect();
+    let y: Vec<f64> = design
+        .points()
+        .iter()
+        .map(|p| synthetic_response(p))
+        .collect();
     let fitted = fit(&spec, design.points(), &y).expect("fit");
 
     c.bench_function("design_ccd_k4", |b| {

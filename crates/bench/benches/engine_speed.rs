@@ -10,7 +10,9 @@ use std::time::Duration;
 fn engines(c: &mut Criterion) {
     let (nl, _) = frontend_netlist();
     let mut group = c.benchmark_group("circuit_engines_0p2s");
-    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12));
 
     group.bench_function("newton_raphson", |b| {
         b.iter(|| {

@@ -17,7 +17,9 @@ fn rsm_vs_sim(c: &mut Criterion) {
     let model = surrogates.model(0).clone();
 
     let mut group = c.benchmark_group("design_point_evaluation");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("system_simulation_30min", |b| {
         b.iter(|| {
             black_box(

@@ -10,9 +10,15 @@ use ehsim_core::flow::{DesignChoice, DoeFlow};
 
 fn main() {
     println!("E1 — RSM accuracy (CCD 24+3 runs, 25 validation simulations)\n");
-    let campaign = flagship_campaign(3600.0);
+    run(3600.0, 25, 8);
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path.
+fn run(duration_s: f64, n_validation: usize, threads: usize) {
+    let campaign = flagship_campaign(duration_s);
     let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
-        .with_threads(8)
+        .with_threads(threads)
         .run(&campaign)
         .expect("flow runs");
     println!(
@@ -22,7 +28,7 @@ fn main() {
     );
 
     let rows = surrogates
-        .validate(&campaign, 25, 2024, 8)
+        .validate(&campaign, n_validation, 2024, threads)
         .expect("validation runs");
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>12} {:>12} {:>10}",
@@ -48,4 +54,12 @@ fn main() {
          percent of their range; the packet rate, which crosses the brown-out \
          cliff, is the worst case."
     );
+}
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn e1_runs_on_a_tiny_configuration() {
+        super::run(60.0, 2, 2);
+    }
 }

@@ -15,23 +15,37 @@ use std::time::Instant;
 
 fn main() {
     println!("E2 — CPU time per design-point evaluation\n");
+    run(1.0, 3600.0, 1_000_000, 8);
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path.
+fn run(circuit_horizon_s: f64, system_duration_s: f64, n_rsm_evals: usize, threads: usize) {
     let (nl, _) = frontend_netlist();
 
-    // Circuit level, 1 s of simulated time.
+    // Circuit level.
     let t0 = Instant::now();
     let nr = NewtonRaphsonEngine::default()
-        .simulate(&nl, &TransientConfig::new(1.0, 2e-5).expect("cfg"), &[])
+        .simulate(
+            &nl,
+            &TransientConfig::new(circuit_horizon_s, 2e-5).expect("cfg"),
+            &[],
+        )
         .expect("nr runs");
     let nr_wall = t0.elapsed();
 
     let t1 = Instant::now();
     let lss = LinearizedStateSpaceEngine::default()
-        .simulate(&nl, &TransientConfig::new(1.0, 2e-4).expect("cfg"), &[])
+        .simulate(
+            &nl,
+            &TransientConfig::new(circuit_horizon_s, 2e-4).expect("cfg"),
+            &[],
+        )
         .expect("lss runs");
     let lss_wall = t1.elapsed();
 
-    // System level, 1 h of simulated time.
-    let campaign = flagship_campaign(3600.0);
+    // System level.
+    let campaign = flagship_campaign(system_duration_s);
     let t2 = Instant::now();
     let _ = campaign
         .evaluate_coded(&[0.0, 0.0, 0.0, 0.0])
@@ -40,12 +54,12 @@ fn main() {
 
     // RSM evaluation, amortised over a million calls.
     let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
-        .with_threads(8)
+        .with_threads(threads)
         .run(&campaign)
         .expect("flow runs");
     let model = surrogates.model(0);
     let t3 = Instant::now();
-    let n_eval = 1_000_000usize;
+    let n_eval = n_rsm_evals.max(1);
     let mut acc = 0.0;
     for i in 0..n_eval {
         let x = [
@@ -66,10 +80,19 @@ fn main() {
     println!("{}", "-".repeat(78));
     let base = nr_wall.as_secs_f64();
     for (name, wall) in [
-        ("circuit transient, Newton-Raphson (1 s sim)", nr_wall),
-        ("circuit transient, linearized SS (1 s sim)", lss_wall),
-        ("system-level node simulation (1 h sim)", sys_wall),
-        ("RSM evaluation (one prediction)", rsm_each),
+        (
+            format!("circuit transient, Newton-Raphson ({circuit_horizon_s} s sim)"),
+            nr_wall,
+        ),
+        (
+            format!("circuit transient, linearized SS ({circuit_horizon_s} s sim)"),
+            lss_wall,
+        ),
+        (
+            format!("system-level node simulation ({system_duration_s} s sim)"),
+            sys_wall,
+        ),
+        ("RSM evaluation (one prediction)".to_string(), rsm_each),
     ] {
         println!(
             "{:<44} {:>14.3?} {:>15.0}x",
@@ -93,4 +116,12 @@ fn main() {
         rsm_each * 1_000_000,
         1e6 * sys_wall.as_secs_f64() / 3600.0
     );
+}
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn e2_runs_on_a_tiny_configuration() {
+        super::run(0.005, 60.0, 500, 2);
+    }
 }

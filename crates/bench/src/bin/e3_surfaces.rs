@@ -9,24 +9,29 @@ use std::path::PathBuf;
 
 fn main() {
     println!("E3 — response surfaces\n");
-    let campaign = flagship_campaign(3600.0);
+    run(3600.0, 30, 8, PathBuf::from("target"));
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path.
+fn run(duration_s: f64, grid_n: usize, threads: usize, out_dir: PathBuf) {
+    let campaign = flagship_campaign(duration_s);
     let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
-        .with_threads(8)
+        .with_threads(threads)
         .run(&campaign)
         .expect("flow runs");
     let base = surrogates.space().center();
 
     // Figure E3a: packets/hour over storage capacitance x task period.
-    let fig_a = sweep_2d(&surrogates, 0, 0, 1, &base, 30).expect("sweep");
+    let fig_a = sweep_2d(&surrogates, 0, 0, 1, &base, grid_n).expect("sweep");
     println!("{}", fig_a.ascii());
 
     // Figure E3b: brown-out margin over storage capacitance x retune
     // threshold.
-    let fig_b = sweep_2d(&surrogates, 1, 0, 2, &base, 30).expect("sweep");
+    let fig_b = sweep_2d(&surrogates, 1, 0, 2, &base, grid_n).expect("sweep");
     println!("{}", fig_b.ascii());
 
     // CSV export for external plotting.
-    let out_dir = PathBuf::from("target");
     for (name, fig) in [("e3a_packets", &fig_a), ("e3b_margin", &fig_b)] {
         let mut rows = Vec::new();
         for (i, y) in fig.ys.iter().enumerate() {
@@ -35,8 +40,24 @@ fn main() {
             }
         }
         let path = out_dir.join(format!("{name}.csv"));
-        write_csv(&path, &[&fig.x_factor, &fig.y_factor, &fig.indicator], &rows)
-            .expect("csv writes");
+        write_csv(
+            &path,
+            &[&fig.x_factor, &fig.y_factor, &fig.indicator],
+            &rows,
+        )
+        .expect("csv writes");
         println!("wrote {} ({} cells)", path.display(), rows.len());
+    }
+}
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn e3_runs_on_a_tiny_configuration() {
+        let out = std::env::temp_dir().join("ehsim_e3_smoke");
+        std::fs::create_dir_all(&out).expect("temp dir");
+        super::run(60.0, 4, 2, out.clone());
+        assert!(out.join("e3a_packets.csv").exists());
+        assert!(out.join("e3b_margin.csv").exists());
     }
 }

@@ -11,9 +11,15 @@ use std::time::Instant;
 
 fn main() {
     println!("E4 — throughput vs robustness trade-off\n");
-    let campaign = flagship_campaign(3600.0);
+    run(3600.0, 5000, 8, PathBuf::from("target/e4_pareto.csv"));
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path.
+fn run(duration_s: f64, n_samples: usize, threads: usize, out_path: PathBuf) {
+    let campaign = flagship_campaign(duration_s);
     let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
-        .with_threads(8)
+        .with_threads(threads)
         .run(&campaign)
         .expect("flow runs");
 
@@ -21,14 +27,14 @@ fn main() {
     let front = pareto_front(
         &surrogates,
         &[(0, Goal::Maximize), (1, Goal::Maximize)],
-        5000,
+        n_samples,
         11,
     )
     .expect("front extracts");
     let wall = t0.elapsed();
     println!(
-        "Pareto front: {} points from 5000 surrogate samples in {wall:.2?} \
-         (direct simulation would need 5000 runs)\n",
+        "Pareto front: {} points from {n_samples} surrogate samples in {wall:.2?} \
+         (direct simulation would need {n_samples} runs)\n",
         front.len()
     );
     println!(
@@ -57,7 +63,7 @@ fn main() {
             r
         })
         .collect();
-    let path = PathBuf::from("target/e4_pareto.csv");
+    let path = out_path;
     write_csv(
         &path,
         &[
@@ -72,4 +78,16 @@ fn main() {
     )
     .expect("csv writes");
     println!("\nwrote {}", path.display());
+}
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn e4_runs_on_a_tiny_configuration() {
+        let out = std::env::temp_dir().join("ehsim_e4_smoke");
+        std::fs::create_dir_all(&out).expect("temp dir");
+        let csv = out.join("e4_pareto.csv");
+        super::run(60.0, 50, 2, csv.clone());
+        assert!(csv.exists());
+    }
 }

@@ -8,13 +8,20 @@ use std::path::PathBuf;
 
 fn main() {
     println!("E5 — tuning benefit under frequency drift (8 h shift)\n");
-    let duration = 8.0 * 3600.0;
+    run(8.0 * 3600.0, 600, PathBuf::from("target/e5_tracking.csv"));
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path. The drift
+/// breakpoints scale with `duration` so the shape of the shift is the
+/// same at every length.
+fn run(duration: f64, trace_points: usize, out_path: PathBuf) {
     let source = DriftSchedule::new(
         vec![
             (0.0, 58.0),
-            (2.0 * 3600.0, 64.0),
-            (5.0 * 3600.0, 70.0),
-            (7.0 * 3600.0, 62.0),
+            (duration * 2.0 / 8.0, 64.0),
+            (duration * 5.0 / 8.0, 70.0),
+            (duration * 7.0 / 8.0, 62.0),
             (duration, 60.0),
         ],
         0.9,
@@ -30,22 +37,49 @@ fn main() {
 
     let (tuned, trace) = SystemSimulator::new(base)
         .expect("config valid")
-        .run_with_trace(&source, duration, 600)
+        .run_with_trace(&source, duration, trace_points)
         .expect("tuned run");
     let untuned = SystemSimulator::new(untuned_cfg)
         .expect("config valid")
         .run(&source, duration)
         .expect("untuned run");
 
-    println!("{:<28} {:>12} {:>12} {:>9}", "metric", "tuned", "untuned", "ratio");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "metric", "tuned", "untuned", "ratio"
+    );
     println!("{}", "-".repeat(64));
     let rows: Vec<(&str, f64, f64)> = vec![
-        ("packets delivered", tuned.packets_delivered as f64, untuned.packets_delivered as f64),
-        ("harvested energy (J)", tuned.harvested_energy_j, untuned.harvested_energy_j),
-        ("uptime fraction", tuned.uptime_fraction, untuned.uptime_fraction),
-        ("brown-outs", tuned.brownout_count as f64, untuned.brownout_count as f64),
-        ("retunes", tuned.retune_count as f64, untuned.retune_count as f64),
-        ("tuning energy (J)", tuned.tuning_energy_j, untuned.tuning_energy_j),
+        (
+            "packets delivered",
+            tuned.packets_delivered as f64,
+            untuned.packets_delivered as f64,
+        ),
+        (
+            "harvested energy (J)",
+            tuned.harvested_energy_j,
+            untuned.harvested_energy_j,
+        ),
+        (
+            "uptime fraction",
+            tuned.uptime_fraction,
+            untuned.uptime_fraction,
+        ),
+        (
+            "brown-outs",
+            tuned.brownout_count as f64,
+            untuned.brownout_count as f64,
+        ),
+        (
+            "retunes",
+            tuned.retune_count as f64,
+            untuned.retune_count as f64,
+        ),
+        (
+            "tuning energy (J)",
+            tuned.tuning_energy_j,
+            untuned.tuning_energy_j,
+        ),
     ];
     for (name, a, b) in rows {
         let ratio = if b.abs() > 1e-12 { a / b } else { f64::NAN };
@@ -71,12 +105,32 @@ fn main() {
             ]
         })
         .collect();
-    let path = PathBuf::from("target/e5_tracking.csv");
+    let path = out_path;
     write_csv(
         &path,
-        &["t_hours", "ambient_hz", "resonance_hz", "v_store", "p_harvest_uw"],
+        &[
+            "t_hours",
+            "ambient_hz",
+            "resonance_hz",
+            "v_store",
+            "p_harvest_uw",
+        ],
         &rows,
     )
     .expect("csv writes");
     println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod smoke {
+    use std::path::PathBuf;
+
+    #[test]
+    fn e5_runs_on_a_tiny_configuration() {
+        let out = std::env::temp_dir().join("ehsim_e5_smoke");
+        std::fs::create_dir_all(&out).expect("temp dir");
+        let csv: PathBuf = out.join("e5_tracking.csv");
+        super::run(300.0, 10, csv.clone());
+        assert!(csv.exists());
+    }
 }

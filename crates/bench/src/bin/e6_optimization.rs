@@ -14,7 +14,16 @@ use std::time::Instant;
 
 fn main() {
     println!("E6 — optimisation cost comparison (maximise packets/h, margin >= 0)\n");
-    let campaign = flagship_campaign(1800.0);
+    run(1800.0, 3, 60, 8);
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path. `grid_levels`
+/// sets the grid-search resolution and `evals` the budget of each
+/// sequential optimiser.
+fn run(duration_s: f64, grid_levels: usize, evals: usize, threads: usize) {
+    let ga_generations = (evals / 10).max(1);
+    let campaign = flagship_campaign(duration_s);
 
     // The penalised simulation objective every classical method sees.
     let sim_calls = std::cell::Cell::new(0usize);
@@ -36,7 +45,7 @@ fn main() {
     // DoE flow.
     let t0 = Instant::now();
     let surrogates = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 3 })
-        .with_threads(8)
+        .with_threads(threads)
         .run(&campaign)
         .expect("flow runs");
     let best = surrogates
@@ -56,34 +65,54 @@ fn main() {
     {
         sim_calls.set(0);
         let t = Instant::now();
-        let out = grid_search(&mut objective, 4, 3).expect("grid runs");
+        let out = grid_search(&mut objective, 4, grid_levels).expect("grid runs");
         let y = campaign.evaluate_coded(&out.best).expect("verify");
-        labels.push("grid 3^4".into());
-        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+        labels.push(format!("grid {grid_levels}^4"));
+        table.push(vec![
+            (sim_calls.get() + 1) as f64,
+            y[0],
+            y[1],
+            t.elapsed().as_secs_f64(),
+        ]);
     }
     {
         sim_calls.set(0);
         let t = Instant::now();
-        let out = nelder_mead(&mut objective, 4, 60).expect("nelder-mead runs");
+        let out = nelder_mead(&mut objective, 4, evals).expect("nelder-mead runs");
         let y = campaign.evaluate_coded(&out.best).expect("verify");
-        labels.push("nelder-mead (60 evals)".into());
-        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+        labels.push(format!("nelder-mead ({evals} evals)"));
+        table.push(vec![
+            (sim_calls.get() + 1) as f64,
+            y[0],
+            y[1],
+            t.elapsed().as_secs_f64(),
+        ]);
     }
     {
         sim_calls.set(0);
         let t = Instant::now();
-        let out = simulated_annealing(&mut objective, 4, 60, 7).expect("annealing runs");
+        let out = simulated_annealing(&mut objective, 4, evals, 7).expect("annealing runs");
         let y = campaign.evaluate_coded(&out.best).expect("verify");
-        labels.push("sim-annealing (60 evals)".into());
-        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+        labels.push(format!("sim-annealing ({evals} evals)"));
+        table.push(vec![
+            (sim_calls.get() + 1) as f64,
+            y[0],
+            y[1],
+            t.elapsed().as_secs_f64(),
+        ]);
     }
     {
         sim_calls.set(0);
         let t = Instant::now();
-        let out = genetic(&mut objective, 4, 10, 6, 13).expect("genetic runs");
+        let out = genetic(&mut objective, 4, 10, ga_generations, 13).expect("genetic runs");
         let y = campaign.evaluate_coded(&out.best).expect("verify");
-        labels.push("genetic (10x6)".into());
-        table.push(vec![(sim_calls.get() + 1) as f64, y[0], y[1], t.elapsed().as_secs_f64()]);
+        labels.push(format!("genetic (10x{ga_generations})"));
+        table.push(vec![
+            (sim_calls.get() + 1) as f64,
+            y[0],
+            y[1],
+            t.elapsed().as_secs_f64(),
+        ]);
     }
 
     println!(
@@ -103,4 +132,12 @@ fn main() {
          trade-off question afterwards is free, whereas each classical \
          method restarts from zero."
     );
+}
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn e6_runs_on_a_tiny_configuration() {
+        super::run(60.0, 2, 10, 2);
+    }
 }

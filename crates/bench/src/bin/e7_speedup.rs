@@ -9,6 +9,12 @@ use std::time::Instant;
 
 fn main() {
     println!("E7 — engine speed-up vs simulated horizon\n");
+    run(&[0.25, 0.5, 1.0, 2.0]);
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path.
+fn run(horizons: &[f64]) {
     let (nl, signal) = frontend_netlist();
     let node = signal
         .trim_start_matches("v(")
@@ -21,7 +27,7 @@ fn main() {
         "horizon", "NR wall", "LSS wall", "speed-up", "NR LU", "LSS LU", "agree"
     );
     println!("{}", "-".repeat(88));
-    for horizon in [0.25, 0.5, 1.0, 2.0] {
+    for &horizon in horizons {
         let t0 = Instant::now();
         let nr = NewtonRaphsonEngine::default()
             .simulate(
@@ -69,4 +75,12 @@ fn main() {
          both at the same 2e-5 step pushes the ratio towards the two orders \
          of magnitude reported in the authors' TCAD paper."
     );
+}
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn e7_runs_on_a_tiny_configuration() {
+        super::run(&[0.01]);
+    }
 }

@@ -7,16 +7,33 @@ use ehsim_core::flow::{DesignChoice, DoeFlow};
 
 fn main() {
     println!("E8 — design-choice ablation (4 factors, quadratic RSM)\n");
-    let campaign = flagship_campaign(1800.0);
-
     let choices: Vec<(&str, DesignChoice)> = vec![
-        ("ccd face-centered +3c", DesignChoice::FaceCenteredCcd { center_points: 3 }),
-        ("box-behnken +3c", DesignChoice::BoxBehnken { center_points: 3 }),
+        (
+            "ccd face-centered +3c",
+            DesignChoice::FaceCenteredCcd { center_points: 3 },
+        ),
+        (
+            "box-behnken +3c",
+            DesignChoice::BoxBehnken { center_points: 3 },
+        ),
         ("full factorial 3^4", DesignChoice::FullFactorial3),
-        ("latin hypercube n=27", DesignChoice::LatinHypercube { n: 27, seed: 5 }),
-        ("latin hypercube n=60", DesignChoice::LatinHypercube { n: 60, seed: 5 }),
+        (
+            "latin hypercube n=27",
+            DesignChoice::LatinHypercube { n: 27, seed: 5 },
+        ),
+        (
+            "latin hypercube n=60",
+            DesignChoice::LatinHypercube { n: 60, seed: 5 },
+        ),
         ("d-optimal n=20", DesignChoice::DOptimal { n: 20, seed: 5 }),
     ];
+    run(1800.0, choices, 20, 8);
+}
+
+/// The experiment body, scale-parameterised so the smoke test can run a
+/// tiny configuration through the identical code path.
+fn run(duration_s: f64, choices: Vec<(&str, DesignChoice)>, n_validation: usize, threads: usize) {
+    let campaign = flagship_campaign(duration_s);
 
     println!(
         "{:<24} {:>6} {:>12} {:>14} {:>14}",
@@ -24,7 +41,7 @@ fn main() {
     );
     println!("{}", "-".repeat(76));
     for (name, choice) in choices {
-        let flow = DoeFlow::new(choice).with_threads(8);
+        let flow = DoeFlow::new(choice).with_threads(threads);
         let surrogates = match flow.run(&campaign) {
             Ok(s) => s,
             Err(e) => {
@@ -33,7 +50,7 @@ fn main() {
             }
         };
         let rows = surrogates
-            .validate(&campaign, 20, 777, 8)
+            .validate(&campaign, n_validation, 777, threads)
             .expect("validation runs");
         println!(
             "{:<24} {:>6} {:>12.2?} {:>13.1}% {:>13.1}%",
@@ -50,4 +67,24 @@ fn main() {
          LHS needs substantially more runs for the same accuracy; D-optimal \
          squeezes the budget further at some robustness cost."
     );
+}
+
+#[cfg(test)]
+mod smoke {
+    use ehsim_core::flow::DesignChoice;
+
+    #[test]
+    fn e8_runs_on_a_tiny_configuration() {
+        let choices = vec![
+            (
+                "ccd face-centered +1c",
+                DesignChoice::FaceCenteredCcd { center_points: 1 },
+            ),
+            (
+                "latin hypercube n=20",
+                DesignChoice::LatinHypercube { n: 20, seed: 5 },
+            ),
+        ];
+        super::run(60.0, choices, 2, 2);
+    }
 }

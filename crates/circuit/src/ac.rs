@@ -133,36 +133,51 @@ pub fn ac_sweep(
                 Some(n.index() - 1)
             }
         };
-        let stamp_admittance =
-            |a: &mut Vec<Vec<Complex>>, p: crate::netlist::NodeId, q: crate::netlist::NodeId, y: Complex| {
-                if let Some(i) = row_of(p) {
-                    a[i][i] = a[i][i] + y;
-                }
-                if let Some(j) = row_of(q) {
-                    a[j][j] = a[j][j] + y;
-                }
-                if let (Some(i), Some(j)) = (row_of(p), row_of(q)) {
-                    a[i][j] = a[i][j] - y;
-                    a[j][i] = a[j][i] - y;
-                }
-            };
+        let stamp_admittance = |a: &mut Vec<Vec<Complex>>,
+                                p: crate::netlist::NodeId,
+                                q: crate::netlist::NodeId,
+                                y: Complex| {
+            if let Some(i) = row_of(p) {
+                a[i][i] = a[i][i] + y;
+            }
+            if let Some(j) = row_of(q) {
+                a[j][j] = a[j][j] + y;
+            }
+            if let (Some(i), Some(j)) = (row_of(p), row_of(q)) {
+                a[i][j] = a[i][j] - y;
+                a[j][i] = a[j][i] - y;
+            }
+        };
 
         for (id, e) in nl.iter() {
             match &e.kind {
                 ElementKind::Resistor { a: p, b: q, ohms } => {
                     stamp_admittance(&mut a, *p, *q, Complex::real(1.0 / ohms));
                 }
-                ElementKind::Capacitor { a: p, b: q, farads, .. } => {
+                ElementKind::Capacitor {
+                    a: p, b: q, farads, ..
+                } => {
                     stamp_admittance(&mut a, *p, *q, Complex::new(0.0, w * farads));
                 }
-                ElementKind::Diode { anode, cathode, model } => {
-                    let vd = bias
-                        .and_then(|b| b.get(&e.name))
-                        .copied()
-                        .unwrap_or(0.0);
-                    stamp_admittance(&mut a, *anode, *cathode, Complex::real(model.conductance(vd)));
+                ElementKind::Diode {
+                    anode,
+                    cathode,
+                    model,
+                } => {
+                    let vd = bias.and_then(|b| b.get(&e.name)).copied().unwrap_or(0.0);
+                    stamp_admittance(
+                        &mut a,
+                        *anode,
+                        *cathode,
+                        Complex::real(model.conductance(vd)),
+                    );
                 }
-                ElementKind::Inductor { a: p, b: q, henries, .. } => {
+                ElementKind::Inductor {
+                    a: p,
+                    b: q,
+                    henries,
+                    ..
+                } => {
                     let bidx = n_nodes - 1 + ind_branch[&id.index()];
                     if let Some(i) = row_of(*p) {
                         a[i][bidx] = a[i][bidx] + Complex::real(1.0);
@@ -230,12 +245,7 @@ pub fn ac_sweep(
     }
 
     let node_index = (0..n_nodes)
-        .map(|i| {
-            (
-                nl.node_name(crate::netlist::NodeId(i)).to_string(),
-                i,
-            )
-        })
+        .map(|i| (nl.node_name(crate::netlist::NodeId(i)).to_string(), i))
         .collect();
     Ok(AcSweep {
         freqs: freqs.to_vec(),
@@ -297,7 +307,8 @@ mod tests {
         nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::Dc(0.0))
             .unwrap();
         nl.resistor("R1", vin, vout, 1e3).unwrap();
-        nl.capacitor("C1", vout, Netlist::GROUND, 1e-6, 0.0).unwrap();
+        nl.capacitor("C1", vout, Netlist::GROUND, 1e-6, 0.0)
+            .unwrap();
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-6);
         let sweep = ac_sweep(&nl, "V1", &[fc / 10.0, fc, fc * 10.0], None).unwrap();
         let mags = sweep.magnitude("out").unwrap();
@@ -321,9 +332,7 @@ mod tests {
         nl.capacitor("C1", mid, out, 1e-6, 0.0).unwrap();
         nl.resistor("R1", out, Netlist::GROUND, 10.0).unwrap();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (10e-3f64 * 1e-6).sqrt());
-        let freqs: Vec<f64> = (0..200)
-            .map(|i| f0 * (0.5 + i as f64 / 199.0))
-            .collect();
+        let freqs: Vec<f64> = (0..200).map(|i| f0 * (0.5 + i as f64 / 199.0)).collect();
         let sweep = ac_sweep(&nl, "V1", &freqs, None).unwrap();
         let peak = sweep.peak_frequency("out").unwrap();
         assert!((peak - f0).abs() < 0.02 * f0, "peak {peak} vs f0 {f0}");
@@ -361,10 +370,12 @@ mod tests {
         let l_mass = nl.inductor("Lmass", m1, m2, MASS, 0.0).unwrap();
         nl.resistor("Rdamp", m2, m3, DAMP).unwrap();
         nl.capacitor("Cspring", m3, m4, 1.0 / k, 0.0).unwrap();
-        nl.ccvs("Hemf", emf, Netlist::GROUND, l_mass, GAMMA).unwrap();
+        nl.ccvs("Hemf", emf, Netlist::GROUND, l_mass, GAMMA)
+            .unwrap();
         let l_coil = nl.inductor("Lcoil", emf, cm, L_COIL, 0.0).unwrap();
         nl.resistor("Rcoil", cm, out, R_COIL).unwrap();
-        nl.ccvs("Hreact", m4, Netlist::GROUND, l_coil, GAMMA).unwrap();
+        nl.ccvs("Hreact", m4, Netlist::GROUND, l_coil, GAMMA)
+            .unwrap();
         nl.resistor("Rload", out, Netlist::GROUND, R_LOAD).unwrap();
 
         let freqs: Vec<f64> = (0..301).map(|i| 45.0 + i as f64 * 0.15).collect();

@@ -331,9 +331,11 @@ impl LssPrep {
     }
 
     fn element_output(&self, nl: &Netlist, name: &str) -> Result<(OutputSpec, NodeId, NodeId)> {
-        let id = nl.find_element(name).ok_or_else(|| CircuitError::UnknownProbe {
-            name: name.to_string(),
-        })?;
+        let id = nl
+            .find_element(name)
+            .ok_or_else(|| CircuitError::UnknownProbe {
+                name: name.to_string(),
+            })?;
         // Locate the element's slot within its class by counting.
         let mut res_i = 0;
         let mut cap_i = 0;
@@ -397,9 +399,9 @@ impl LssPrep {
     fn resolve_probe(&self, nl: &Netlist, probe: &Probe) -> Result<ProbeSpec> {
         match probe {
             Probe::NodeVoltage(name) => {
-                let node = nl.find_node(name).ok_or_else(|| CircuitError::UnknownProbe {
-                    name: name.clone(),
-                })?;
+                let node = nl
+                    .find_node(name)
+                    .ok_or_else(|| CircuitError::UnknownProbe { name: name.clone() })?;
                 Ok(ProbeSpec::Single(OutputSpec::NodeV(node)))
             }
             Probe::ElementCurrent(name) => {
@@ -422,12 +424,7 @@ impl LssPrep {
     }
 
     /// Builds (and discretises) the LTI system for one diode topology.
-    fn build_topology(
-        &self,
-        mask: u64,
-        h: f64,
-        stats: &mut SimStats,
-    ) -> Result<Topology> {
+    fn build_topology(&self, mask: u64, h: f64, stats: &mut SimStats) -> Result<Topology> {
         let ns = self.n_states;
         let nu = self.n_inputs;
         let ncols = ns + nu + 1;
@@ -466,9 +463,7 @@ impl LssPrep {
             .iter()
             .map(|p| match p {
                 ProbeSpec::Single(_) => ProbeRowSet::Single(vec![0.0; z_len]),
-                ProbeSpec::Power(_, _) => {
-                    ProbeRowSet::Product(vec![0.0; z_len], vec![0.0; z_len])
-                }
+                ProbeSpec::Power(_, _) => ProbeRowSet::Product(vec![0.0; z_len], vec![0.0; z_len]),
             })
             .collect();
 
@@ -683,8 +678,7 @@ impl LinearizedStateSpaceEngine {
             }
         }
 
-        let mut result =
-            TransientResult::new(probes.iter().map(|p| p.signal_name()).collect());
+        let mut result = TransientResult::new(probes.iter().map(|p| p.signal_name()).collect());
         {
             let topo = Self::get_topology(&prep, &mut cache, mask, cfg.dt, &mut stats)?;
             z[..ns].copy_from_slice(&x);
@@ -757,11 +751,7 @@ impl LinearizedStateSpaceEngine {
                 let mut flip_idx = None;
                 for kd in 0..prep.diodes.len() {
                     let on = prep.diode_on(mask, kd);
-                    let violated = if on {
-                        f_end[kd] < 0.0
-                    } else {
-                        f_end[kd] > 0.0
-                    };
+                    let violated = if on { f_end[kd] < 0.0 } else { f_end[kd] > 0.0 };
                     if !violated {
                         continue;
                     }
@@ -886,7 +876,8 @@ mod tests {
         nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::Dc(1.0))
             .unwrap();
         nl.resistor("R1", vin, vout, 1e3).unwrap();
-        nl.capacitor("C1", vout, Netlist::GROUND, 1e-6, 0.0).unwrap();
+        nl.capacitor("C1", vout, Netlist::GROUND, 1e-6, 0.0)
+            .unwrap();
         nl
     }
 
@@ -913,7 +904,8 @@ mod tests {
         nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::sine(1.0, 100.0))
             .unwrap();
         nl.resistor("R1", vin, vout, 1e3).unwrap();
-        nl.capacitor("C1", vout, Netlist::GROUND, 1e-6, 0.0).unwrap();
+        nl.capacitor("C1", vout, Netlist::GROUND, 1e-6, 0.0)
+            .unwrap();
         let probes = [Probe::node_voltage("out")];
         let cfg_l = TransientConfig::new(0.02, 1e-5).unwrap();
         let cfg_n = TransientConfig::new(0.02, 1e-6).unwrap();

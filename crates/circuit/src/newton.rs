@@ -224,7 +224,9 @@ impl Prep {
                 .find_node(name)
                 .map(ResolvedProbe::Node)
                 .ok_or_else(|| unknown(name)),
-            Probe::ElementCurrent(name) | Probe::ElementVoltage(name) | Probe::ElementPower(name) => {
+            Probe::ElementCurrent(name)
+            | Probe::ElementVoltage(name)
+            | Probe::ElementPower(name) => {
                 let id = nl.find_element(name).ok_or_else(|| unknown(name))?;
                 // Position of the element among its kind, plus terminals.
                 let mut res_i = 0;
@@ -351,8 +353,7 @@ impl NewtonRaphsonEngine {
         let start = Instant::now();
         let mut prep = Prep::build(nl)?;
         let resolved = prep.resolve_probes(nl, probes)?;
-        let mut result =
-            TransientResult::new(probes.iter().map(|p| p.signal_name()).collect());
+        let mut result = TransientResult::new(probes.iter().map(|p| p.signal_name()).collect());
         let mut stats = SimStats::default();
 
         // Initial solution (t = 0): solve the resistive snapshot with the
@@ -455,12 +456,7 @@ impl NewtonRaphsonEngine {
         // elements so they behave as sources of their initial condition.
         let (cap_g, cap_hist, ind_g, ind_hist) = if freeze {
             let cg: Vec<f64> = prep.caps.iter().map(|c| 1e12 * c.c.max(1e-12)).collect();
-            let ch: Vec<f64> = prep
-                .caps
-                .iter()
-                .zip(&cg)
-                .map(|(c, g)| -g * c.v)
-                .collect();
+            let ch: Vec<f64> = prep.caps.iter().zip(&cg).map(|(c, g)| -g * c.v).collect();
             let ig: Vec<f64> = prep.inds.iter().map(|_| 1e-12).collect();
             let ih: Vec<f64> = prep.inds.iter().map(|l| l.i).collect();
             (cg, ch, ig, ih)
@@ -517,8 +513,8 @@ impl NewtonRaphsonEngine {
             let mut d_delta: f64 = 0.0;
             for (d, vd) in prep.diodes.iter().zip(diode_v.iter_mut()) {
                 let raw = sol.voltage_between(d.a, d.c);
-                let vcrit = d.model.n_vt
-                    * (d.model.n_vt / (std::f64::consts::SQRT_2 * d.model.i_sat)).ln();
+                let vcrit =
+                    d.model.n_vt * (d.model.n_vt / (std::f64::consts::SQRT_2 * d.model.i_sat)).ln();
                 let limited = pnjlim(raw, *vd, d.model.n_vt, vcrit);
                 d_delta = d_delta.max((limited - *vd).abs());
                 *vd = limited;

@@ -13,16 +13,12 @@ use proptest::prelude::*;
 fn rc_ladder(stages: usize, rs: &[f64], cs: &[f64], amp: f64, freq: f64) -> Netlist {
     let mut nl = Netlist::new();
     let mut prev = nl.node("in");
-    nl.vsource(
-        "V1",
-        prev,
-        Netlist::GROUND,
-        SourceWaveform::sine(amp, freq),
-    )
-    .expect("source");
+    nl.vsource("V1", prev, Netlist::GROUND, SourceWaveform::sine(amp, freq))
+        .expect("source");
     for i in 0..stages {
         let node = nl.node(&format!("n{i}"));
-        nl.resistor(&format!("R{i}"), prev, node, rs[i]).expect("resistor");
+        nl.resistor(&format!("R{i}"), prev, node, rs[i])
+            .expect("resistor");
         nl.capacitor(&format!("C{i}"), node, Netlist::GROUND, cs[i], 0.0)
             .expect("capacitor");
         prev = node;

@@ -189,7 +189,10 @@ pub fn nelder_mead(
             .iter()
             .map(|(_, v)| *v)
             .fold(f64::NEG_INFINITY, f64::max)
-            - simplex.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+            - simplex
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::INFINITY, f64::min);
         if spread.abs() < 1e-12 {
             break;
         }

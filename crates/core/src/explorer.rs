@@ -164,8 +164,7 @@ impl Sweep2D {
             out.push_str(&format!("{:>9.3} |", self.ys[i]));
             for j in 0..n {
                 let t = (self.z[(i, j)] - lo) / range;
-                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 out.push(SHADES[idx] as char);
             }
             out.push('\n');

@@ -327,8 +327,7 @@ impl SurrogateSet {
         floors: &[(usize, f64)],
         seed: u64,
     ) -> Result<Optimum> {
-        if indicator_idx >= self.models.len()
-            || floors.iter().any(|(i, _)| *i >= self.models.len())
+        if indicator_idx >= self.models.len() || floors.iter().any(|(i, _)| *i >= self.models.len())
         {
             return Err(CoreError::invalid("indicator index out of range"));
         }
@@ -390,7 +389,10 @@ mod tests {
     #[test]
     fn design_choices_build() {
         for (choice, expect_runs) in [
-            (DesignChoice::FaceCenteredCcd { center_points: 3 }, 16 + 8 + 3),
+            (
+                DesignChoice::FaceCenteredCcd { center_points: 3 },
+                16 + 8 + 3,
+            ),
             (DesignChoice::RotatableCcd { center_points: 1 }, 16 + 8 + 1),
             (DesignChoice::BoxBehnken { center_points: 2 }, 24 + 2),
             (DesignChoice::FullFactorial3, 81),
@@ -406,8 +408,7 @@ mod tests {
     #[test]
     fn flow_produces_usable_surrogates() {
         let campaign = small_flow_campaign();
-        let flow = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 })
-            .with_threads(4);
+        let flow = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 }).with_threads(4);
         let s = flow.run(&campaign).unwrap();
         assert_eq!(s.indicators().len(), 2);
         assert_eq!(s.campaign_result().sim_count, 16 + 8 + 2);

@@ -74,11 +74,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<f64>]) -> String {
 }
 
 /// Formats a table with string-valued first column (e.g. method names).
-pub fn format_labeled_table(
-    headers: &[&str],
-    labels: &[String],
-    rows: &[Vec<f64>],
-) -> String {
+pub fn format_labeled_table(headers: &[&str], labels: &[String], rows: &[Vec<f64>]) -> String {
     let mut out = String::new();
     let label_w = labels
         .iter()
@@ -115,12 +111,7 @@ mod tests {
     fn csv_roundtrip() {
         let dir = std::env::temp_dir();
         let path = dir.join("ehsim_report_test.csv");
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec![1.0, 2.0], vec![3.5, -4.0]],
-        )
-        .unwrap();
+        write_csv(&path, &["a", "b"], &[vec![1.0, 2.0], vec![3.5, -4.0]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("a,b\n"));
         assert!(content.contains("3.5,-4"));

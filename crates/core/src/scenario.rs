@@ -68,9 +68,7 @@ impl Scenario {
     /// harmonics.
     pub fn industrial_spectrum(duration_s: f64) -> Self {
         Scenario {
-            source: Arc::new(
-                MultiTone::machinery(62.0, 0.8, 3).expect("valid parameters"),
-            ),
+            source: Arc::new(MultiTone::machinery(62.0, 0.8, 3).expect("valid parameters")),
             duration_s,
             label: "industrial-62Hz".into(),
         }

@@ -103,11 +103,7 @@ pub fn main_effect_ranges(
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        out.push((
-            surrogates.space().factors()[j].name().to_string(),
-            lo,
-            hi,
-        ));
+        out.push((surrogates.space().factors()[j].name().to_string(), lo, hi));
     }
     // Largest swing first.
     out.sort_by(|a, b| {
@@ -171,7 +167,12 @@ mod tests {
         names.sort_unstable();
         assert_eq!(
             names,
-            vec!["c_store_f", "retune_threshold_hz", "task_period_s", "tx_power_dbm"]
+            vec![
+                "c_store_f",
+                "retune_threshold_hz",
+                "task_period_s",
+                "tx_power_dbm"
+            ]
         );
     }
 

@@ -118,13 +118,7 @@ mod tests {
     #[test]
     fn front_is_mutually_nondominated() {
         let s = surrogates();
-        let front = pareto_front(
-            &s,
-            &[(0, Goal::Maximize), (1, Goal::Maximize)],
-            500,
-            42,
-        )
-        .unwrap();
+        let front = pareto_front(&s, &[(0, Goal::Maximize), (1, Goal::Maximize)], 500, 42).unwrap();
         assert!(!front.is_empty());
         assert!(front.len() < 500, "front of {} points", front.len());
         for a in &front {
@@ -134,8 +128,7 @@ mod tests {
                 }
                 let dominates = b.objectives[0] >= a.objectives[0]
                     && b.objectives[1] >= a.objectives[1]
-                    && (b.objectives[0] > a.objectives[0]
-                        || b.objectives[1] > a.objectives[1]);
+                    && (b.objectives[0] > a.objectives[0] || b.objectives[1] > a.objectives[1]);
                 assert!(!dominates, "{b:?} dominates {a:?}");
             }
         }
@@ -151,8 +144,7 @@ mod tests {
         // sampling drains the storage), so the front should contain
         // more than a single point.
         let s = surrogates();
-        let front =
-            pareto_front(&s, &[(0, Goal::Maximize), (1, Goal::Maximize)], 800, 7).unwrap();
+        let front = pareto_front(&s, &[(0, Goal::Maximize), (1, Goal::Maximize)], 800, 7).unwrap();
         assert!(front.len() >= 3, "front collapsed: {}", front.len());
         // The extremes differ in both objectives.
         let first = &front[0];

@@ -87,9 +87,7 @@ pub fn d_optimal(
                 }
                 selected[slot] = cand_idx;
                 if let Some(ld) = log_det_information(&rows, &selected, p) {
-                    if ld > best_logdet + 1e-10
-                        && best_swap.map_or(true, |(_, b)| ld > b)
-                    {
+                    if ld > best_logdet + 1e-10 && best_swap.map_or(true, |(_, b)| ld > b) {
                         best_swap = Some((cand_idx, ld));
                     }
                 }
@@ -110,10 +108,7 @@ pub fn d_optimal(
         }
     }
 
-    let points: Vec<Vec<f64>> = selected
-        .iter()
-        .map(|&i| candidates[i].clone())
-        .collect();
+    let points: Vec<Vec<f64>> = selected.iter().map(|&i| candidates[i].clone()).collect();
     Design::new(k, points, format!("d-optimal(n={n}, seed={seed})"))
 }
 
@@ -191,11 +186,8 @@ mod tests {
         let opt_ld = log_det_information(&rows, &subset, model.n_terms()).unwrap();
 
         // A deliberately poor (clustered) subset.
-        let clustered: Vec<Vec<f64>> = (0..8)
-            .map(|i| vec![-1.0 + 0.05 * i as f64, -1.0])
-            .collect();
-        let c_rows: Vec<Vec<f64>> =
-            clustered.iter().map(|p| model.expand_point(p)).collect();
+        let clustered: Vec<Vec<f64>> = (0..8).map(|i| vec![-1.0 + 0.05 * i as f64, -1.0]).collect();
+        let c_rows: Vec<Vec<f64>> = clustered.iter().map(|p| model.expand_point(p)).collect();
         let c_ld = log_det_information(&c_rows, &subset, model.n_terms());
         match c_ld {
             None => {} // singular: optimal clearly better

@@ -62,10 +62,12 @@ pub fn full_factorial_mixed(levels: &[usize]) -> Result<Design> {
     if levels.iter().any(|&l| l < 2) {
         return Err(DoeError::invalid("every factor needs at least 2 levels"));
     }
-    let n: usize = levels.iter().try_fold(1usize, |acc, &l| {
-        acc.checked_mul(l).filter(|&v| v <= 65_536)
-    })
-    .ok_or_else(|| DoeError::invalid("factorial design exceeds 65536 runs"))?;
+    let n: usize = levels
+        .iter()
+        .try_fold(1usize, |acc, &l| {
+            acc.checked_mul(l).filter(|&v| v <= 65_536)
+        })
+        .ok_or_else(|| DoeError::invalid("factorial design exceeds 65536 runs"))?;
     let k = levels.len();
     let mut points = Vec::with_capacity(n);
     let mut idx = vec![0usize; k];
@@ -87,11 +89,7 @@ pub fn full_factorial_mixed(levels: &[usize]) -> Result<Design> {
             j += 1;
             if j == k {
                 let labels: Vec<String> = levels.iter().map(|l| l.to_string()).collect();
-                return Design::new(
-                    k,
-                    points,
-                    format!("full-factorial {}", labels.join("x")),
-                );
+                return Design::new(k, points, format!("full-factorial {}", labels.join("x")));
             }
         }
     }

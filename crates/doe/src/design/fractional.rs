@@ -219,7 +219,10 @@ mod tests {
         // 2^(3-1), C=AB: resolution III.
         assert_eq!(resolution(3, &[gen(2, &[0, 1])]).unwrap(), 3);
         // 2^(5-2), D=AB, E=AC: resolution III.
-        assert_eq!(resolution(5, &[gen(3, &[0, 1]), gen(4, &[0, 2])]).unwrap(), 3);
+        assert_eq!(
+            resolution(5, &[gen(3, &[0, 1]), gen(4, &[0, 2])]).unwrap(),
+            3
+        );
         // 2^(5-1), E=ABCD: resolution V.
         assert_eq!(resolution(5, &[gen(4, &[0, 1, 2, 3])]).unwrap(), 5);
     }
@@ -253,8 +256,6 @@ mod tests {
         // Word referencing a generated factor is invalid.
         assert!(fractional_factorial(4, &[gen(3, &[3])]).is_err());
         // Duplicate assignment.
-        assert!(
-            fractional_factorial(5, &[gen(4, &[0, 1]), gen(4, &[0, 2])]).is_err()
-        );
+        assert!(fractional_factorial(5, &[gen(4, &[0, 1]), gen(4, &[0, 2])]).is_err());
     }
 }

@@ -133,9 +133,7 @@ mod tests {
     fn maximin_improves_spread() {
         let base = latin_hypercube(2, 12, 100).unwrap();
         let opt = maximin_latin_hypercube(2, 12, 100, 20).unwrap();
-        assert!(
-            min_pairwise_distance(opt.points()) >= min_pairwise_distance(base.points())
-        );
+        assert!(min_pairwise_distance(opt.points()) >= min_pairwise_distance(base.points()));
     }
 
     #[test]

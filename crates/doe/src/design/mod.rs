@@ -47,7 +47,9 @@ impl Design {
                 )));
             }
             if !p.iter().all(|v| v.is_finite()) {
-                return Err(DoeError::invalid(format!("run {i} has non-finite coordinates")));
+                return Err(DoeError::invalid(format!(
+                    "run {i} has non-finite coordinates"
+                )));
             }
         }
         Ok(Design {
@@ -111,9 +113,7 @@ impl Design {
     /// coordinates) — relevant for the lack-of-fit test.
     pub fn replicate_groups(&self) -> usize {
         let mut sorted: Vec<&Vec<f64>> = self.points.iter().collect();
-        sorted.sort_by(|a, b| {
-            a.partial_cmp(b).expect("finite coordinates")
-        });
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
         let mut groups = 1;
         for w in sorted.windows(2) {
             if w[0] != w[1] {
@@ -126,7 +126,13 @@ impl Design {
 
 impl fmt::Display for Design {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} — {} runs x {} factors", self.label, self.n_runs(), self.k)?;
+        writeln!(
+            f,
+            "{} — {} runs x {} factors",
+            self.label,
+            self.n_runs(),
+            self.k
+        )?;
         for p in &self.points {
             let row: Vec<String> = p.iter().map(|v| format!("{v:>7.3}")).collect();
             writeln!(f, "  [{}]", row.join(", "))?;

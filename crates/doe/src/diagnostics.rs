@@ -73,12 +73,7 @@ pub fn variance_inflation_factors(
         // Regress column j on all other columns (including intercept).
         let y: Vec<f64> = (0..n).map(|i| x[(i, j)]).collect();
         let others: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                (0..p)
-                    .filter(|&c| c != j)
-                    .map(|c| x[(i, c)])
-                    .collect()
-            })
+            .map(|i| (0..p).filter(|&c| c != j).map(|c| x[(i, c)]).collect())
             .collect();
         // Build a synthetic "identity" spec over p-1 pseudo-factors: the
         // columns are already expanded, so a linear model with no
@@ -158,9 +153,7 @@ mod tests {
     #[test]
     fn studentized_residuals_are_scaled() {
         let d = full_factorial_2k(2).unwrap().with_center_points(4);
-        let y: Vec<f64> = (0..d.n_runs())
-            .map(|i| 1.0 + noisy(i * 3 + 1))
-            .collect();
+        let y: Vec<f64> = (0..d.n_runs()).map(|i| 1.0 + noisy(i * 3 + 1)).collect();
         let m = fit_model(&ModelSpec::linear(2).unwrap(), d.points(), &y).unwrap();
         let sr = studentized_residuals(&m).unwrap();
         // Studentized residuals are O(1).
@@ -185,8 +178,7 @@ mod tests {
     #[test]
     fn orthogonal_design_has_unit_vifs() {
         let d = full_factorial_2k(3).unwrap();
-        let vifs =
-            variance_inflation_factors(&ModelSpec::linear(3).unwrap(), d.points()).unwrap();
+        let vifs = variance_inflation_factors(&ModelSpec::linear(3).unwrap(), d.points()).unwrap();
         for (_, v) in vifs {
             assert!((v - 1.0).abs() < 1e-9, "vif = {v}");
         }
@@ -201,8 +193,7 @@ mod tests {
                 vec![x, x + 0.01 * noisy(i)]
             })
             .collect();
-        let vifs =
-            variance_inflation_factors(&ModelSpec::linear(2).unwrap(), &pts).unwrap();
+        let vifs = variance_inflation_factors(&ModelSpec::linear(2).unwrap(), &pts).unwrap();
         for (_, v) in vifs {
             assert!(v > 100.0, "vif = {v}");
         }

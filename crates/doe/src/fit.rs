@@ -301,7 +301,12 @@ mod tests {
 
     #[test]
     fn exact_linear_recovery() {
-        let pts = vec![vec![-1.0, -1.0], vec![1.0, -1.0], vec![-1.0, 1.0], vec![1.0, 1.0]];
+        let pts = vec![
+            vec![-1.0, -1.0],
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![1.0, 1.0],
+        ];
         let y: Vec<f64> = pts.iter().map(|p| 3.0 + 2.0 * p[0] - 1.5 * p[1]).collect();
         let m = fit(&ModelSpec::linear(2).unwrap(), &pts, &y).unwrap();
         assert!((m.coefficients()[0] - 3.0).abs() < 1e-12);
@@ -319,11 +324,17 @@ mod tests {
             .with_center_points(3)
             .build()
             .unwrap();
-        let truth = |x: &[f64]| 1.0 + 0.5 * x[0] - 0.8 * x[1] + 0.3 * x[0] * x[1]
-            - 1.2 * x[0] * x[0] + 0.7 * x[1] * x[1];
+        let truth = |x: &[f64]| {
+            1.0 + 0.5 * x[0] - 0.8 * x[1] + 0.3 * x[0] * x[1] - 1.2 * x[0] * x[0]
+                + 0.7 * x[1] * x[1]
+        };
         let y: Vec<f64> = d.points().iter().map(|p| truth(p)).collect();
         let m = fit(&ModelSpec::quadratic(2).unwrap(), d.points(), &y).unwrap();
-        for (c, expect) in m.coefficients().iter().zip([1.0, 0.5, -0.8, 0.3, -1.2, 0.7]) {
+        for (c, expect) in m
+            .coefficients()
+            .iter()
+            .zip([1.0, 0.5, -0.8, 0.3, -1.2, 0.7])
+        {
             assert!((c - expect).abs() < 1e-9, "{c} vs {expect}");
         }
         // Perfect fit on noiseless data.

@@ -22,9 +22,7 @@ impl Term {
 
     /// The intercept term (all exponents zero).
     pub fn intercept(k: usize) -> Self {
-        Term {
-            powers: vec![0; k],
-        }
+        Term { powers: vec![0; k] }
     }
 
     /// A pure linear term `x_i`.
@@ -310,9 +308,7 @@ mod tests {
     #[test]
     fn design_matrix_values() {
         let m = ModelSpec::quadratic(2).unwrap();
-        let x = m
-            .design_matrix(&[vec![2.0, 3.0]])
-            .unwrap();
+        let x = m.design_matrix(&[vec![2.0, 3.0]]).unwrap();
         // Columns: 1, x0, x1, x0x1, x0², x1².
         assert_eq!(x.row(0), &[1.0, 2.0, 3.0, 6.0, 4.0, 9.0]);
     }
@@ -330,9 +326,7 @@ mod tests {
         assert!(ModelSpec::new(0, vec![]).is_err());
         assert!(ModelSpec::new(2, vec![]).is_err());
         assert!(ModelSpec::new(2, vec![Term::new(vec![1])]).is_err());
-        assert!(
-            ModelSpec::new(2, vec![Term::intercept(2), Term::intercept(2)]).is_err()
-        );
+        assert!(ModelSpec::new(2, vec![Term::intercept(2), Term::intercept(2)]).is_err());
         let m = ModelSpec::linear(2).unwrap();
         assert!(m.design_matrix(&[vec![1.0]]).is_err());
     }

@@ -90,7 +90,11 @@ pub fn optimize_fn(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..n_random_starts {
-        starts.push((0..k).map(|_| lo + (hi - lo) * rng.random::<f64>()).collect());
+        starts.push(
+            (0..k)
+                .map(|_| lo + (hi - lo) * rng.random::<f64>())
+                .collect(),
+        );
     }
 
     let mut best: Option<Optimum> = None;
@@ -345,11 +349,17 @@ mod tests {
 
     #[test]
     fn desirability_shapes() {
-        let d = Desirability::LargerIsBetter { low: 0.0, high: 10.0 };
+        let d = Desirability::LargerIsBetter {
+            low: 0.0,
+            high: 10.0,
+        };
         assert_eq!(d.eval(-5.0), 0.0);
         assert_eq!(d.eval(5.0), 0.5);
         assert_eq!(d.eval(20.0), 1.0);
-        let s = Desirability::SmallerIsBetter { low: 1.0, high: 3.0 };
+        let s = Desirability::SmallerIsBetter {
+            low: 1.0,
+            high: 3.0,
+        };
         assert_eq!(s.eval(0.5), 1.0);
         assert_eq!(s.eval(2.0), 0.5);
         assert_eq!(s.eval(4.0), 0.0);
@@ -361,9 +371,12 @@ mod tests {
         assert_eq!(t.eval(2.0), 1.0);
         assert_eq!(t.eval(1.0), 0.5);
         assert_eq!(t.eval(4.0), 0.5);
-        assert!(Desirability::LargerIsBetter { low: 5.0, high: 1.0 }
-            .validate()
-            .is_err());
+        assert!(Desirability::LargerIsBetter {
+            low: 5.0,
+            high: 1.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -374,8 +387,20 @@ mod tests {
         let a = fitted(|x| 10.0 - 8.0 * (x[0] - 0.5) * (x[0] - 0.5), 1);
         let b = fitted(|x| 2.0 + 1.5 * x[0], 1);
         let objectives = [
-            (&a, Desirability::LargerIsBetter { low: 0.0, high: 10.0 }),
-            (&b, Desirability::SmallerIsBetter { low: 0.0, high: 4.0 }),
+            (
+                &a,
+                Desirability::LargerIsBetter {
+                    low: 0.0,
+                    high: 10.0,
+                },
+            ),
+            (
+                &b,
+                Desirability::SmallerIsBetter {
+                    low: 0.0,
+                    high: 4.0,
+                },
+            ),
         ];
         let opt = optimize_desirability(&objectives, (-1.0, 1.0), 5).unwrap();
         assert!(

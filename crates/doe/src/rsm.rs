@@ -202,10 +202,7 @@ mod tests {
     fn recovers_maximum() {
         // Peak at (0.5, -0.25).
         let rs = fit_surface(
-            |x| {
-                10.0 - 2.0 * (x[0] - 0.5) * (x[0] - 0.5)
-                    - 4.0 * (x[1] + 0.25) * (x[1] + 0.25)
-            },
+            |x| 10.0 - 2.0 * (x[0] - 0.5) * (x[0] - 0.5) - 4.0 * (x[1] + 0.25) * (x[1] + 0.25),
             2,
         );
         assert_eq!(rs.kind(1e-9), StationaryKind::Maximum);

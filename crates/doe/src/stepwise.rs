@@ -55,10 +55,7 @@ pub fn backward_eliminate(
                 continue;
             }
             // Hierarchy: keep if any other term contains it.
-            let protected = current
-                .terms()
-                .iter()
-                .any(|other| other.contains(term));
+            let protected = current.terms().iter().any(|other| other.contains(term));
             if protected {
                 continue;
             }
@@ -146,16 +143,10 @@ mod tests {
 
     #[test]
     fn keeps_intercept() {
-        let pts: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![-1.0 + 2.0 * i as f64 / 9.0])
-            .collect();
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![-1.0 + 2.0 * i as f64 / 9.0]).collect();
         let y: Vec<f64> = (0..10).map(|i| 5.0 + 0.01 * noisy(i)).collect();
         let res = backward_eliminate(&ModelSpec::linear(1).unwrap(), &pts, &y, 0.05).unwrap();
-        assert!(res
-            .spec
-            .terms()
-            .iter()
-            .any(|t| t.is_intercept()));
+        assert!(res.spec.terms().iter().any(|t| t.is_intercept()));
         // The inert slope was dropped.
         assert_eq!(res.spec.n_terms(), 1);
     }
@@ -174,8 +165,7 @@ mod tests {
             .map(|(i, p)| 1.0 + 2.0 * p[0] - 3.0 * p[1] + 0.01 * noisy(i))
             .collect();
         let res =
-            backward_eliminate(&ModelSpec::quadratic(2).unwrap(), d.points(), &y, 0.05)
-                .unwrap();
+            backward_eliminate(&ModelSpec::quadratic(2).unwrap(), d.points(), &y, 0.05).unwrap();
         let kept: Vec<String> = res.spec.terms().iter().map(|t| t.to_string()).collect();
         assert!(kept.contains(&"x0".to_string()));
         assert!(kept.contains(&"x1".to_string()));

@@ -237,10 +237,19 @@ impl Harvester {
     pub fn validate(&self) -> Result<()> {
         let checks = [
             (self.mass_kg > 0.0, "mass must be positive"),
-            (self.zeta_parasitic > 0.0, "parasitic damping must be positive"),
+            (
+                self.zeta_parasitic > 0.0,
+                "parasitic damping must be positive",
+            ),
             (self.transduction > 0.0, "transduction must be positive"),
-            (self.coil_resistance > 0.0, "coil resistance must be positive"),
-            (self.coil_inductance > 0.0, "coil inductance must be positive"),
+            (
+                self.coil_resistance > 0.0,
+                "coil resistance must be positive",
+            ),
+            (
+                self.coil_inductance > 0.0,
+                "coil inductance must be positive",
+            ),
             (
                 self.displacement_limit_m > 0.0,
                 "displacement limit must be positive",
@@ -288,10 +297,7 @@ impl Harvester {
 
     /// Mechanical impedance `Z_m(jω) = c + j(ωm − k/ω)` at position `p`.
     fn mechanical_impedance(&self, p: f64, w: f64) -> Complex {
-        Complex::new(
-            self.damping(p),
-            w * self.mass_kg - self.stiffness(p) / w,
-        )
+        Complex::new(self.damping(p), w * self.mass_kg - self.stiffness(p) / w)
     }
 
     /// Thevenin equivalent of the harvester at its electrical terminals:
@@ -573,10 +579,7 @@ mod tests {
         let p_sig = res.signal("p(Rload)").unwrap();
         let tail = &p_sig[p_sig.len() * 2 / 3..];
         let p_avg: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
-        let p_exact = h
-            .steady_state(pos, 65.0, 0.6, r_load)
-            .unwrap()
-            .load_power_w;
+        let p_exact = h.steady_state(pos, 65.0, 0.6, r_load).unwrap().load_power_w;
         assert!(
             (p_avg - p_exact).abs() < 0.1 * p_exact,
             "sim = {p_avg}, analytic = {p_exact}"

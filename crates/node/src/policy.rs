@@ -116,9 +116,7 @@ impl DutyCyclePolicy {
     /// [`DutyCyclePolicy::EnergyNeutral`], harmless otherwise).
     pub fn update_ema(&self, ema: f64, p_harvest: f64) -> f64 {
         match self {
-            DutyCyclePolicy::EnergyNeutral { ema_alpha, .. } => {
-                ema + ema_alpha * (p_harvest - ema)
-            }
+            DutyCyclePolicy::EnergyNeutral { ema_alpha, .. } => ema + ema_alpha * (p_harvest - ema),
             _ => p_harvest,
         }
     }

@@ -245,8 +245,7 @@ impl SystemSimulator {
 
                 // Actuator draw while moving.
                 if actuator.is_some() {
-                    let e_act =
-                        reg.input_power(cfg.harvester.tuning.actuator_power_w) * dt;
+                    let e_act = reg.input_power(cfg.harvester.tuning.actuator_power_w) * dt;
                     e_tick += e_act;
                     tuning_energy += e_act;
                 }
@@ -255,8 +254,8 @@ impl SystemSimulator {
             let p_out = e_tick / dt;
             // Charge-based stepping so a depleted capacitor cold-starts;
             // the harvested energy is v·i at the mid-charge voltage.
-            let v_mid = (v + 0.5 * op.i_out_a * dt / cfg.storage.capacitance)
-                .min(cfg.storage.v_rated);
+            let v_mid =
+                (v + 0.5 * op.i_out_a * dt / cfg.storage.capacitance).min(cfg.storage.v_rated);
             v = cfg.storage.step_with_current(v, op.i_out_a, p_out, dt);
             harvested += v_mid * op.i_out_a * dt;
             consumed += e_tick;
@@ -333,7 +332,10 @@ mod tests {
     fn sustained_operation_on_resonance() {
         let cfg = NodeConfig::default_node();
         let src = resonant_sine(&cfg, 1.0);
-        let m = SystemSimulator::new(cfg).unwrap().run(&src, 1200.0).unwrap();
+        let m = SystemSimulator::new(cfg)
+            .unwrap()
+            .run(&src, 1200.0)
+            .unwrap();
         assert!(m.packets_delivered > 10, "{m:?}");
         assert!(m.uptime_fraction > 0.99, "{m:?}");
         assert_eq!(m.brownout_count, 0, "{m:?}");
@@ -431,7 +433,10 @@ mod tests {
         let mut adaptive = fixed.clone();
         adaptive.policy = DutyCyclePolicy::default();
 
-        let m_fixed = SystemSimulator::new(fixed).unwrap().run(&src, 3600.0).unwrap();
+        let m_fixed = SystemSimulator::new(fixed)
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
         let m_adapt = SystemSimulator::new(adaptive)
             .unwrap()
             .run(&src, 3600.0)
@@ -450,7 +455,10 @@ mod tests {
         cfg.storage.capacitance = 2e-3;
         cfg.tuning.enabled = false;
         let src = resonant_sine(&cfg, 1.0);
-        let m = SystemSimulator::new(cfg).unwrap().run(&src, 3600.0).unwrap();
+        let m = SystemSimulator::new(cfg)
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
         // The node must eventually cold-start and deliver packets.
         assert!(m.uptime_fraction > 0.0, "{m:?}");
         assert!(m.time_to_first_packet_s.unwrap_or(f64::INFINITY) > 60.0);
@@ -501,7 +509,10 @@ mod tests {
         high.radio.tx_power_dbm = 4.0;
         let src = resonant_sine(&low, 0.9);
         let m_low = SystemSimulator::new(low).unwrap().run(&src, 900.0).unwrap();
-        let m_high = SystemSimulator::new(high).unwrap().run(&src, 900.0).unwrap();
+        let m_high = SystemSimulator::new(high)
+            .unwrap()
+            .run(&src, 900.0)
+            .unwrap();
         // Same packet count (fixed period), strictly more energy.
         assert_eq!(m_low.packets_delivered, m_high.packets_delivered);
         assert!(
@@ -521,7 +532,10 @@ mod tests {
         cfg.storage.capacitance = 0.05;
         // Weak vibration: the node cannot sustain 2 s sampling.
         let src = resonant_sine(&cfg, 0.6);
-        let m = SystemSimulator::new(cfg.clone()).unwrap().run(&src, 3600.0).unwrap();
+        let m = SystemSimulator::new(cfg.clone())
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
         // The policy stretched the period: far fewer packets than the
         // nominal 1800, but more than the fully stretched 180.
         assert!(

@@ -161,8 +161,7 @@ mod tests {
 
     #[test]
     fn determinant_matches_lu() {
-        let a = Matrix::from_rows(&[&[9.0, 3.0, 1.0], &[3.0, 8.0, 2.0], &[1.0, 2.0, 7.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[9.0, 3.0, 1.0], &[3.0, 8.0, 2.0], &[1.0, 2.0, 7.0]]).unwrap();
         let ch_det = Cholesky::factor(&a).unwrap().det();
         let lu_det = crate::lu::Lu::factor(&a).unwrap().det();
         assert!((ch_det - lu_det).abs() < 1e-9 * lu_det.abs());

@@ -117,7 +117,11 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
 
     // Sort ascending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| {
+        m[(i, i)]
+            .partial_cmp(&m[(j, j)])
+            .expect("finite eigenvalues")
+    });
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     Ok(SymmetricEigen { values, vectors })
@@ -150,12 +154,8 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 5.0, 0.5],
-            &[1.0, 0.5, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 5.0, 0.5], &[1.0, 0.5, 3.0]]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         // A = V Λ Vᵀ
         let lambda = Matrix::diagonal(&e.values);

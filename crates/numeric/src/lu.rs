@@ -93,6 +93,32 @@ impl Lu {
         self.lu.rows()
     }
 
+    /// The unit-lower-triangular factor `L`.
+    pub fn l(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if j < i {
+                self.lu[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The upper-triangular factor `U`.
+    pub fn u(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.lu[(i, j)] } else { 0.0 })
+    }
+
+    /// The row permutation `p` such that row `i` of `P·A` is row `p[i]`
+    /// of `A`, making `L·U == P·A`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.piv
+    }
+
     /// Solves `A x = b`.
     ///
     /// # Errors
@@ -190,8 +216,8 @@ mod tests {
 
     #[test]
     fn solve_small_system() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
         let b = [6.0, 15.0, 25.0];
         let x = solve(&a, &b).unwrap();
         assert!(residual(&a, &x, &b) < 1e-10);

@@ -154,7 +154,9 @@ fn check_inputs(sys: &dyn OdeSystem, x0: &[f64], t0: f64, t_end: f64, h: f64) ->
         ));
     }
     if !(h > 0.0) || !h.is_finite() {
-        return Err(NumericError::invalid(format!("step size must be positive, got {h}")));
+        return Err(NumericError::invalid(format!(
+            "step size must be positive, got {h}"
+        )));
     }
     if t_end < t0 {
         return Err(NumericError::invalid(format!(
@@ -332,7 +334,13 @@ impl Rkf45 {
             [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
             [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
             [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-            [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+            [
+                -8.0 / 27.0,
+                2.0,
+                -3544.0 / 2565.0,
+                1859.0 / 4104.0,
+                -11.0 / 40.0,
+            ],
         ];
         const C: [f64; 6] = [0.0, 0.25, 0.375, 12.0 / 13.0, 1.0, 0.5];
         // 5th-order solution weights.
@@ -439,17 +447,26 @@ mod tests {
         let e_coarse = (coarse.last_state()[0] - exact).abs();
         let e_fine = (fine.last_state()[0] - exact).abs();
         // Halving... reducing h by 10 should reduce error ~10x (order 1).
-        assert!(e_fine < e_coarse / 5.0, "e_coarse={e_coarse}, e_fine={e_fine}");
+        assert!(
+            e_fine < e_coarse / 5.0,
+            "e_coarse={e_coarse}, e_fine={e_fine}"
+        );
     }
 
     #[test]
     fn rk4_fourth_order_accuracy() {
         let sys = decay();
         let exact = (-1.0f64).exp();
-        let e1 = (Rk4::new(1e-2).integrate(&sys, 0.0, &[1.0], 1.0).unwrap().last_state()[0]
+        let e1 = (Rk4::new(1e-2)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap()
+            .last_state()[0]
             - exact)
             .abs();
-        let e2 = (Rk4::new(5e-3).integrate(&sys, 0.0, &[1.0], 1.0).unwrap().last_state()[0]
+        let e2 = (Rk4::new(5e-3)
+            .integrate(&sys, 0.0, &[1.0], 1.0)
+            .unwrap()
+            .last_state()[0]
             - exact)
             .abs();
         // Halving h should reduce error ~16x; allow slack.
@@ -460,7 +477,9 @@ mod tests {
     fn rk4_oscillator_period() {
         let w = 2.0 * std::f64::consts::PI; // 1 Hz
         let sys = oscillator(w);
-        let traj = Rk4::new(1e-4).integrate(&sys, 0.0, &[1.0, 0.0], 1.0).unwrap();
+        let traj = Rk4::new(1e-4)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 1.0)
+            .unwrap();
         // After one period the state returns to the initial condition.
         assert!((traj.last_state()[0] - 1.0).abs() < 1e-6);
         assert!(traj.last_state()[1].abs() < 1e-4);
@@ -481,7 +500,9 @@ mod tests {
         let adaptive = Rkf45::new(1e-8, 1e-10)
             .integrate(&sys, 0.0, &[1.0, 0.0], 5.0)
             .unwrap();
-        let fixed = Rk4::new(1e-4).integrate(&sys, 0.0, &[1.0, 0.0], 5.0).unwrap();
+        let fixed = Rk4::new(1e-4)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 5.0)
+            .unwrap();
         assert!(adaptive.len() < fixed.len() / 10);
         assert!((adaptive.last_state()[0] - fixed.last_state()[0]).abs() < 1e-5);
     }
@@ -508,7 +529,9 @@ mod tests {
     fn bad_inputs_are_rejected() {
         let sys = decay();
         assert!(Rk4::new(0.0).integrate(&sys, 0.0, &[1.0], 1.0).is_err());
-        assert!(Rk4::new(1e-3).integrate(&sys, 0.0, &[1.0, 2.0], 1.0).is_err());
+        assert!(Rk4::new(1e-3)
+            .integrate(&sys, 0.0, &[1.0, 2.0], 1.0)
+            .is_err());
         assert!(Rk4::new(1e-3).integrate(&sys, 1.0, &[1.0], 0.0).is_err());
     }
 }

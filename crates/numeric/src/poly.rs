@@ -178,8 +178,7 @@ impl Polynomial {
                     let m = 2.0 * (-p / 3.0).sqrt();
                     (0..3)
                         .map(|k| {
-                            m * ((phi + 2.0 * std::f64::consts::PI * k as f64) / 3.0).cos()
-                                + shift
+                            m * ((phi + 2.0 * std::f64::consts::PI * k as f64) / 3.0).cos() + shift
                         })
                         .collect()
                 };
@@ -270,7 +269,10 @@ mod tests {
         assert!((roots[0] - 1.0).abs() < 1e-12);
         assert!((roots[1] - 2.0).abs() < 1e-12);
         // No real roots.
-        assert!(Polynomial::new(vec![1.0, 0.0, 1.0]).real_roots().unwrap().is_empty());
+        assert!(Polynomial::new(vec![1.0, 0.0, 1.0])
+            .real_roots()
+            .unwrap()
+            .is_empty());
         // Double root.
         let d = Polynomial::new(vec![1.0, -2.0, 1.0]).real_roots().unwrap();
         assert_eq!(d.len(), 1);

@@ -46,10 +46,7 @@ impl Qr {
     pub fn factor(a: &Matrix) -> Result<Self> {
         let (m, n) = a.shape();
         if m < n {
-            return Err(NumericError::dimension(
-                "rows >= cols",
-                format!("{m}x{n}"),
-            ));
+            return Err(NumericError::dimension("rows >= cols", format!("{m}x{n}")));
         }
         let mut qr = a.clone();
         let mut betas = vec![0.0; n];
@@ -147,6 +144,38 @@ impl Qr {
         Ok(x)
     }
 
+    /// Applies `Q` to a vector in place (reflectors in reverse order).
+    fn apply_q(&self, x: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in (0..n).rev() {
+            let mut dot = x[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * x[i];
+            }
+            let tau = self.betas[k] * dot;
+            x[k] -= tau;
+            for i in (k + 1)..m {
+                x[i] -= tau * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Returns the thin orthonormal factor `Q` (size `m x n`), so that
+    /// `Q·R` reconstructs the factored matrix.
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            let mut e = vec![0.0; m];
+            e[j] = 1.0;
+            self.apply_q(&mut e);
+            for i in 0..m {
+                q[(i, j)] = e[i];
+            }
+        }
+        q
+    }
+
     /// Returns the upper-triangular factor `R` (size `n x n`).
     pub fn r(&self) -> Matrix {
         let n = self.qr.cols();
@@ -231,19 +260,16 @@ mod tests {
     #[test]
     fn least_squares_minimises_residual() {
         // Noisy data: LS solution must beat small perturbations of itself.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let b = [0.1, 0.9, 2.2, 2.8];
         let qr = Qr::factor(&a).unwrap();
         let x = qr.solve_least_squares(&b).unwrap();
         let rss = |x: &[f64]| -> f64 {
             let ax = a.matvec(x).unwrap();
-            ax.iter().zip(b.iter()).map(|(p, q)| (p - q) * (p - q)).sum()
+            ax.iter()
+                .zip(b.iter())
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum()
         };
         let base = rss(&x);
         for d in [[1e-3, 0.0], [0.0, 1e-3], [-1e-3, 1e-3]] {
@@ -296,6 +322,9 @@ mod tests {
     #[test]
     fn underdetermined_is_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Qr::factor(&a), Err(NumericError::Dimension { .. })));
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(NumericError::Dimension { .. })
+        ));
     }
 }

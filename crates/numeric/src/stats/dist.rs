@@ -164,9 +164,8 @@ impl StudentT {
     /// Probability density function.
     pub fn pdf(&self, x: f64) -> f64 {
         let v = self.df;
-        let ln_coeff = ln_gamma((v + 1.0) / 2.0)
-            - ln_gamma(v / 2.0)
-            - 0.5 * (v * std::f64::consts::PI).ln();
+        let ln_coeff =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
         (ln_coeff - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
     }
 

@@ -72,7 +72,9 @@ pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
                 return Ok((sum * ln_prefix.exp()).clamp(0.0, 1.0));
             }
         }
-        Err(NumericError::NoConvergence { routine: "gamma_p series" })
+        Err(NumericError::NoConvergence {
+            routine: "gamma_p series",
+        })
     } else {
         // Continued fraction for Q(a, x), then P = 1 - Q.
         Ok(1.0 - gamma_q_cf(a, x)?)

@@ -126,7 +126,9 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
         return Err(NumericError::invalid("empty sample"));
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(NumericError::invalid(format!("quantile q={q} not in [0, 1]")));
+        return Err(NumericError::invalid(format!(
+            "quantile q={q} not in [0, 1]"
+        )));
     }
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));

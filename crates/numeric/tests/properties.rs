@@ -2,7 +2,7 @@
 
 use ehsim_numeric::stats::dist::{FisherF, Normal, StudentT};
 use ehsim_numeric::stats::special::{beta_inc, gamma_p, gamma_q};
-use ehsim_numeric::{expm, vector, Cholesky, Lu, Matrix, Polynomial, Qr};
+use ehsim_numeric::{expm, vector, Cholesky, FnSystem, Lu, Matrix, Polynomial, Qr, Rk4};
 use proptest::prelude::*;
 
 /// Strategy: a well-conditioned square matrix built as D + N with a
@@ -12,6 +12,19 @@ fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
         let mut m = Matrix::from_vec(n, n, vals).expect("sized buffer");
         for i in 0..n {
             m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+/// Strategy: a Hurwitz-stable matrix — off-diagonal noise dominated by
+/// a strongly negative diagonal, so all eigenvalues have negative real
+/// part (Gershgorin).
+fn stable_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-0.8f64..0.8, n * n).prop_map(move |vals| {
+        let mut m = Matrix::from_vec(n, n, vals).expect("sized buffer");
+        for i in 0..n {
+            m[(i, i)] -= n as f64 + 1.0;
         }
         m
     })
@@ -74,6 +87,68 @@ proptest! {
         let x = ch.solve(&b).expect("dimension matches");
         let gx = gram.matvec(&x).expect("dimension matches");
         prop_assert!(vector::max_abs_diff(&gx, &b) < 1e-8);
+    }
+
+    #[test]
+    fn lu_factors_reconstruct_the_matrix(a in diag_dominant_matrix(5)) {
+        // L·U == P·A within 1e-9.
+        let lu = Lu::factor(&a).expect("diagonally dominant is nonsingular");
+        let prod = (&lu.l() * &lu.u()).expect("conformable");
+        let p = lu.permutation();
+        let pa = Matrix::from_fn(5, 5, |i, j| a[(p[i], j)]);
+        prop_assert!(prod.max_abs_diff(&pa).expect("same shape") < 1e-9);
+    }
+
+    #[test]
+    fn qr_factors_reconstruct_the_matrix(
+        vals in prop::collection::vec(-3.0f64..3.0, 8 * 3),
+    ) {
+        let mut a = Matrix::from_vec(8, 3, vals).expect("sized buffer");
+        for j in 0..3 {
+            a[(j, j)] += 10.0; // bump towards full rank
+        }
+        let qr = Qr::factor(&a).expect("full rank after bump");
+        // Q·R == A within 1e-9.
+        let prod = (&qr.q() * &qr.r()).expect("conformable");
+        prop_assert!(prod.max_abs_diff(&a).expect("same shape") < 1e-9);
+        // Q has orthonormal columns: QᵀQ == I.
+        let q = qr.q();
+        let qtq = (&q.transpose() * &q).expect("conformable");
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(3)).expect("same shape") < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs_the_matrix(
+        vals in prop::collection::vec(-2.0f64..2.0, 6 * 4),
+    ) {
+        let x_mat = Matrix::from_vec(6, 4, vals).expect("sized buffer");
+        let mut gram = (&x_mat.transpose() * &x_mat).expect("conformable");
+        for i in 0..4 {
+            gram[(i, i)] += 1.0; // regularise to SPD
+        }
+        let ch = Cholesky::factor(&gram).expect("SPD after regularisation");
+        // L·Lᵀ == A within 1e-9.
+        let l = ch.l();
+        let prod = (l * &l.transpose()).expect("conformable");
+        prop_assert!(prod.max_abs_diff(&gram).expect("same shape") < 1e-9);
+    }
+
+    #[test]
+    fn expm_matches_ode_reference_on_stable_systems(
+        a in stable_matrix(3),
+        x0 in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        // x(1) for ẋ = A·x is e^{A}·x0; RK4 at h = 1e-3 carries a
+        // global error of O(h⁴), far below the 1e-8 tolerance.
+        let sys = FnSystem::new(3, |_t, x: &[f64], dxdt: &mut [f64]| {
+            for i in 0..3 {
+                dxdt[i] = (0..3).map(|j| a[(i, j)] * x[j]).sum();
+            }
+        });
+        let traj = Rk4::new(1e-3).integrate(&sys, 0.0, &x0, 1.0).expect("integrates");
+        let e = expm(&a).expect("finite matrix");
+        let want = e.matvec(&x0).expect("dimension matches");
+        prop_assert!(vector::max_abs_diff(traj.last_state(), &want) < 1e-8);
     }
 
     #[test]

@@ -93,9 +93,7 @@ mod tests {
         let res = LinearizedStateSpaceEngine::default()
             .simulate(&fe.netlist, &cfg, &[probe])
             .unwrap();
-        let sig = res
-            .signal(&format!("v({})", fe.store_node_name))
-            .unwrap();
+        let sig = res.signal(&format!("v({})", fe.store_node_name)).unwrap();
         let v_end = *sig.last().unwrap();
         // The storage must charge visibly from zero within seconds.
         assert!(v_end > 0.1, "v_end = {v_end}");

@@ -188,11 +188,7 @@ impl Multiplier {
         }
         // Each ladder capacitor is a series C + ESR pair (cap from the
         // chain node to a private mid node, ESR on to the destination).
-        let esr_cap = |nl: &mut Netlist,
-                           name: &str,
-                           a: NodeId,
-                           b: NodeId|
-         -> Result<()> {
+        let esr_cap = |nl: &mut Netlist, name: &str, a: NodeId, b: NodeId| -> Result<()> {
             let mid = nl.node(&format!("{name}_esr"));
             nl.capacitor(name, a, mid, self.stage_capacitance, 0.0)?;
             nl.resistor(&format!("{name}_r"), mid, b, self.esr_ohms)?;
@@ -481,9 +477,7 @@ impl Regulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ehsim_circuit::{
-        LinearizedStateSpaceEngine, Probe, SourceWaveform, TransientConfig,
-    };
+    use ehsim_circuit::{LinearizedStateSpaceEngine, Probe, SourceWaveform, TransientConfig};
 
     #[test]
     fn multiplier_validation() {
@@ -515,10 +509,7 @@ mod tests {
     #[test]
     fn droop_grows_with_stages() {
         let base = Multiplier::default();
-        let more = Multiplier {
-            stages: 6,
-            ..base
-        };
+        let more = Multiplier { stages: 6, ..base };
         assert!(more.droop_resistance(60.0) > 5.0 * base.droop_resistance(60.0));
     }
 
@@ -600,7 +591,11 @@ mod tests {
         let z = Complex::new(2e3, 500.0);
         for v_store in [0.5, 1.5, 3.0, 4.5] {
             let op = m.operating_point(1.2, z, 65.0, v_store).unwrap();
-            assert!((0.0..=1.0).contains(&op.efficiency), "eff = {}", op.efficiency);
+            assert!(
+                (0.0..=1.0).contains(&op.efficiency),
+                "eff = {}",
+                op.efficiency
+            );
             assert!(op.p_in_w >= op.p_store_w);
             assert!(op.v_in_amp <= 1.2 + 1e-9);
         }
@@ -708,7 +703,12 @@ mod tests {
         assert!(th.update(3.0, true)); // hysteresis keeps it on
         assert!(th.update(2.5, true));
         assert!(!th.update(2.3, true)); // brown-out
-        assert!(Thresholds { v_on: 2.0, v_off: 2.4 }.validate().is_err());
+        assert!(Thresholds {
+            v_on: 2.0,
+            v_off: 2.4
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -250,8 +250,8 @@ impl Sweep {
             // phase = 2π (f0 t + (f1-f0) t² / (2 T))
             2.0 * PI * (self.f0 * t + 0.5 * (self.f1 - self.f0) * t * t / self.duration)
         } else {
-            let end = 2.0 * PI * (self.f0 * self.duration
-                + 0.5 * (self.f1 - self.f0) * self.duration);
+            let end =
+                2.0 * PI * (self.f0 * self.duration + 0.5 * (self.f1 - self.f0) * self.duration);
             end + 2.0 * PI * self.f1 * (t - self.duration)
         }
     }
@@ -339,9 +339,7 @@ impl DriftSchedule {
         if t >= self.knots[n - 1].0 {
             return self.knots[n - 1].1;
         }
-        let idx = self
-            .knots
-            .partition_point(|&(kt, _)| kt < t);
+        let idx = self.knots.partition_point(|&(kt, _)| kt < t);
         let (t0, f0) = self.knots[idx - 1];
         let (t1, f1) = self.knots[idx];
         f0 + (f1 - f0) * (t - t0) / (t1 - t0)

@@ -53,13 +53,21 @@ fn main() -> Result<(), Box<dyn Error>> {
             m_tuned.harvested_energy_j,
             m_untuned.harvested_energy_j,
         ),
-        ("uptime fraction", m_tuned.uptime_fraction, m_untuned.uptime_fraction),
+        (
+            "uptime fraction",
+            m_tuned.uptime_fraction,
+            m_untuned.uptime_fraction,
+        ),
         (
             "min storage voltage (V)",
             m_tuned.min_v_store,
             m_untuned.min_v_store,
         ),
-        ("retunes", m_tuned.retune_count as f64, m_untuned.retune_count as f64),
+        (
+            "retunes",
+            m_tuned.retune_count as f64,
+            m_untuned.retune_count as f64,
+        ),
         (
             "tuning energy (J)",
             m_tuned.tuning_energy_j,

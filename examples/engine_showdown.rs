@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example engine_showdown`
 
-use ehsim::circuit::{
-    LinearizedStateSpaceEngine, NewtonRaphsonEngine, Probe, TransientConfig,
-};
+use ehsim::circuit::{LinearizedStateSpaceEngine, NewtonRaphsonEngine, Probe, TransientConfig};
 use ehsim::harvester::Harvester;
 use ehsim::power::frontend::build_frontend;
 use ehsim::power::Multiplier;
@@ -58,9 +56,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let v_nr = *nr.signal(&signal).unwrap().last().unwrap();
     let v_lss = *lss.signal(&signal).unwrap().last().unwrap();
 
-    println!("{:<28} {:>16} {:>18}", "", "newton-raphson", "linearized-ss");
+    println!(
+        "{:<28} {:>16} {:>18}",
+        "", "newton-raphson", "linearized-ss"
+    );
     println!("{}", "-".repeat(64));
-    println!("{:<28} {:>16.3?} {:>18.3?}", "wall-clock", nr_wall, lss_wall);
+    println!(
+        "{:<28} {:>16.3?} {:>18.3?}",
+        "wall-clock", nr_wall, lss_wall
+    );
     println!(
         "{:<28} {:>16} {:>18}",
         "time steps", nr.stats.steps, lss.stats.steps
@@ -79,7 +83,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "{:<28} {:>16} {:>18}",
-        "topology changes", "-", lss.stats.topology_changes.to_string()
+        "topology changes",
+        "-",
+        lss.stats.topology_changes.to_string()
     );
     println!(
         "{:<28} {:>16.4} {:>18.4}",

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     for (idx, ind) in surrogates.indicators().iter().enumerate() {
         println!("--- {ind} ---");
-        println!("{:<40} {:>12} {:>8} {:>10}", "term", "coeff", "|t|", "p-value");
+        println!(
+            "{:<40} {:>12} {:>8} {:>10}",
+            "term", "coeff", "|t|", "p-value"
+        );
         println!("{}", "-".repeat(74));
         let ranking = effects_ranking(&surrogates, idx)?;
         for e in ranking.iter().take(8) {
@@ -39,7 +42,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         println!("\nmain-effect swings (others at centre):");
         for (name, lo, hi) in main_effect_ranges(&surrogates, idx, 21)? {
-            println!("  {name:<22} {lo:>10.3} … {hi:>10.3}  (swing {:.3})", hi - lo);
+            println!(
+                "  {name:<22} {lo:>10.3} … {hi:>10.3}  (swing {:.3})",
+                hi - lo
+            );
         }
         println!();
     }

@@ -71,10 +71,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             );
         }
     }
-    println!(
-        "  ({n_predictions} predictions in {:.1?})",
-        t1.elapsed()
-    );
+    println!("  ({n_predictions} predictions in {:.1?})", t1.elapsed());
 
     // Constrained optimisation on the surface: maximise packet rate
     // while keeping 0.2 V of brown-out margin.

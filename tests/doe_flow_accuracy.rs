@@ -91,7 +91,11 @@ fn optimum_on_surface_verifies_in_simulation() {
         100.0 * rel_err
     );
     // And the constraint actually holds (with slack for model error).
-    assert!(simulated[1] > 0.0, "margin constraint violated: {}", simulated[1]);
+    assert!(
+        simulated[1] > 0.0,
+        "margin constraint violated: {}",
+        simulated[1]
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! harvester front-end, and verification of the linearized engine's
 //! cost advantage (experiments E2/E7 in test form).
 
-use ehsim::circuit::{
-    LinearizedStateSpaceEngine, NewtonRaphsonEngine, Probe, TransientConfig,
-};
+use ehsim::circuit::{LinearizedStateSpaceEngine, NewtonRaphsonEngine, Probe, TransientConfig};
 use ehsim::harvester::Harvester;
 use ehsim::power::frontend::build_frontend;
 use ehsim::power::Multiplier;
@@ -31,7 +29,12 @@ fn frontend() -> (ehsim::circuit::Netlist, String) {
 #[test]
 fn engines_agree_on_storage_charging() {
     let (nl, signal) = frontend();
-    let probe = Probe::NodeVoltage(signal.trim_start_matches("v(").trim_end_matches(')').to_string());
+    let probe = Probe::NodeVoltage(
+        signal
+            .trim_start_matches("v(")
+            .trim_end_matches(')')
+            .to_string(),
+    );
     let t_end = 0.4;
 
     let nr = NewtonRaphsonEngine::default()
@@ -50,12 +53,20 @@ fn engines_agree_on_storage_charging() {
         .expect("lss engine runs");
 
     let v_nr = *nr.signal(&signal).expect("signal recorded").last().unwrap();
-    let v_lss = *lss.signal(&signal).expect("signal recorded").last().unwrap();
+    let v_lss = *lss
+        .signal(&signal)
+        .expect("signal recorded")
+        .last()
+        .unwrap();
     assert!(v_nr > 0.005, "storage must charge: {v_nr}");
     // The engines use different diode models (Shockley vs PWL); they
     // must agree within ~15% on the charged voltage.
     let rel = (v_nr - v_lss).abs() / v_nr;
-    assert!(rel < 0.15, "nr {v_nr} vs lss {v_lss} ({:.1}% apart)", 100.0 * rel);
+    assert!(
+        rel < 0.15,
+        "nr {v_nr} vs lss {v_lss} ({:.1}% apart)",
+        100.0 * rel
+    );
 }
 
 #[test]
@@ -63,10 +74,18 @@ fn lss_is_vastly_cheaper_in_lu_work() {
     let (nl, _) = frontend();
     let t_end = 0.2;
     let nr = NewtonRaphsonEngine::default()
-        .simulate(&nl, &TransientConfig::new(t_end, 2e-5).expect("config"), &[])
+        .simulate(
+            &nl,
+            &TransientConfig::new(t_end, 2e-5).expect("config"),
+            &[],
+        )
         .expect("newton engine runs");
     let lss = LinearizedStateSpaceEngine::default()
-        .simulate(&nl, &TransientConfig::new(t_end, 2e-4).expect("config"), &[])
+        .simulate(
+            &nl,
+            &TransientConfig::new(t_end, 2e-4).expect("config"),
+            &[],
+        )
         .expect("lss engine runs");
     // Factorisation counts differ by orders of magnitude: the NR engine
     // refactors every iteration of every step, the LSS engine once per

@@ -4,6 +4,7 @@
 
 use ehsim::core::baselines::{genetic, simulated_annealing};
 use ehsim::core::experiment::{Campaign, StandardFactors};
+use ehsim::core::flow::{DesignChoice, DoeFlow};
 use ehsim::core::indicators::Indicator;
 use ehsim::core::scenario::Scenario;
 use ehsim::doe::design::doptimal::d_optimal_grid;
@@ -57,6 +58,79 @@ fn campaign_is_deterministic_across_thread_counts() {
     let one = campaign.run_design(&design, 1).expect("serial");
     let many = campaign.run_design(&design, 8).expect("parallel");
     assert_eq!(one.responses, many.responses);
+}
+
+/// Runs a small seeded DoE flow and renders every RSM coefficient as
+/// its exact bit pattern.
+fn rsm_coefficient_fingerprint() -> String {
+    let campaign = Campaign::standard(
+        StandardFactors::default(),
+        Scenario::industrial_spectrum(120.0),
+        vec![Indicator::PacketsPerHour, Indicator::FinalStorageV],
+    )
+    .expect("campaign");
+    let surrogates = DoeFlow::new(DesignChoice::LatinHypercube { n: 20, seed: 77 })
+        .with_threads(4)
+        .run(&campaign)
+        .expect("flow runs");
+    let mut bits = Vec::new();
+    for i in 0..2 {
+        for c in surrogates.model(i).coefficients() {
+            bits.push(format!("{:016x}", c.to_bits()));
+        }
+    }
+    bits.join(",")
+}
+
+/// Same RNG seed → bit-identical RSM coefficients, not just within one
+/// process but across *fresh* processes: the test re-executes its own
+/// test binary twice in child mode and compares the exact coefficient
+/// bit patterns (guards against address-dependent iteration order,
+/// uninitialised state, or time-seeded randomness sneaking in).
+#[test]
+fn rsm_coefficients_are_bit_identical_across_processes() {
+    const CHILD_FLAG: &str = "EHSIM_REPRO_CHILD";
+    if std::env::var_os(CHILD_FLAG).is_some() {
+        println!("coeffs:{}", rsm_coefficient_fingerprint());
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let spawn_child = || -> String {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "rsm_coefficients_are_bit_identical_across_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(CHILD_FLAG, "1")
+            .output()
+            .expect("child test process runs");
+        assert!(
+            out.status.success(),
+            "child process failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The libtest harness writes its own "test ... ok" text around
+        // (and sometimes onto the same line as) our println, so locate
+        // the marker anywhere in the stream.
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let start = stdout.find("coeffs:").expect("child printed a fingerprint");
+        stdout[start..]
+            .split_whitespace()
+            .next()
+            .expect("fingerprint is non-empty")
+            .to_string()
+    };
+
+    let first = spawn_child();
+    let second = spawn_child();
+    assert_eq!(first, second, "fresh processes disagree on RSM bits");
+    assert_eq!(
+        first,
+        format!("coeffs:{}", rsm_coefficient_fingerprint()),
+        "parent process disagrees with children"
+    );
 }
 
 #[test]

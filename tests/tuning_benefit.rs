@@ -18,8 +18,7 @@ fn tuning_nets_more_energy_than_it_costs() {
     base.initial_position = base.harvester.position_for_frequency(58.0);
     base.storage.capacitance = 0.2;
     let duration = 6.5 * 3600.0;
-    let src = DriftSchedule::new(vec![(0.0, 58.0), (900.0, 66.0)], 0.9)
-        .expect("valid schedule");
+    let src = DriftSchedule::new(vec![(0.0, 58.0), (900.0, 66.0)], 0.9).expect("valid schedule");
 
     let tuned = SystemSimulator::new(base.clone())
         .expect("valid config")

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/API surface the ehsim benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` / `measurement_time`) backed by
+//! a simple wall-clock harness: warm up, estimate the per-iteration
+//! cost, then time enough iterations to fill the measurement budget and
+//! report mean / best per-iteration times on stdout.
+//!
+//! No statistics, plots, or baselines — just honest timings so
+//! `cargo bench` produces useful numbers without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// Passed to the closure given to `bench_function`; `iter` runs and
+/// times the workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + cost estimate.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let per_iter = warm.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self
+            .measurement_time
+            .div_duration_f64(per_iter)
+            .clamp(1.0, 5_000_000.0) as usize;
+        let iters = budget.max(self.sample_size);
+
+        self.samples.reserve(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark context, one per `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+fn pretty(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let best = *samples.iter().min().expect("non-empty");
+    println!(
+        "{id:<40} mean {:>12}   best {:>12}   ({} iters)",
+        pretty(mean),
+        pretty(best),
+        samples.len()
+    );
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` works as well as
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // harness has no options, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn groups_honour_sample_settings() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function("inner", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the ehsim property suites use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! range and collection strategies, `prop_map`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the case index and the
+//!   assertion message; re-running is deterministic, so the failure is
+//!   reproducible by test name alone.
+//! - **Deterministic seeding.** Each test derives its RNG seed from a
+//!   hash of the test's name, so runs are identical across processes
+//!   and machines. There is no `PROPTEST_CASES`-style env override.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+}
+
+/// The RNG handed to strategies. Deterministic per test name.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable, dependency-free.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.random_range(0..n)
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree: `sample` draws a
+/// concrete value directly and nothing shrinks.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end - self.start) as usize;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, i32);
+
+/// A fixed value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    pub trait SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec-size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        elem: S,
+        size: Z,
+    }
+
+    /// `prop::collection::vec(strategy, len)` — a vector whose length is
+    /// drawn from `size` and whose elements come from `elem`.
+    pub fn vec<S: Strategy, Z: SizeRange>(elem: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runs one proptest-style test: draws cases until `cases` of them are
+/// accepted (i.e. not rejected by `prop_assume!`), panicking on the
+/// first failure. Called by the [`proptest!`] expansion.
+pub fn run_cases<F>(test_name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(test_name);
+    let mut accepted: u32 = 0;
+    let mut attempts: u64 = 0;
+    let max_attempts = (config.cases as u64).saturating_mul(100).max(1000);
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest stub: {test_name} rejected too many inputs \
+                 ({accepted}/{} accepted after {attempts} attempts)",
+                config.cases
+            );
+        }
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest failure in {test_name}, case {accepted}: {msg}")
+            }
+        }
+    }
+}
+
+/// Property-test entry point. Supports:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))] // optional
+///     #[test]
+///     fn name(a in 0.0f64..1.0, v in prop::collection::vec(0usize..4, 3)) {
+///         prop_assert!(a < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cfg,
+                |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Assert inside a proptest body; failure aborts the whole test with
+/// the offending expression (or formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                concat!("assertion failed: ", stringify!($cond), ": {}"),
+                format_args!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            )));
+        }
+    }};
+}
+
+/// Reject the current inputs and draw a fresh case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in -2.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            fixed in prop::collection::vec(0.0f64..1.0, 7),
+            ranged in prop::collection::vec(0.0f64..1.0, 2..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..5).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0.0f64..1.0).prop_map(|v| v + 10.0)) {
+            prop_assert!((10.0..11.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_and_redraws(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failures_panic() {
+        crate::run_cases("failures_panic", ProptestConfig::with_cases(1), |_rng| {
+            prop_assert!(false);
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}
