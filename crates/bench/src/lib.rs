@@ -13,13 +13,14 @@
 //! | `e6_optimization` | Table E6 — DoE flow vs classical optimisers |
 //! | `e7_speedup` | Figure E7 — engine speed-up vs horizon |
 //! | `e8_design_ablation` | Table E8 — design choice vs accuracy/cost |
+//! | `e9_robust_scenarios` | Table E9 — single-scenario vs robust optima across an ensemble |
 //!
 //! Criterion benches (`benches/`) time the same kernels statistically.
 
 use ehsim_circuit::Netlist;
-use ehsim_core::experiment::{Campaign, StandardFactors};
+use ehsim_core::experiment::{Campaign, EnsembleCampaign, StandardFactors};
 use ehsim_core::indicators::Indicator;
-use ehsim_core::scenario::Scenario;
+use ehsim_core::scenario::{Scenario, ScenarioEnsemble};
 use ehsim_harvester::Harvester;
 use ehsim_power::frontend::build_frontend;
 use ehsim_power::Multiplier;
@@ -40,6 +41,19 @@ pub fn flagship_campaign(duration_s: f64) -> Campaign {
         ],
     )
     .expect("flagship campaign is valid")
+}
+
+/// The ensemble campaign used by the robust-optimisation experiment
+/// (e9): the four standard factors over the seeded five-environment
+/// "factory floor" ensemble, with packets and brown-out margin as the
+/// responses.
+pub fn flagship_ensemble(duration_s: f64) -> EnsembleCampaign {
+    EnsembleCampaign::standard(
+        StandardFactors::default(),
+        ScenarioEnsemble::factory_floor(duration_s),
+        vec![Indicator::PacketsPerHour, Indicator::BrownoutMarginV],
+    )
+    .expect("flagship ensemble campaign is valid")
 }
 
 /// The circuit-level front-end netlist used by the engine experiments,

@@ -1,8 +1,10 @@
 //! Experiment campaigns: map design points to node configurations, run
-//! the system simulator at each, and collect the indicator responses.
+//! the system simulator at each, and collect the indicator responses —
+//! against one scenario ([`Campaign`]) or a whole weighted ensemble of
+//! them in a single batched pass ([`EnsembleCampaign`]).
 
 use crate::indicators::Indicator;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioEnsemble};
 use crate::space::{DesignSpace, Factor};
 use crate::{CoreError, Result};
 use ehsim_doe::Design;
@@ -76,6 +78,25 @@ impl StandardFactors {
 
 /// Maps a physical design point to a node configuration.
 pub type Configure = Arc<dyn Fn(&[f64]) -> NodeConfig + Send + Sync>;
+
+/// Runs one system simulation: decode the coded point, build the node
+/// configuration, simulate it against `scenario`, extract indicators.
+fn simulate_point(
+    space: &DesignSpace,
+    configure: &Configure,
+    indicators: &[Indicator],
+    scenario: &Scenario,
+    coded: &[f64],
+) -> Result<Vec<f64>> {
+    let physical = space.decode(coded);
+    let cfg = (configure)(&physical);
+    let sim = SystemSimulator::new(cfg.clone())?;
+    let metrics = sim.run(scenario.source().as_ref(), scenario.duration_s())?;
+    Ok(indicators
+        .iter()
+        .map(|ind| ind.extract(&metrics, &cfg))
+        .collect())
+}
 
 /// A simulation campaign: design space + configuration mapping +
 /// scenario + indicators.
@@ -174,18 +195,38 @@ impl Campaign {
     /// Propagates simulator errors (e.g. an invalid generated
     /// configuration).
     pub fn evaluate_coded(&self, coded: &[f64]) -> Result<Vec<f64>> {
-        let physical = self.space.decode(coded);
-        let cfg = (self.configure)(&physical);
-        let sim = SystemSimulator::new(cfg.clone())?;
-        let metrics = sim.run(self.scenario.source().as_ref(), self.scenario.duration_s())?;
-        Ok(self
-            .indicators
-            .iter()
-            .map(|ind| ind.extract(&metrics, &cfg))
-            .collect())
+        simulate_point(
+            &self.space,
+            &self.configure,
+            &self.indicators,
+            &self.scenario,
+            coded,
+        )
     }
 
     /// Runs every design point, using up to `threads` worker threads.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ehsim_core::experiment::{Campaign, StandardFactors};
+    /// use ehsim_core::indicators::Indicator;
+    /// use ehsim_core::scenario::Scenario;
+    /// use ehsim_doe::design::factorial::full_factorial_2k;
+    ///
+    /// # fn main() -> Result<(), ehsim_core::CoreError> {
+    /// let campaign = Campaign::standard(
+    ///     StandardFactors::default(),
+    ///     Scenario::stationary_machine(60.0),
+    ///     vec![Indicator::PacketsPerHour],
+    /// )?;
+    /// let design = full_factorial_2k(4).map_err(ehsim_core::CoreError::from)?;
+    /// let result = campaign.run_design(&design, 4)?;
+    /// assert_eq!(result.sim_count, 16);
+    /// assert_eq!(result.response_column(0).len(), 16);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -202,52 +243,7 @@ impl Campaign {
         let start = Instant::now();
         let points: Vec<Vec<f64>> = design.points().to_vec();
         let n = points.len();
-        let threads = threads.clamp(1, n.max(1));
-
-        let mut responses: Vec<Option<Vec<f64>>> = vec![None; n];
-        let mut first_error: Option<CoreError> = None;
-        std::thread::scope(|scope| {
-            let chunks: Vec<(usize, &[Vec<f64>])> = {
-                let chunk_size = n.div_ceil(threads);
-                points
-                    .chunks(chunk_size)
-                    .enumerate()
-                    .map(|(ci, c)| (ci * chunk_size, c))
-                    .collect()
-            };
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|(offset, chunk)| {
-                    scope.spawn(move || {
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for p in chunk {
-                            out.push(self.evaluate_coded(p));
-                        }
-                        (offset, out)
-                    })
-                })
-                .collect();
-            for h in handles {
-                let (offset, results) = h.join().expect("campaign worker panicked");
-                for (i, r) in results.into_iter().enumerate() {
-                    match r {
-                        Ok(v) => responses[offset + i] = Some(v),
-                        Err(e) => {
-                            if first_error.is_none() {
-                                first_error = Some(e);
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        if let Some(e) = first_error {
-            return Err(e);
-        }
-        let responses: Vec<Vec<f64>> = responses
-            .into_iter()
-            .map(|r| r.expect("no error implies every run succeeded"))
-            .collect();
+        let responses = run_jobs(n, threads, |j| self.evaluate_coded(&points[j]))?;
         let physical: Vec<Vec<f64>> = points.iter().map(|p| self.space.decode(p)).collect();
         Ok(CampaignResult {
             coded: points,
@@ -259,6 +255,59 @@ impl Campaign {
     }
 }
 
+/// Runs `n_jobs` independent simulation jobs across up to `threads`
+/// scoped worker threads, preserving job order. Jobs are split into
+/// contiguous chunks; each worker owns one chunk, so results are
+/// written to disjoint slots and the output ordering never depends on
+/// the thread count. Returns the first job error encountered (in job
+/// order within each worker, workers joined in order).
+fn run_jobs(
+    n_jobs: usize,
+    threads: usize,
+    job: impl Fn(usize) -> Result<Vec<f64>> + Sync,
+) -> Result<Vec<Vec<f64>>> {
+    let threads = threads.clamp(1, n_jobs.max(1));
+    let mut responses: Vec<Option<Vec<f64>>> = vec![None; n_jobs];
+    let mut first_error: Option<CoreError> = None;
+    std::thread::scope(|scope| {
+        let job = &job;
+        let chunk_size = n_jobs.div_ceil(threads);
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = w * chunk_size;
+                let hi = ((w + 1) * chunk_size).min(n_jobs);
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    for j in lo..hi {
+                        out.push(job(j));
+                    }
+                    (lo, out)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (offset, results) = h.join().expect("simulation worker panicked");
+            for (i, r) in results.into_iter().enumerate() {
+                match r {
+                    Ok(v) => responses[offset + i] = Some(v),
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(responses
+        .into_iter()
+        .map(|r| r.expect("no error implies every job succeeded"))
+        .collect())
+}
+
 impl std::fmt::Debug for Campaign {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -266,6 +315,247 @@ impl std::fmt::Debug for Campaign {
             "Campaign({} factors, {:?}, {} indicators)",
             self.space.k(),
             self.scenario,
+            self.indicators.len()
+        )
+    }
+}
+
+/// A campaign over a whole [`ScenarioEnsemble`]: every design point is
+/// simulated against every scenario, in one batched multi-threaded
+/// pass, yielding per-scenario responses plus the weighted aggregate.
+///
+/// This is the data source for robust cross-scenario optimisation: one
+/// response surface per indicator *per scenario*, all built from a
+/// single simulation budget of `design.n_runs() × ensemble.len()`.
+#[derive(Clone)]
+pub struct EnsembleCampaign {
+    space: DesignSpace,
+    configure: Configure,
+    ensemble: ScenarioEnsemble,
+    indicators: Vec<Indicator>,
+}
+
+/// Results of running one design across a scenario ensemble.
+#[derive(Debug, Clone)]
+pub struct EnsembleCampaignResult {
+    /// Scenario labels, in ensemble order.
+    pub scenario_labels: Vec<String>,
+    /// Normalised scenario weights, in ensemble order.
+    pub weights: Vec<f64>,
+    /// One full [`CampaignResult`] per scenario (identical `coded` /
+    /// `physical` tables; responses differ).
+    pub per_scenario: Vec<CampaignResult>,
+    /// The weighted aggregate: `responses[run][i]` is the
+    /// weight-normalised mean of the per-scenario responses. Its
+    /// `sim_count` is the *total* number of simulator invocations.
+    pub aggregate: CampaignResult,
+}
+
+impl EnsembleCampaignResult {
+    /// One scenario's response vector for one indicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn scenario_response_column(&self, scenario_idx: usize, indicator_idx: usize) -> Vec<f64> {
+        self.per_scenario[scenario_idx].response_column(indicator_idx)
+    }
+}
+
+impl EnsembleCampaign {
+    /// Creates an ensemble campaign from explicit parts.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if no indicators are given.
+    pub fn new(
+        space: DesignSpace,
+        configure: Configure,
+        ensemble: ScenarioEnsemble,
+        indicators: Vec<Indicator>,
+    ) -> Result<Self> {
+        if indicators.is_empty() {
+            return Err(CoreError::invalid("need at least one indicator"));
+        }
+        Ok(EnsembleCampaign {
+            space,
+            configure,
+            ensemble,
+            indicators,
+        })
+    }
+
+    /// Creates the standard four-factor campaign over an ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn standard(
+        factors: StandardFactors,
+        ensemble: ScenarioEnsemble,
+        indicators: Vec<Indicator>,
+    ) -> Result<Self> {
+        let space = factors.space()?;
+        let configure: Configure = Arc::new(move |phys| factors.config_for(phys));
+        EnsembleCampaign::new(space, configure, ensemble, indicators)
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The scenario ensemble.
+    pub fn ensemble(&self) -> &ScenarioEnsemble {
+        &self.ensemble
+    }
+
+    /// The indicators, in response-column order.
+    pub fn indicators(&self) -> &[Indicator] {
+        &self.indicators
+    }
+
+    /// A single-scenario [`Campaign`] view sharing this campaign's
+    /// space, configuration mapping, and indicators — e.g. to verify a
+    /// candidate design against one environment.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if `scenario_idx` is out of
+    /// range.
+    pub fn campaign_for(&self, scenario_idx: usize) -> Result<Campaign> {
+        if scenario_idx >= self.ensemble.len() {
+            return Err(CoreError::invalid(format!(
+                "no scenario {scenario_idx} in a {}-scenario ensemble",
+                self.ensemble.len()
+            )));
+        }
+        Campaign::new(
+            self.space.clone(),
+            self.configure.clone(),
+            self.ensemble.scenario(scenario_idx).clone(),
+            self.indicators.clone(),
+        )
+    }
+
+    /// Runs one coded point against every scenario. Returns the
+    /// per-scenario indicator vectors (ensemble order) and the
+    /// weighted aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn evaluate_coded(&self, coded: &[f64]) -> Result<(Vec<Vec<f64>>, Vec<f64>)> {
+        let mut per_scenario = Vec::with_capacity(self.ensemble.len());
+        for (scenario, _) in self.ensemble.entries() {
+            per_scenario.push(simulate_point(
+                &self.space,
+                &self.configure,
+                &self.indicators,
+                scenario,
+                coded,
+            )?);
+        }
+        let weights = self.ensemble.weights();
+        let aggregate = (0..self.indicators.len())
+            .map(|i| {
+                per_scenario
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(y, w)| w * y[i])
+                    .sum()
+            })
+            .collect();
+        Ok((per_scenario, aggregate))
+    }
+
+    /// Runs every `(design point, scenario)` pair in one batched pass
+    /// using up to `threads` worker threads. The flattened job list is
+    /// chunked across workers, so a four-point design over a
+    /// five-scenario ensemble keeps 8 threads busy with 20 jobs rather
+    /// than running five sequential 4-job campaigns.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on factor-count mismatch;
+    /// propagates the first simulation error encountered.
+    pub fn run_design(&self, design: &Design, threads: usize) -> Result<EnsembleCampaignResult> {
+        if design.k() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "design has {} factors, space has {}",
+                design.k(),
+                self.space.k()
+            )));
+        }
+        let start = Instant::now();
+        let points: Vec<Vec<f64>> = design.points().to_vec();
+        let n_points = points.len();
+        let n_scen = self.ensemble.len();
+        let n_jobs = n_points * n_scen;
+        // Job j simulates point j / n_scen against scenario j % n_scen.
+        let responses = run_jobs(n_jobs, threads, |j| {
+            simulate_point(
+                &self.space,
+                &self.configure,
+                &self.indicators,
+                self.ensemble.scenario(j % n_scen),
+                &points[j / n_scen],
+            )
+        })?;
+        let wall = start.elapsed();
+        let physical: Vec<Vec<f64>> = points.iter().map(|p| self.space.decode(p)).collect();
+        let weights = self.ensemble.weights();
+
+        // Un-flatten into per-scenario result tables.
+        let per_scenario: Vec<CampaignResult> = (0..n_scen)
+            .map(|s| CampaignResult {
+                coded: points.clone(),
+                physical: physical.clone(),
+                responses: (0..n_points)
+                    .map(|p| responses[p * n_scen + s].clone())
+                    .collect(),
+                sim_count: n_points,
+                wall,
+            })
+            .collect();
+        let aggregate_rows: Vec<Vec<f64>> = (0..n_points)
+            .map(|p| {
+                (0..self.indicators.len())
+                    .map(|i| {
+                        (0..n_scen)
+                            .map(|s| weights[s] * responses[p * n_scen + s][i])
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(EnsembleCampaignResult {
+            scenario_labels: self
+                .ensemble
+                .labels()
+                .iter()
+                .map(|l| l.to_string())
+                .collect(),
+            weights,
+            per_scenario,
+            aggregate: CampaignResult {
+                coded: points,
+                physical,
+                responses: aggregate_rows,
+                sim_count: n_jobs,
+                wall,
+            },
+        })
+    }
+}
+
+impl std::fmt::Debug for EnsembleCampaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EnsembleCampaign({} factors, {} scenarios, {} indicators)",
+            self.space.k(),
+            self.ensemble.len(),
             self.indicators.len()
         )
     }
@@ -331,5 +621,89 @@ mod tests {
         let f = StandardFactors::default();
         let r = Campaign::standard(f, Scenario::stationary_machine(60.0), vec![]);
         assert!(r.is_err());
+    }
+
+    fn tiny_ensemble_campaign() -> EnsembleCampaign {
+        let ensemble = ScenarioEnsemble::new(vec![
+            (Scenario::stationary_machine(120.0), 0.7),
+            (Scenario::drifting_machine(120.0), 0.3),
+        ])
+        .unwrap();
+        EnsembleCampaign::standard(
+            StandardFactors::default(),
+            ensemble,
+            vec![Indicator::PacketsPerHour, Indicator::BrownoutMarginV],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ensemble_run_design_matches_per_scenario_campaigns() {
+        let ec = tiny_ensemble_campaign();
+        let d = full_factorial_2k(4).unwrap();
+        let batched = ec.run_design(&d, 4).unwrap();
+        assert_eq!(batched.per_scenario.len(), 2);
+        assert_eq!(batched.aggregate.sim_count, 32);
+        assert_eq!(batched.scenario_labels[0], "stationary-64Hz");
+        // Each scenario slice equals what a single-scenario campaign
+        // produces for the same design.
+        for s in 0..2 {
+            let single = ec.campaign_for(s).unwrap().run_design(&d, 4).unwrap();
+            assert_eq!(single.responses, batched.per_scenario[s].responses);
+        }
+        // The aggregate is the hand-computed weighted mean.
+        for p in 0..d.n_runs() {
+            for i in 0..2 {
+                let want = 0.7 * batched.per_scenario[0].responses[p][i]
+                    + 0.3 * batched.per_scenario[1].responses[p][i];
+                let got = batched.aggregate.responses[p][i];
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "run {p} ind {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_run_design_is_thread_count_invariant() {
+        let ec = tiny_ensemble_campaign();
+        let d = full_factorial_2k(4).unwrap();
+        let serial = ec.run_design(&d, 1).unwrap();
+        let parallel = ec.run_design(&d, 8).unwrap();
+        for s in 0..2 {
+            assert_eq!(
+                serial.per_scenario[s].responses,
+                parallel.per_scenario[s].responses
+            );
+        }
+        assert_eq!(serial.aggregate.responses, parallel.aggregate.responses);
+    }
+
+    #[test]
+    fn ensemble_evaluate_coded_aggregates() {
+        let ec = tiny_ensemble_campaign();
+        let (per, agg) = ec.evaluate_coded(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(per.len(), 2);
+        assert_eq!(agg.len(), 2);
+        for i in 0..2 {
+            let want = 0.7 * per[0][i] + 0.3 * per[1][i];
+            assert!((agg[i] - want).abs() < 1e-12);
+        }
+        let col = ec
+            .run_design(&full_factorial_2k(4).unwrap(), 4)
+            .unwrap()
+            .scenario_response_column(1, 0);
+        assert_eq!(col.len(), 16);
+    }
+
+    #[test]
+    fn ensemble_validation_and_debug() {
+        let ec = tiny_ensemble_campaign();
+        assert!(ec.campaign_for(5).is_err());
+        assert!(ec.run_design(&full_factorial_2k(3).unwrap(), 2).is_err());
+        assert!(!format!("{ec:?}").is_empty());
+        let ensemble = ScenarioEnsemble::uniform(vec![Scenario::stationary_machine(60.0)]).unwrap();
+        assert!(EnsembleCampaign::standard(StandardFactors::default(), ensemble, vec![]).is_err());
     }
 }

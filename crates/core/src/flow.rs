@@ -1,6 +1,7 @@
-//! The DoE design flow: design → simulate → fit → validate → explore.
+//! The DoE design flow: design → simulate → fit → validate → explore —
+//! against one scenario or robustly across a whole ensemble.
 
-use crate::experiment::{Campaign, CampaignResult};
+use crate::experiment::{Campaign, CampaignResult, EnsembleCampaign, EnsembleCampaignResult};
 use crate::indicators::Indicator;
 use crate::space::DesignSpace;
 use crate::{CoreError, Result};
@@ -9,12 +10,36 @@ use ehsim_doe::design::ccd::CentralComposite;
 use ehsim_doe::design::doptimal::d_optimal_grid;
 use ehsim_doe::design::factorial::full_factorial_3k;
 use ehsim_doe::design::lhs::latin_hypercube;
-use ehsim_doe::optimize::{optimize_fn, Goal, Optimum};
+use ehsim_doe::optimize::{
+    optimize_fn, optimize_model, optimize_robust, robust_objective, Goal, Optimum, RobustGoal,
+};
 use ehsim_doe::stepwise::backward_eliminate;
 use ehsim_doe::{fit, Design, FittedModel, ModelSpec};
 use std::time::{Duration, Instant};
 
 /// Which experimental design plans the simulation campaign.
+///
+/// The paper's flow hinges on spending only a *moderate number* of
+/// simulations to fit a quadratic RSM; which plan buys the most model
+/// accuracy per run is exactly what the Table E8 design-ablation
+/// experiment measures. Central composite designs are the paper-style
+/// default; the alternatives are included for that comparison.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_core::flow::DesignChoice;
+///
+/// // A face-centred CCD for 4 factors: 2^4 cube runs, 2·4 axial runs,
+/// // plus the centre replicates.
+/// let choice = DesignChoice::FaceCenteredCcd { center_points: 3 };
+/// let design = choice.build(4).unwrap();
+/// assert_eq!(design.n_runs(), 16 + 8 + 3);
+///
+/// // A 30-run seeded Latin hypercube over the same factors.
+/// let lhs = DesignChoice::LatinHypercube { n: 30, seed: 7 }.build(4).unwrap();
+/// assert_eq!(lhs.n_runs(), 30);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum DesignChoice {
     /// Face-centred central composite (all runs inside the box).
@@ -124,11 +149,7 @@ impl DoeFlow {
         let mut models = Vec::with_capacity(campaign.indicators().len());
         for (idx, _) in campaign.indicators().iter().enumerate() {
             let y = result.response_column(idx);
-            let model = match self.stepwise_alpha {
-                None => fit(&spec, &result.coded, &y)?,
-                Some(alpha) => backward_eliminate(&spec, &result.coded, &y, alpha)?.model,
-            };
-            models.push(model);
+            models.push(self.fit_column(&spec, &result.coded, &y)?);
         }
         Ok(SurrogateSet {
             space: campaign.space().clone(),
@@ -137,6 +158,56 @@ impl DoeFlow {
             design,
             result,
             build_wall: start.elapsed(),
+        })
+    }
+
+    /// Runs the flow across a scenario ensemble: one batched simulation
+    /// campaign (every design point × every scenario), then one fitted
+    /// quadratic model per indicator *per scenario*, plus models of the
+    /// weighted-aggregate responses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design, simulation, and fitting errors.
+    pub fn run_ensemble(&self, campaign: &EnsembleCampaign) -> Result<EnsembleSurrogateSet> {
+        let start = Instant::now();
+        let k = campaign.space().k();
+        let design = self.choice.build(k)?;
+        let result = campaign.run_design(&design, self.threads)?;
+        let spec = ModelSpec::quadratic(k)?;
+        let n_ind = campaign.indicators().len();
+        let mut scenario_models = Vec::with_capacity(result.per_scenario.len());
+        for sc in &result.per_scenario {
+            let mut models = Vec::with_capacity(n_ind);
+            for idx in 0..n_ind {
+                let y = sc.response_column(idx);
+                models.push(self.fit_column(&spec, &sc.coded, &y)?);
+            }
+            scenario_models.push(models);
+        }
+        let mut aggregate_models = Vec::with_capacity(n_ind);
+        for idx in 0..n_ind {
+            let y = result.aggregate.response_column(idx);
+            aggregate_models.push(self.fit_column(&spec, &result.aggregate.coded, &y)?);
+        }
+        Ok(EnsembleSurrogateSet {
+            space: campaign.space().clone(),
+            indicators: campaign.indicators().to_vec(),
+            scenario_labels: result.scenario_labels.clone(),
+            weights: result.weights.clone(),
+            scenario_models,
+            aggregate_models,
+            design,
+            result,
+            build_wall: start.elapsed(),
+        })
+    }
+
+    /// Fits one response column, with or without stepwise elimination.
+    fn fit_column(&self, spec: &ModelSpec, coded: &[Vec<f64>], y: &[f64]) -> Result<FittedModel> {
+        Ok(match self.stepwise_alpha {
+            None => fit(spec, coded, y)?,
+            Some(alpha) => backward_eliminate(spec, coded, y, alpha)?.model,
         })
     }
 }
@@ -371,6 +442,197 @@ impl SurrogateSet {
     }
 }
 
+/// Per-scenario and aggregate response surfaces fitted from one
+/// ensemble campaign — the substrate for robust cross-scenario
+/// optimisation.
+///
+/// Model layout: `scenario_models[scenario][indicator]`, all sharing
+/// one design and one [`EnsembleCampaignResult`]. The aggregate models
+/// are fitted on the weighted-mean responses; note that because model
+/// fitting is linear in the response vector, the aggregate fit equals
+/// the weighted mean of the per-scenario fits when no stepwise
+/// elimination is applied.
+#[derive(Debug, Clone)]
+pub struct EnsembleSurrogateSet {
+    space: DesignSpace,
+    indicators: Vec<Indicator>,
+    scenario_labels: Vec<String>,
+    weights: Vec<f64>,
+    scenario_models: Vec<Vec<FittedModel>>,
+    aggregate_models: Vec<FittedModel>,
+    design: Design,
+    result: EnsembleCampaignResult,
+    build_wall: Duration,
+}
+
+impl EnsembleSurrogateSet {
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The indicators, in model order.
+    pub fn indicators(&self) -> &[Indicator] {
+        &self.indicators
+    }
+
+    /// Scenario labels, in ensemble order.
+    pub fn scenario_labels(&self) -> &[String] {
+        &self.scenario_labels
+    }
+
+    /// Normalised scenario weights, in ensemble order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of scenarios.
+    pub fn n_scenarios(&self) -> usize {
+        self.scenario_models.len()
+    }
+
+    /// The experimental design used (shared by every scenario).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The raw batched campaign result.
+    pub fn campaign_result(&self) -> &EnsembleCampaignResult {
+        &self.result
+    }
+
+    /// Wall-clock time of the whole build (simulations + fits).
+    pub fn build_wall(&self) -> Duration {
+        self.build_wall
+    }
+
+    /// One scenario's fitted model for one indicator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for out-of-range indices.
+    pub fn model(&self, scenario_idx: usize, indicator_idx: usize) -> Result<&FittedModel> {
+        self.scenario_models
+            .get(scenario_idx)
+            .and_then(|ms| ms.get(indicator_idx))
+            .ok_or_else(|| {
+                CoreError::invalid(format!(
+                    "no model for scenario {scenario_idx}, indicator {indicator_idx}"
+                ))
+            })
+    }
+
+    /// The weighted-aggregate fitted model for one indicator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for an out-of-range index.
+    pub fn aggregate_model(&self, indicator_idx: usize) -> Result<&FittedModel> {
+        self.aggregate_models
+            .get(indicator_idx)
+            .ok_or_else(|| CoreError::invalid(format!("no indicator {indicator_idx}")))
+    }
+
+    /// Index of an indicator within the set.
+    pub fn indicator_index(&self, ind: Indicator) -> Option<usize> {
+        self.indicators.iter().position(|i| *i == ind)
+    }
+
+    /// Predicts one indicator under one scenario at a coded point.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for bad indices or a dimension
+    /// mismatch.
+    pub fn predict_scenario(
+        &self,
+        scenario_idx: usize,
+        indicator_idx: usize,
+        coded: &[f64],
+    ) -> Result<f64> {
+        self.check_point(coded)?;
+        Ok(self.model(scenario_idx, indicator_idx)?.predict(coded))
+    }
+
+    /// Predicts the robust aggregate of one indicator at a coded point:
+    /// the weighted mean or the worst case across scenarios.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a bad indicator index or
+    /// dimension mismatch.
+    pub fn predict_robust(
+        &self,
+        indicator_idx: usize,
+        robust: RobustGoal,
+        goal: Goal,
+        coded: &[f64],
+    ) -> Result<f64> {
+        self.check_point(coded)?;
+        let models = self.models_for(indicator_idx)?;
+        Ok(robust_objective(&models, robust, goal, coded)?)
+    }
+
+    /// Optimises one indicator robustly across the ensemble on the
+    /// per-scenario surfaces — weighted-mean for expected performance,
+    /// worst-case for a min-max guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for a bad indicator index.
+    pub fn optimize_robust(
+        &self,
+        indicator_idx: usize,
+        goal: Goal,
+        robust: RobustGoal,
+        seed: u64,
+    ) -> Result<Optimum> {
+        let models = self.models_for(indicator_idx)?;
+        Ok(optimize_robust(&models, (-1.0, 1.0), goal, robust, seed)?)
+    }
+
+    /// Optimises one indicator against a *single* scenario's surface —
+    /// the non-robust baseline the robust optimum is compared to.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for bad indices.
+    pub fn optimize_scenario(
+        &self,
+        scenario_idx: usize,
+        indicator_idx: usize,
+        goal: Goal,
+        seed: u64,
+    ) -> Result<Optimum> {
+        let model = self.model(scenario_idx, indicator_idx)?;
+        Ok(optimize_model(model, (-1.0, 1.0), goal, seed)?)
+    }
+
+    fn check_point(&self, coded: &[f64]) -> Result<()> {
+        if coded.len() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "point has {} coordinates, expected {}",
+                coded.len(),
+                self.space.k()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The `(model, weight)` pairs of one indicator across scenarios.
+    fn models_for(&self, indicator_idx: usize) -> Result<Vec<(&FittedModel, f64)>> {
+        if indicator_idx >= self.indicators.len() {
+            return Err(CoreError::invalid(format!("no indicator {indicator_idx}")));
+        }
+        Ok(self
+            .scenario_models
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(ms, w)| (&ms[indicator_idx], *w))
+            .collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +718,96 @@ mod tests {
         assert!(s
             .optimize_constrained(0, Goal::Maximize, &[(9, 0.0)], 0)
             .is_err());
+    }
+
+    fn small_ensemble_campaign() -> EnsembleCampaign {
+        let ensemble = crate::scenario::ScenarioEnsemble::new(vec![
+            (Scenario::stationary_machine(200.0), 0.6),
+            (Scenario::drifting_machine(200.0), 0.4),
+        ])
+        .unwrap();
+        EnsembleCampaign::standard(
+            StandardFactors::default(),
+            ensemble,
+            vec![Indicator::PacketsPerHour, Indicator::BrownoutMarginV],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ensemble_flow_fits_per_scenario_and_aggregate_models() {
+        let campaign = small_ensemble_campaign();
+        let flow = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 }).with_threads(8);
+        let s = flow.run_ensemble(&campaign).unwrap();
+        assert_eq!(s.n_scenarios(), 2);
+        assert_eq!(s.indicators().len(), 2);
+        assert_eq!(s.scenario_labels().len(), 2);
+        assert_eq!(s.campaign_result().aggregate.sim_count, 2 * (16 + 8 + 2));
+        assert_eq!(s.indicator_index(Indicator::BrownoutMarginV), Some(1));
+        let x = s.space().center();
+        // Aggregate prediction equals the weighted mean of per-scenario
+        // predictions (fitting is linear in the responses).
+        let agg = s.aggregate_model(0).unwrap().predict(&x);
+        let mean = s.weights()[0] * s.predict_scenario(0, 0, &x).unwrap()
+            + s.weights()[1] * s.predict_scenario(1, 0, &x).unwrap();
+        assert!((agg - mean).abs() < 1e-9, "{agg} vs {mean}");
+        // predict_robust(WeightedMean) agrees with the same mean.
+        let robust = s
+            .predict_robust(0, RobustGoal::WeightedMean, Goal::Maximize, &x)
+            .unwrap();
+        assert!((robust - mean).abs() < 1e-9);
+        // Worst case is never above the weighted mean.
+        let worst = s
+            .predict_robust(0, RobustGoal::WorstCase, Goal::Maximize, &x)
+            .unwrap();
+        assert!(worst <= robust + 1e-12);
+    }
+
+    #[test]
+    fn ensemble_robust_optimum_dominates_on_worst_case() {
+        let campaign = small_ensemble_campaign();
+        let s = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 })
+            .with_threads(8)
+            .run_ensemble(&campaign)
+            .unwrap();
+        let robust = s
+            .optimize_robust(0, Goal::Maximize, RobustGoal::WorstCase, 42)
+            .unwrap();
+        for sc in 0..s.n_scenarios() {
+            let single = s.optimize_scenario(sc, 0, Goal::Maximize, 42).unwrap();
+            let single_wc = s
+                .predict_robust(0, RobustGoal::WorstCase, Goal::Maximize, &single.x)
+                .unwrap();
+            assert!(
+                robust.value >= single_wc - 1e-9,
+                "scenario {sc}: robust {} < single worst-case {}",
+                robust.value,
+                single_wc
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_bad_indices_rejected() {
+        let campaign = small_ensemble_campaign();
+        let s = DoeFlow::new(DesignChoice::LatinHypercube { n: 20, seed: 5 })
+            .run_ensemble(&campaign)
+            .unwrap();
+        assert!(s.model(9, 0).is_err());
+        assert!(s.model(0, 9).is_err());
+        assert!(s.aggregate_model(9).is_err());
+        assert!(s.predict_scenario(0, 0, &[0.0]).is_err());
+        assert!(s
+            .predict_robust(
+                9,
+                RobustGoal::WeightedMean,
+                Goal::Maximize,
+                &s.space().center()
+            )
+            .is_err());
+        assert!(s
+            .optimize_robust(9, Goal::Maximize, RobustGoal::WorstCase, 0)
+            .is_err());
+        assert!(s.optimize_scenario(9, 0, Goal::Maximize, 0).is_err());
     }
 }

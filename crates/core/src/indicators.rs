@@ -1,4 +1,10 @@
 //! Node performance indicators — the responses the RSMs model.
+//!
+//! These are the scalar figures of merit the DATE'13 flow fits response
+//! surfaces to. The paper's evaluation centres on delivered application
+//! throughput and energy headroom under harvester tuning; each variant
+//! below notes which reconstructed paper artifact (the e1–e9 experiment
+//! binaries, see `ehsim-bench`) it primarily feeds.
 
 use ehsim_node::{NodeConfig, NodeMetrics};
 use std::fmt;
@@ -6,24 +12,38 @@ use std::fmt;
 /// A scalar performance indicator extracted from a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Indicator {
-    /// Application packets delivered per hour.
+    /// Application packets delivered per hour — the paper's headline
+    /// service metric (the quantity being maximised in the optimisation
+    /// experiments; the objective of Tables E6/E9 and the y-axis of the
+    /// Figure E4 trade-off front).
     PacketsPerHour,
-    /// Fraction of time the node was powered.
+    /// Fraction of time the node was powered — the availability view of
+    /// the same energy budget, complementing [`Indicator::PacketsPerHour`].
     UptimeFraction,
     /// Brown-out margin: minimum storage voltage minus `v_off` (V);
-    /// negative values mean the node browned out.
+    /// negative values mean the node browned out. The paper's
+    /// feasibility constraint — the floor applied in the constrained
+    /// optimisations of Tables E6/E9 and the x-axis of Figure E4.
     BrownoutMarginV,
     /// Fraction of consumed energy spent on the tuning subsystem
-    /// (actuator moves plus frequency measurements).
+    /// (actuator moves plus frequency measurements) — the cost side of
+    /// the paper's tunable-harvester argument, quantified in the
+    /// Scenario E5 tuning-benefit experiment.
     TuningOverheadFraction,
-    /// Mean harvested power (µW).
+    /// Mean harvested power (µW) — the supply side of the energy
+    /// balance; the response surfaces of Figure E3 show how it moves
+    /// with the design factors.
     AvgHarvestPowerUw,
-    /// Storage voltage at the end of the run (V).
+    /// Storage voltage at the end of the run (V) — the raw state used
+    /// to close the energy ledger.
     FinalStorageV,
     /// Net stored-energy change over the run (J): positive means the
-    /// node ran energy-positive.
+    /// node ran energy-positive — the sustainability check behind the
+    /// long-horizon experiments.
     EnergyBalanceJ,
-    /// Number of actuator retunes.
+    /// Number of actuator retunes — how hard the closed-loop tuning
+    /// controller worked; paired with
+    /// [`Indicator::TuningOverheadFraction`] in Scenario E5.
     RetuneCount,
 }
 

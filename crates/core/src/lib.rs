@@ -19,6 +19,14 @@
 //!    simulation-driven optimisers the paper argues against (grid
 //!    search, Nelder–Mead, simulated annealing, genetic search), which
 //!    pay one full simulation per objective evaluation.
+//! 6. Because the paper's premise is a *tunable* harvester in a
+//!    *changing* environment, a [`scenario::ScenarioEnsemble`] names
+//!    several weighted vibration environments at once;
+//!    [`experiment::EnsembleCampaign`] simulates a design across all of
+//!    them in one batched pass, and
+//!    [`flow::EnsembleSurrogateSet::optimize_robust`] returns tunings
+//!    that are good across the ensemble (weighted-mean or worst-case),
+//!    not just at one operating point.
 //!
 //! # Quickstart
 //!
@@ -44,6 +52,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod experiment;
 pub mod explorer;
@@ -55,10 +65,12 @@ pub mod sensitivity;
 pub mod space;
 pub mod tradeoff;
 
-pub use experiment::{Campaign, CampaignResult, StandardFactors};
-pub use flow::{DesignChoice, DoeFlow, SurrogateSet};
+pub use experiment::{
+    Campaign, CampaignResult, EnsembleCampaign, EnsembleCampaignResult, StandardFactors,
+};
+pub use flow::{DesignChoice, DoeFlow, EnsembleSurrogateSet, SurrogateSet};
 pub use indicators::Indicator;
-pub use scenario::Scenario;
+pub use scenario::{Scenario, ScenarioEnsemble};
 pub use space::{DesignSpace, Factor};
 
 use std::error::Error;

@@ -32,6 +32,56 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<f64>]) -> Result<()>
     Ok(())
 }
 
+/// Writes a CSV file whose first column is a string label (scenario or
+/// method name) followed by numeric columns.
+///
+/// `headers[0]` names the label column; `headers[1..]` must match the
+/// numeric row width. Labels containing commas or quotes are quoted
+/// per RFC 4180.
+///
+/// # Errors
+///
+/// [`crate::CoreError::Io`] on filesystem failures;
+/// [`crate::CoreError::InvalidArgument`] on a label/row count mismatch
+/// or a row width that differs from the header width.
+pub fn write_labeled_csv(
+    path: &Path,
+    headers: &[&str],
+    labels: &[String],
+    rows: &[Vec<f64>],
+) -> Result<()> {
+    if labels.len() != rows.len() {
+        return Err(crate::CoreError::invalid(format!(
+            "{} labels for {} rows",
+            labels.len(),
+            rows.len()
+        )));
+    }
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() + 1 != headers.len() {
+            return Err(crate::CoreError::invalid(format!(
+                "row {i} has {} columns, header has {} (incl. label)",
+                r.len() + 1,
+                headers.len()
+            )));
+        }
+    }
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", headers.join(","))?;
+    for (label, row) in labels.iter().zip(rows.iter()) {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(file, "{},{}", quote(label), cells.join(","))?;
+    }
+    Ok(())
+}
+
 /// Formats a fixed-width text table (headers + numeric rows) for
 /// terminal output.
 pub fn format_table(headers: &[&str], rows: &[Vec<f64>]) -> String {
@@ -124,6 +174,26 @@ mod tests {
         let path = dir.join("ehsim_report_ragged.csv");
         let err = write_csv(&path, &["a", "b"], &[vec![1.0]]);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn labeled_csv_quotes_and_validates() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ehsim_report_labeled.csv");
+        write_labeled_csv(
+            &path,
+            &["scenario", "v"],
+            &["plain".into(), "with,comma".into(), "with\"quote".into()],
+            &[vec![1.0], vec![2.0], vec![3.0]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("scenario,v\n"));
+        assert!(content.contains("\"with,comma\",2"));
+        assert!(content.contains("\"with\"\"quote\",3"));
+        assert!(write_labeled_csv(&path, &["a", "b"], &["x".into()], &[vec![1.0, 2.0]]).is_err());
+        assert!(write_labeled_csv(&path, &["a", "b"], &["x".into()], &[]).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Simulation scenarios: a vibration environment plus a duration.
+//! Simulation scenarios: a vibration environment plus a duration, and
+//! weighted ensembles of them for cross-scenario (robust) optimisation.
 
 use crate::{CoreError, Result};
-use ehsim_vibration::{DriftSchedule, MultiTone, Sine, VibrationSource};
+use ehsim_vibration::{
+    Composite, DriftSchedule, DutyCycled, FilteredNoise, MultiTone, ShockTrain, Sine,
+    VibrationSource,
+};
 use std::sync::Arc;
 
 /// A reproducible simulation scenario.
@@ -14,6 +18,22 @@ pub struct Scenario {
 
 impl Scenario {
     /// Creates a scenario from any vibration source.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ehsim_core::scenario::Scenario;
+    /// use ehsim_vibration::Sine;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), ehsim_core::CoreError> {
+    /// let src = Arc::new(Sine::new(0.9, 64.0).expect("valid sine"));
+    /// let scenario = Scenario::new(src, 600.0, "bench-grinder")?;
+    /// assert_eq!(scenario.label(), "bench-grinder");
+    /// assert_eq!(scenario.duration_s(), 600.0);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -96,6 +116,135 @@ impl std::fmt::Debug for Scenario {
     }
 }
 
+/// A weighted ensemble of named scenarios — the node's whole expected
+/// *deployment envelope* rather than a single operating point.
+///
+/// The paper optimises energy management for a tunable harvester
+/// precisely because the vibration environment is not stationary; an
+/// ensemble makes that explicit: each entry is one environment the
+/// node may encounter, with a weight expressing how much of its life
+/// it spends there. Weights are stored as given and normalised on
+/// read, so `[(a, 2.0), (b, 2.0)]` and `[(a, 0.5), (b, 0.5)]` are the
+/// same ensemble.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_core::scenario::{Scenario, ScenarioEnsemble};
+///
+/// # fn main() -> Result<(), ehsim_core::CoreError> {
+/// let ensemble = ScenarioEnsemble::new(vec![
+///     (Scenario::stationary_machine(600.0), 0.6),
+///     (Scenario::drifting_machine(600.0), 0.4),
+/// ])?;
+/// assert_eq!(ensemble.len(), 2);
+/// assert_eq!(ensemble.labels(), vec!["stationary-64Hz", "drifting-58-70Hz"]);
+/// // Weights come back normalised.
+/// assert!((ensemble.weights()[0] - 0.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioEnsemble {
+    entries: Vec<(Scenario, f64)>,
+}
+
+impl ScenarioEnsemble {
+    /// Creates an ensemble from `(scenario, weight)` entries.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if the list is empty or any
+    /// weight is non-positive or non-finite.
+    pub fn new(entries: Vec<(Scenario, f64)>) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(CoreError::invalid("ensemble needs at least one scenario"));
+        }
+        for (s, w) in &entries {
+            if !(*w > 0.0) || !w.is_finite() {
+                return Err(CoreError::invalid(format!(
+                    "weight for scenario '{}' must be positive and finite, got {w}",
+                    s.label()
+                )));
+            }
+        }
+        Ok(ScenarioEnsemble { entries })
+    }
+
+    /// Creates an equally weighted ensemble.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if the list is empty.
+    pub fn uniform(scenarios: Vec<Scenario>) -> Result<Self> {
+        ScenarioEnsemble::new(scenarios.into_iter().map(|s| (s, 1.0)).collect())
+    }
+
+    /// A canonical five-environment "factory floor" ensemble exercising
+    /// every source family: stationary hum, a speed-ramping machine,
+    /// duty-cycled machinery bursts, resonance-filtered broadband
+    /// noise, and a shock train riding on a weak hum. All stochastic
+    /// members are seeded, so the ensemble is fully reproducible.
+    pub fn factory_floor(duration_s: f64) -> Self {
+        let duty = DutyCycled::new(
+            Box::new(MultiTone::machinery(61.0, 0.9, 3).expect("valid parameters")),
+            duration_s / 6.0,
+            0.7,
+            duration_s / 120.0,
+        )
+        .expect("valid duty cycle");
+        let noise =
+            FilteredNoise::new(63.0, 10.0, (40.0, 90.0), 0.7, 48, 20).expect("valid parameters");
+        let shocks = Composite::new(vec![
+            Box::new(Sine::new(0.5, 59.0).expect("valid parameters")),
+            Box::new(ShockTrain::new(8.0, 110.0, 4.0, 0.12, 0.2, 21).expect("valid parameters")),
+        ])
+        .expect("non-empty composite");
+        let mk = |src: Arc<dyn VibrationSource>, label: &str| {
+            Scenario::new(src, duration_s, label).expect("positive duration")
+        };
+        ScenarioEnsemble::new(vec![
+            (Scenario::stationary_machine(duration_s), 0.30),
+            (Scenario::drifting_machine(duration_s), 0.25),
+            (mk(Arc::new(duty), "duty-cycled-61Hz"), 0.20),
+            (mk(Arc::new(noise), "filtered-noise-63Hz"), 0.15),
+            (mk(Arc::new(shocks), "shock-train-110Hz"), 0.10),
+        ])
+        .expect("static ensemble is valid")
+    }
+
+    /// Number of scenarios.
+    #[allow(clippy::len_without_is_empty)] // never empty by construction
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `(scenario, raw weight)` entries in order.
+    pub fn entries(&self) -> &[(Scenario, f64)] {
+        &self.entries
+    }
+
+    /// One scenario by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn scenario(&self, idx: usize) -> &Scenario {
+        &self.entries[idx].0
+    }
+
+    /// The weights, normalised to sum to 1.
+    pub fn weights(&self) -> Vec<f64> {
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        self.entries.iter().map(|(_, w)| w / total).collect()
+    }
+
+    /// The scenario labels, in order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.entries.iter().map(|(s, _)| s.label()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +266,58 @@ mod tests {
     fn validation() {
         let src = Arc::new(Sine::new(1.0, 50.0).unwrap());
         assert!(Scenario::new(src, 0.0, "x").is_err());
+    }
+
+    #[test]
+    fn ensemble_weights_normalise() {
+        let e = ScenarioEnsemble::new(vec![
+            (Scenario::stationary_machine(60.0), 3.0),
+            (Scenario::drifting_machine(60.0), 1.0),
+        ])
+        .unwrap();
+        let w = e.weights();
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.scenario(1).label(), "drifting-58-70Hz");
+        assert_eq!(e.entries().len(), 2);
+    }
+
+    #[test]
+    fn ensemble_uniform_and_validation() {
+        let u = ScenarioEnsemble::uniform(vec![
+            Scenario::stationary_machine(60.0),
+            Scenario::industrial_spectrum(60.0),
+        ])
+        .unwrap();
+        assert!((u.weights()[0] - 0.5).abs() < 1e-12);
+        assert!(ScenarioEnsemble::new(vec![]).is_err());
+        assert!(ScenarioEnsemble::new(vec![(Scenario::stationary_machine(60.0), 0.0)]).is_err());
+        assert!(
+            ScenarioEnsemble::new(vec![(Scenario::stationary_machine(60.0), f64::NAN)]).is_err()
+        );
+    }
+
+    #[test]
+    fn factory_floor_is_diverse_and_reproducible() {
+        let a = ScenarioEnsemble::factory_floor(300.0);
+        let b = ScenarioEnsemble::factory_floor(300.0);
+        assert_eq!(a.len(), 5);
+        assert!((a.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Labels are unique.
+        let mut labels: Vec<&str> = a.labels();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+        // Bit-identical across constructions (seeded sources).
+        for (sa, sb) in a.entries().iter().zip(b.entries()) {
+            for k in 0..50 {
+                let t = k as f64 * 0.37;
+                assert_eq!(
+                    sa.0.source().acceleration(t).to_bits(),
+                    sb.0.source().acceleration(t).to_bits()
+                );
+            }
+        }
     }
 }

@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod anova;
 pub mod design;
 pub mod diagnostics;

@@ -52,6 +52,19 @@ fn numeric_gradient(f: &dyn Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
 /// Starts: the box centre, all corners (up to 2^k ≤ 64), and seeded
 /// random interior points.
 ///
+/// # Example
+///
+/// ```
+/// use ehsim_doe::optimize::{optimize_fn, Goal};
+///
+/// // Maximise a concave bowl with its peak at (0.25, -0.5).
+/// let f = |x: &[f64]| 3.0 - (x[0] - 0.25).powi(2) - (x[1] + 0.5).powi(2);
+/// let opt = optimize_fn(&f, 2, (-1.0, 1.0), Goal::Maximize, 42, 8).unwrap();
+/// assert!((opt.x[0] - 0.25).abs() < 1e-4);
+/// assert!((opt.x[1] + 0.50).abs() < 1e-4);
+/// assert!((opt.value - 3.0).abs() < 1e-6);
+/// ```
+///
 /// # Errors
 ///
 /// [`DoeError::InvalidArgument`] on malformed bounds or `k == 0`.
@@ -166,6 +179,119 @@ pub fn optimize_model(
 ) -> Result<Optimum> {
     let k = model.spec().k();
     optimize_fn(&|x| model.predict(x), k, bounds, goal, seed, 8)
+}
+
+/// How per-scenario responses are folded into one robust objective.
+///
+/// The DATE'13 flow fits one response surface per performance
+/// indicator *per vibration scenario*; a robust design must do well
+/// across the whole ensemble, not just at one operating point. The two
+/// classical aggregations:
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustGoal {
+    /// Expected performance: the weight-normalised mean of the
+    /// per-scenario predictions.
+    WeightedMean,
+    /// Min-max robustness: the *worst* per-scenario prediction (the
+    /// minimum when maximising, the maximum when minimising). The
+    /// weights are ignored — a scenario either happens or it does not.
+    WorstCase,
+}
+
+/// Evaluates the robust aggregate of several per-scenario models at a
+/// coded point, without running an optimisation.
+///
+/// `models` pairs each scenario's fitted surface with its ensemble
+/// weight (weights must be positive; they are normalised internally).
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] if the list is empty, any weight is
+/// non-positive or non-finite, or the models disagree on the factor
+/// count.
+pub fn robust_objective(
+    models: &[(&FittedModel, f64)],
+    robust: RobustGoal,
+    goal: Goal,
+    x: &[f64],
+) -> Result<f64> {
+    validate_scenario_models(models)?;
+    Ok(robust_value(models, robust, goal, x))
+}
+
+fn validate_scenario_models(models: &[(&FittedModel, f64)]) -> Result<()> {
+    if models.is_empty() {
+        return Err(DoeError::invalid("need at least one scenario model"));
+    }
+    let k = models[0].0.spec().k();
+    for (m, w) in models {
+        if m.spec().k() != k {
+            return Err(DoeError::invalid(
+                "scenario models disagree on factor count",
+            ));
+        }
+        if !(*w > 0.0) || !w.is_finite() {
+            return Err(DoeError::invalid(format!(
+                "scenario weights must be positive and finite, got {w}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The aggregate value; assumes `models` already validated.
+fn robust_value(models: &[(&FittedModel, f64)], robust: RobustGoal, goal: Goal, x: &[f64]) -> f64 {
+    match robust {
+        RobustGoal::WeightedMean => {
+            let total: f64 = models.iter().map(|(_, w)| w).sum();
+            models.iter().map(|(m, w)| w / total * m.predict(x)).sum()
+        }
+        RobustGoal::WorstCase => {
+            let it = models.iter().map(|(m, _)| m.predict(x));
+            match goal {
+                Goal::Maximize => it.fold(f64::INFINITY, f64::min),
+                Goal::Minimize => it.fold(f64::NEG_INFINITY, f64::max),
+            }
+        }
+    }
+}
+
+/// Optimises the robust aggregate of several per-scenario response
+/// surfaces over the coded box — the cross-scenario counterpart of
+/// [`optimize_model`].
+///
+/// With [`RobustGoal::WeightedMean`] the returned optimum maximises (or
+/// minimises) expected performance over the ensemble; with
+/// [`RobustGoal::WorstCase`] it optimises the guaranteed floor (or
+/// ceiling) — the min-max tuning that never collapses in any scenario.
+/// The reported `value` is the aggregate objective at the winner.
+///
+/// The worst-case objective is piecewise-smooth (a pointwise min of
+/// quadratics), which the multi-start projected-gradient search of
+/// [`optimize_fn`] handles without modification: kinks only slow the
+/// line search locally, and the multi-start covers basins on either
+/// side of a kink.
+///
+/// # Errors
+///
+/// Same as [`robust_objective`] plus [`optimize_fn`]'s bound checks.
+pub fn optimize_robust(
+    models: &[(&FittedModel, f64)],
+    bounds: (f64, f64),
+    goal: Goal,
+    robust: RobustGoal,
+    seed: u64,
+) -> Result<Optimum> {
+    validate_scenario_models(models)?;
+    let k = models[0].0.spec().k();
+    optimize_fn(
+        &|x| robust_value(models, robust, goal, x),
+        k,
+        bounds,
+        goal,
+        seed,
+        16,
+    )
 }
 
 /// A Derringer–Suich desirability function mapping one response onto
@@ -425,5 +551,152 @@ mod tests {
         let a = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 9).unwrap();
         let b = optimize_model(&m, (-1.0, 1.0), Goal::Maximize, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_mean_tracks_the_heavier_scenario() {
+        // Scenario A peaks at x0 = -0.5, scenario B at x0 = +0.5. With
+        // all the weight on B, the weighted-mean optimum sits at B's
+        // peak; with equal weights it sits in the middle.
+        let a = fitted(|x| 4.0 - (x[0] + 0.5) * (x[0] + 0.5), 1);
+        let b = fitted(|x| 4.0 - (x[0] - 0.5) * (x[0] - 0.5), 1);
+        let heavy_b = optimize_robust(
+            &[(&a, 1e-6), (&b, 1.0)],
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WeightedMean,
+            3,
+        )
+        .unwrap();
+        assert!((heavy_b.x[0] - 0.5).abs() < 1e-3, "{:?}", heavy_b.x);
+        let even = optimize_robust(
+            &[(&a, 1.0), (&b, 1.0)],
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WeightedMean,
+            3,
+        )
+        .unwrap();
+        assert!(even.x[0].abs() < 1e-3, "{:?}", even.x);
+        // The reported value is the aggregate at the winner.
+        let check = robust_objective(
+            &[(&a, 1.0), (&b, 1.0)],
+            RobustGoal::WeightedMean,
+            Goal::Maximize,
+            &even.x,
+        )
+        .unwrap();
+        assert!((even.value - check).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_finds_the_min_max_compromise() {
+        // Two opposed linear scenarios: A rewards +x0, B rewards -x0.
+        // Each single-scenario optimum scores badly on the other; the
+        // min-max compromise is x0 = 0 where both give 1.0.
+        let a = fitted(|x| 1.0 + x[0], 1);
+        let b = fitted(|x| 1.0 - x[0], 1);
+        let opt = optimize_robust(
+            &[(&a, 1.0), (&b, 1.0)],
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WorstCase,
+            5,
+        )
+        .unwrap();
+        assert!(opt.x[0].abs() < 1e-3, "{:?}", opt.x);
+        assert!((opt.value - 1.0).abs() < 1e-3);
+        // The robust optimum's worst case beats each single-scenario
+        // optimum's worst case.
+        for single in [&a, &b] {
+            let o = optimize_model(single, (-1.0, 1.0), Goal::Maximize, 5).unwrap();
+            let wc = robust_objective(
+                &[(&a, 1.0), (&b, 1.0)],
+                RobustGoal::WorstCase,
+                Goal::Maximize,
+                &o.x,
+            )
+            .unwrap();
+            assert!(
+                opt.value > wc + 0.5,
+                "robust {} vs single {}",
+                opt.value,
+                wc
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_minimization_uses_the_max() {
+        let a = fitted(|x| 1.0 + x[0], 1);
+        let b = fitted(|x| 1.0 - x[0], 1);
+        // Minimising the worst case (the larger of the two planes)
+        // again lands at the crossing point.
+        let opt = optimize_robust(
+            &[(&a, 1.0), (&b, 1.0)],
+            (-1.0, 1.0),
+            Goal::Minimize,
+            RobustGoal::WorstCase,
+            11,
+        )
+        .unwrap();
+        assert!(opt.x[0].abs() < 1e-3, "{:?}", opt.x);
+        assert!((opt.value - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn robust_validation() {
+        let m1 = fitted(|x| x[0], 1);
+        let m2 = fitted(|x| x[0] + x[1], 2);
+        assert!(
+            optimize_robust(&[], (-1.0, 1.0), Goal::Maximize, RobustGoal::WorstCase, 0).is_err()
+        );
+        assert!(optimize_robust(
+            &[(&m1, 1.0), (&m2, 1.0)],
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WeightedMean,
+            0
+        )
+        .is_err());
+        assert!(optimize_robust(
+            &[(&m1, 0.0)],
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WeightedMean,
+            0
+        )
+        .is_err());
+        assert!(robust_objective(
+            &[(&m1, f64::NAN)],
+            RobustGoal::WeightedMean,
+            Goal::Maximize,
+            &[0.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn robust_determinism() {
+        let a = fitted(|x| 2.0 - x[0] * x[0] + 0.3 * x[1], 2);
+        let b = fitted(|x| 1.5 + 0.5 * x[0] - x[1] * x[1], 2);
+        let models = [(&a, 0.7), (&b, 0.3)];
+        let o1 = optimize_robust(
+            &models,
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WorstCase,
+            9,
+        )
+        .unwrap();
+        let o2 = optimize_robust(
+            &models,
+            (-1.0, 1.0),
+            Goal::Maximize,
+            RobustGoal::WorstCase,
+            9,
+        )
+        .unwrap();
+        assert_eq!(o1, o2);
     }
 }

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod mcu;
 pub mod policy;
 pub mod sim;

@@ -17,7 +17,19 @@
 //! * [`DriftSchedule`] — piecewise-linear frequency drift over hours,
 //!   phase-continuous, the workhorse of the tuning experiments;
 //! * [`BandNoise`] — seeded band-limited noise (sum of random tones);
-//! * [`Composite`] — superposition of any of the above.
+//! * [`FilteredNoise`] — seeded stochastic vibration shaped by a
+//!   second-order structural resonance;
+//! * [`DutyCycled`] — on/off machinery bursts gating an inner source;
+//! * [`ShockTrain`] — repeating decaying-sinusoid impacts with seeded
+//!   timing/amplitude jitter;
+//! * [`Composite`] — superposition of any of the above;
+//! * [`Sequence`] — mode changes: plays sources back-to-back,
+//!   cyclically.
+//!
+//! Every stochastic source is seeded and bit-reproducible: the same
+//! constructor arguments always produce the same sample stream, which
+//! is what makes whole-campaign results (and the e1–e9 experiment CSVs)
+//! deterministic.
 //!
 //! Every source reports both the instantaneous base acceleration
 //! (`acceleration`, m/s²) used by circuit-level simulation and a
@@ -38,6 +50,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -473,6 +487,409 @@ impl VibrationSource for Composite {
     }
 }
 
+/// A deterministic 53-bit hash of `(seed, k)` mapped onto `[0, 1)`,
+/// via SplitMix64 finalisation. Used by sources that need per-event
+/// randomness (e.g. shock jitter) while keeping `acceleration(t)` a
+/// pure, seed-reproducible function of time.
+fn hash01(seed: u64, k: u64) -> f64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Stochastic vibration shaped by a second-order resonant filter — the
+/// classic model of broadband machine-floor noise transmitted through a
+/// structural resonance.
+///
+/// Implemented as a seeded sum of `n_tones` random-phase sinusoids
+/// whose frequencies are drawn uniformly from `band` and whose
+/// amplitudes follow the magnitude response of a resonant band-pass
+/// filter centred at `resonance_hz` with quality factor `q`, scaled so
+/// the overall signal hits a target RMS acceleration. Deterministic for
+/// a given seed — two instances with identical parameters produce
+/// bit-identical samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilteredNoise {
+    tones: Vec<(f64, f64, f64)>,
+    resonance_hz: f64,
+    rms: f64,
+}
+
+impl FilteredNoise {
+    /// Creates filtered noise centred on `resonance_hz` with quality
+    /// factor `q`, tone frequencies uniform in `band = (lo, hi)`, and
+    /// target RMS acceleration `rms` (m/s²).
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for a non-positive
+    /// resonance, `q`, or `rms`; an empty or non-positive band; or zero
+    /// tones.
+    pub fn new(
+        resonance_hz: f64,
+        q: f64,
+        band: (f64, f64),
+        rms: f64,
+        n_tones: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let (lo, hi) = band;
+        if !(resonance_hz > 0.0)
+            || !resonance_hz.is_finite()
+            || !(q > 0.0)
+            || !q.is_finite()
+            || !(rms > 0.0)
+            || !rms.is_finite()
+            || n_tones == 0
+        {
+            return Err(VibrationError::invalid(format!(
+                "bad filtered-noise spec (resonance={resonance_hz}, q={q}, rms={rms}, n={n_tones})"
+            )));
+        }
+        if !(lo > 0.0) || !(lo < hi) || !hi.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "band must satisfy 0 < lo < hi, got ({lo}, {hi})"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Second-order band-pass magnitude, unity gain at resonance:
+        // |H(f)| = (f·fr/Q) / sqrt((fr² - f²)² + (f·fr/Q)²).
+        let mag = |f: f64| {
+            let fr = resonance_hz;
+            let num = f * fr / q;
+            num / ((fr * fr - f * f).powi(2) + num * num).sqrt()
+        };
+        let raw: Vec<(f64, f64, f64)> = (0..n_tones)
+            .map(|_| {
+                let f = lo + (hi - lo) * rng.random::<f64>();
+                let p = 2.0 * PI * rng.random::<f64>();
+                (mag(f), f, p)
+            })
+            .collect();
+        // Scale so Σ aₖ²/2 = rms².
+        let power: f64 = raw.iter().map(|&(a, _, _)| a * a).sum();
+        let scale = rms * (2.0 / power).sqrt();
+        let tones = raw.iter().map(|&(a, f, p)| (a * scale, f, p)).collect();
+        Ok(FilteredNoise {
+            tones,
+            resonance_hz,
+            rms,
+        })
+    }
+}
+
+impl VibrationSource for FilteredNoise {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.tones
+            .iter()
+            .map(|&(a, f, p)| a * (2.0 * PI * f * t + p).sin())
+            .sum()
+    }
+
+    fn envelope(&self, _t: f64) -> Envelope {
+        Envelope {
+            freq_hz: self.resonance_hz,
+            amp: self.rms * std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+/// On/off machinery bursts: gates an inner source with a periodic duty
+/// cycle (a machine that runs, pauses, and runs again), with optional
+/// linear ramps at the switching edges so the base acceleration stays
+/// continuous.
+pub struct DutyCycled {
+    inner: Box<dyn VibrationSource>,
+    period_s: f64,
+    duty: f64,
+    ramp_s: f64,
+}
+
+impl DutyCycled {
+    /// Gates `inner` with period `period_s`, on-fraction `duty` in
+    /// `(0, 1]`, and linear on/off ramps of `ramp_s` seconds (0 for a
+    /// hard switch).
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for a non-positive period,
+    /// `duty` outside `(0, 1]`, a negative ramp, or a ramp longer than
+    /// half the on-window.
+    pub fn new(
+        inner: Box<dyn VibrationSource>,
+        period_s: f64,
+        duty: f64,
+        ramp_s: f64,
+    ) -> Result<Self> {
+        if !(period_s > 0.0) || !period_s.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "period must be positive, got {period_s}"
+            )));
+        }
+        if !(duty > 0.0 && duty <= 1.0) {
+            return Err(VibrationError::invalid(format!(
+                "duty must be in (0, 1], got {duty}"
+            )));
+        }
+        if !(ramp_s >= 0.0) || ramp_s > 0.5 * duty * period_s {
+            return Err(VibrationError::invalid(format!(
+                "ramp must be in [0, duty*period/2], got {ramp_s}"
+            )));
+        }
+        Ok(DutyCycled {
+            inner,
+            period_s,
+            duty,
+            ramp_s,
+        })
+    }
+
+    /// The gate value in `[0, 1]` at time `t`: 1 inside the on-window
+    /// (past the ramps), 0 in the off-window. With `duty == 1` there is
+    /// no off-window and no switching edge, so the gate is always 1.
+    pub fn gate(&self, t: f64) -> f64 {
+        if self.duty >= 1.0 {
+            return 1.0;
+        }
+        let tau = t.rem_euclid(self.period_s);
+        let on = self.duty * self.period_s;
+        if tau >= on {
+            return 0.0;
+        }
+        if self.ramp_s == 0.0 {
+            return 1.0;
+        }
+        let rise = (tau / self.ramp_s).min(1.0);
+        let fall = ((on - tau) / self.ramp_s).min(1.0);
+        rise.min(fall)
+    }
+}
+
+impl fmt::Debug for DutyCycled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DutyCycled(period={} s, duty={}, ramp={} s)",
+            self.period_s, self.duty, self.ramp_s
+        )
+    }
+}
+
+impl VibrationSource for DutyCycled {
+    fn acceleration(&self, t: f64) -> f64 {
+        let g = self.gate(t);
+        if g == 0.0 {
+            0.0
+        } else {
+            g * self.inner.acceleration(t)
+        }
+    }
+
+    fn envelope(&self, t: f64) -> Envelope {
+        let e = self.inner.envelope(t);
+        Envelope {
+            freq_hz: e.freq_hz,
+            amp: e.amp * self.gate(t),
+        }
+    }
+}
+
+/// A train of mechanical shocks: decaying-sinusoid impulses (impacts,
+/// press strokes, passing vehicles) repeating at a nominal interval
+/// with seeded per-shock timing and amplitude jitter.
+///
+/// Each shock `k` rings at `ring_hz` with initial peak `peak·sₖ` and
+/// exponential decay constant `decay_tau_s`; its arrival time is
+/// `k·interval + jitter`. Jitter is derived from a SplitMix64 hash of
+/// `(seed, k)`, so the train is an unbounded, deterministic pure
+/// function of time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShockTrain {
+    interval_s: f64,
+    ring_hz: f64,
+    peak: f64,
+    decay_tau_s: f64,
+    jitter_frac: f64,
+    seed: u64,
+}
+
+impl ShockTrain {
+    /// Creates a shock train. `jitter_frac` in `[0, 0.5)` scales both
+    /// the timing jitter (± half an interval at 0.5) and the per-shock
+    /// amplitude variation.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for non-positive interval,
+    /// ring frequency, peak, or decay; or `jitter_frac` outside
+    /// `[0, 0.5)`.
+    pub fn new(
+        interval_s: f64,
+        ring_hz: f64,
+        peak: f64,
+        decay_tau_s: f64,
+        jitter_frac: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if !(interval_s > 0.0)
+            || !interval_s.is_finite()
+            || !(ring_hz > 0.0)
+            || !ring_hz.is_finite()
+            || !(peak > 0.0)
+            || !peak.is_finite()
+            || !(decay_tau_s > 0.0)
+            || !decay_tau_s.is_finite()
+        {
+            return Err(VibrationError::invalid(format!(
+                "bad shock train (interval={interval_s}, ring={ring_hz}, peak={peak}, \
+                 tau={decay_tau_s})"
+            )));
+        }
+        if !(0.0..0.5).contains(&jitter_frac) {
+            return Err(VibrationError::invalid(format!(
+                "jitter_frac must be in [0, 0.5), got {jitter_frac}"
+            )));
+        }
+        Ok(ShockTrain {
+            interval_s,
+            ring_hz,
+            peak,
+            decay_tau_s,
+            jitter_frac,
+            seed,
+        })
+    }
+
+    /// Arrival time of shock `k`.
+    fn shock_time(&self, k: u64) -> f64 {
+        let j = (hash01(self.seed, 2 * k) - 0.5) * self.jitter_frac * self.interval_s;
+        k as f64 * self.interval_s + j
+    }
+
+    /// Amplitude scale of shock `k`, in `[1 - jitter, 1 + jitter)`.
+    fn shock_scale(&self, k: u64) -> f64 {
+        1.0 + (hash01(self.seed, 2 * k + 1) - 0.5) * 2.0 * self.jitter_frac
+    }
+}
+
+impl VibrationSource for ShockTrain {
+    fn acceleration(&self, t: f64) -> f64 {
+        // Only shocks within ~12 decay constants contribute visibly.
+        let cutoff = 12.0 * self.decay_tau_s;
+        if t < -0.5 * self.interval_s {
+            return 0.0;
+        }
+        let k_max = (t / self.interval_s).floor() + 1.0;
+        let k_min = ((t - cutoff) / self.interval_s).floor() - 1.0;
+        let mut a = 0.0;
+        let mut k = k_min.max(0.0) as u64;
+        while (k as f64) <= k_max {
+            let tk = self.shock_time(k);
+            let dt = t - tk;
+            if dt >= 0.0 && dt <= cutoff {
+                a += self.peak
+                    * self.shock_scale(k)
+                    * (-dt / self.decay_tau_s).exp()
+                    * (2.0 * PI * self.ring_hz * dt).sin();
+            }
+            k += 1;
+        }
+        a
+    }
+
+    fn envelope(&self, _t: f64) -> Envelope {
+        // One shock's energy spread over the interval: the mean square
+        // of peak·e^(−t/τ)·sin(2πft) over an interval is ≈ peak²·τ/(4·T).
+        let rms = self.peak * (self.decay_tau_s / (4.0 * self.interval_s)).sqrt();
+        Envelope {
+            freq_hz: self.ring_hz,
+            amp: rms * std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+/// Plays sources back-to-back — a machine that changes operating mode —
+/// cycling through the segment list forever. Each segment sees a local
+/// clock that starts at zero when the segment begins.
+pub struct Sequence {
+    segments: Vec<(Box<dyn VibrationSource>, f64)>,
+    starts: Vec<f64>,
+    total: f64,
+}
+
+impl Sequence {
+    /// Creates a cyclic sequence from `(source, duration_s)` segments.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] if the list is empty or any
+    /// duration is non-positive.
+    pub fn new(segments: Vec<(Box<dyn VibrationSource>, f64)>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(VibrationError::invalid("at least one segment required"));
+        }
+        for (i, (_, d)) in segments.iter().enumerate() {
+            if !(*d > 0.0) || !d.is_finite() {
+                return Err(VibrationError::invalid(format!(
+                    "segment {i} duration must be positive, got {d}"
+                )));
+            }
+        }
+        let mut starts = Vec::with_capacity(segments.len());
+        let mut acc = 0.0;
+        for (_, d) in &segments {
+            starts.push(acc);
+            acc += d;
+        }
+        Ok(Sequence {
+            segments,
+            starts,
+            total: acc,
+        })
+    }
+
+    /// Total cycle duration (s).
+    pub fn cycle_s(&self) -> f64 {
+        self.total
+    }
+
+    /// Index of the active segment and the segment-local time at `t`.
+    fn locate(&self, t: f64) -> (usize, f64) {
+        let tau = t.rem_euclid(self.total);
+        let idx = match self.starts.partition_point(|&s| s <= tau).checked_sub(1) {
+            Some(i) => i,
+            None => 0,
+        };
+        (idx, tau - self.starts[idx])
+    }
+}
+
+impl fmt::Debug for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sequence({} segments, cycle {} s)",
+            self.segments.len(),
+            self.total
+        )
+    }
+}
+
+impl VibrationSource for Sequence {
+    fn acceleration(&self, t: f64) -> f64 {
+        let (idx, local) = self.locate(t);
+        self.segments[idx].0.acceleration(local)
+    }
+
+    fn envelope(&self, t: f64) -> Envelope {
+        let (idx, local) = self.locate(t);
+        self.segments[idx].0.envelope(local)
+    }
+}
+
 /// Estimates the dominant frequency of a uniformly sampled signal by
 /// counting zero crossings — the cheap detector a real node's tuning
 /// firmware would run.
@@ -662,6 +1079,173 @@ mod tests {
         assert!(estimate_frequency_zero_crossings(&[], 100.0).is_none());
         assert!(estimate_frequency_zero_crossings(&[1.0, 1.0, 1.0], 100.0).is_none());
         assert!(estimate_frequency_zero_crossings(&[1.0, 2.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn filtered_noise_rms_determinism_and_shape() {
+        let a = FilteredNoise::new(60.0, 8.0, (20.0, 120.0), 1.2, 48, 7).unwrap();
+        let b = FilteredNoise::new(60.0, 8.0, (20.0, 120.0), 1.2, 48, 7).unwrap();
+        let c = FilteredNoise::new(60.0, 8.0, (20.0, 120.0), 1.2, 48, 8).unwrap();
+        assert_eq!(a.acceleration(0.321), b.acceleration(0.321));
+        assert_ne!(a.acceleration(0.321), c.acceleration(0.321));
+        assert_eq!(a.envelope(5.0).freq_hz, 60.0);
+        // Empirical RMS approaches the target.
+        let fs = 1000.0;
+        let n = 40_000;
+        let ms: f64 = (0..n)
+            .map(|k| a.acceleration(k as f64 / fs).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((ms.sqrt() - 1.2).abs() < 0.2, "rms = {}", ms.sqrt());
+    }
+
+    #[test]
+    fn filtered_noise_validation() {
+        assert!(FilteredNoise::new(0.0, 8.0, (20.0, 120.0), 1.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, 0.0, (20.0, 120.0), 1.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, 8.0, (120.0, 20.0), 1.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, 8.0, (0.0, 120.0), 1.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, 8.0, (20.0, 120.0), 0.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, 8.0, (20.0, 120.0), 1.0, 0, 0).is_err());
+        assert!(FilteredNoise::new(f64::INFINITY, 8.0, (20.0, 120.0), 1.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, f64::NAN, (20.0, 120.0), 1.0, 8, 0).is_err());
+        assert!(FilteredNoise::new(60.0, 8.0, (20.0, 120.0), f64::INFINITY, 8, 0).is_err());
+    }
+
+    #[test]
+    fn duty_cycled_gates_and_ramps() {
+        let inner = Box::new(Sine::new(1.0, 50.0).unwrap());
+        let d = DutyCycled::new(inner, 10.0, 0.6, 1.0).unwrap();
+        // Fully on mid-window, fully off in the off-window.
+        assert_eq!(d.gate(3.0), 1.0);
+        assert_eq!(d.gate(8.0), 0.0);
+        assert_eq!(d.acceleration(8.0), 0.0);
+        // Mid-ramp the gate is half.
+        assert!((d.gate(0.5) - 0.5).abs() < 1e-12);
+        assert!((d.gate(5.5) - 0.5).abs() < 1e-12);
+        // Periodicity (including negative time via rem_euclid).
+        assert_eq!(d.gate(13.0), d.gate(3.0));
+        assert_eq!(d.gate(-7.0), d.gate(3.0));
+        // Envelope amplitude is gated too.
+        assert_eq!(d.envelope(8.0).amp, 0.0);
+        assert_eq!(d.envelope(3.0).amp, 1.0);
+        assert!(!format!("{d:?}").is_empty());
+    }
+
+    #[test]
+    fn duty_cycled_validation() {
+        let mk = || Box::new(Sine::new(1.0, 50.0).unwrap()) as Box<dyn VibrationSource>;
+        assert!(DutyCycled::new(mk(), 0.0, 0.5, 0.0).is_err());
+        assert!(DutyCycled::new(mk(), 10.0, 0.0, 0.0).is_err());
+        assert!(DutyCycled::new(mk(), 10.0, 1.5, 0.0).is_err());
+        assert!(DutyCycled::new(mk(), 10.0, 0.5, -1.0).is_err());
+        assert!(DutyCycled::new(mk(), 10.0, 0.5, 3.0).is_err());
+        assert!(DutyCycled::new(mk(), 10.0, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn duty_cycled_always_on_never_gates() {
+        // duty == 1 means no off-window: the gate must be 1 everywhere,
+        // even with a non-zero ramp, and the signal must pass through
+        // unmodified.
+        let d = DutyCycled::new(Box::new(Sine::new(1.0, 50.0).unwrap()), 10.0, 1.0, 1.0).unwrap();
+        for k in 0..200 {
+            let t = k as f64 * 0.1;
+            assert_eq!(d.gate(t), 1.0, "gate({t})");
+        }
+        let direct = Sine::new(1.0, 50.0).unwrap();
+        assert_eq!(d.acceleration(9.97), direct.acceleration(9.97));
+        assert_eq!(d.envelope(0.0).amp, 1.0);
+    }
+
+    #[test]
+    fn shock_train_rings_and_decays() {
+        let s = ShockTrain::new(5.0, 120.0, 3.0, 0.05, 0.0, 0).unwrap();
+        // Quiet before the first shock's tail region.
+        assert_eq!(s.acceleration(-3.0), 0.0);
+        // Shortly after a shock the signal is alive...
+        let peak_window: f64 = (0..200)
+            .map(|k| s.acceleration(0.001 * k as f64).abs())
+            .fold(0.0, f64::max);
+        assert!(peak_window > 1.0, "peak = {peak_window}");
+        // ...and it has died down by mid-interval (> 12τ after).
+        assert_eq!(s.acceleration(2.5), 0.0);
+        assert_eq!(s.envelope(0.0).freq_hz, 120.0);
+    }
+
+    #[test]
+    fn shock_train_jitter_is_deterministic() {
+        let a = ShockTrain::new(5.0, 120.0, 3.0, 0.05, 0.3, 11).unwrap();
+        let b = ShockTrain::new(5.0, 120.0, 3.0, 0.05, 0.3, 11).unwrap();
+        let c = ShockTrain::new(5.0, 120.0, 3.0, 0.05, 0.3, 12).unwrap();
+        let t = 10.007;
+        assert_eq!(a.acceleration(t), b.acceleration(t));
+        // With jitter, different seeds shift shock times.
+        let differs = (0..100)
+            .map(|k| 0.05 * k as f64)
+            .any(|t| a.acceleration(t) != c.acceleration(t));
+        assert!(differs);
+    }
+
+    #[test]
+    fn shock_train_validation() {
+        assert!(ShockTrain::new(0.0, 120.0, 3.0, 0.05, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 0.0, 3.0, 0.05, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, 0.0, 0.05, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, 3.0, 0.0, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, 3.0, 0.05, 0.5, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, 3.0, 0.05, -0.1, 0).is_err());
+        assert!(ShockTrain::new(f64::INFINITY, 120.0, 3.0, 0.05, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, f64::NAN, 3.0, 0.05, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, f64::INFINITY, 0.05, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, 3.0, f64::NAN, 0.0, 0).is_err());
+        assert!(ShockTrain::new(5.0, 120.0, 3.0, 0.05, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn sequence_plays_segments_with_local_clocks() {
+        let seq = Sequence::new(vec![
+            (Box::new(Sine::new(1.0, 40.0).unwrap()), 10.0),
+            (Box::new(Sine::new(2.0, 80.0).unwrap()), 5.0),
+        ])
+        .unwrap();
+        assert_eq!(seq.cycle_s(), 15.0);
+        assert_eq!(seq.envelope(3.0).freq_hz, 40.0);
+        assert_eq!(seq.envelope(12.0).freq_hz, 80.0);
+        // Cyclic: t = 18 lands back in segment 0 at local time 3.
+        assert_eq!(seq.envelope(18.0).freq_hz, 40.0);
+        let direct = Sine::new(1.0, 40.0).unwrap().acceleration(3.0);
+        assert!((seq.acceleration(18.0) - direct).abs() < 1e-12);
+        // Segment-local clock: segment 1 starts from phase zero.
+        let direct1 = Sine::new(2.0, 80.0).unwrap().acceleration(2.0);
+        assert!((seq.acceleration(12.0) - direct1).abs() < 1e-12);
+        assert!(!format!("{seq:?}").is_empty());
+    }
+
+    #[test]
+    fn sequence_validation() {
+        assert!(Sequence::new(vec![]).is_err());
+        assert!(Sequence::new(vec![(
+            Box::new(Sine::new(1.0, 40.0).unwrap()) as Box<dyn VibrationSource>,
+            0.0
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn hash01_is_uniform_enough_and_stable() {
+        // Stability: the same (seed, k) always maps to the same value.
+        assert_eq!(hash01(42, 7), hash01(42, 7));
+        assert_ne!(hash01(42, 7), hash01(42, 8));
+        // All values in [0, 1), mean near 0.5.
+        let n = 10_000u64;
+        let mut sum = 0.0;
+        for k in 0..n {
+            let v = hash01(1, k);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.02);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property-based tests for the vibration sources.
+//!
+//! The contract under test is the determinism/seeding guarantee the
+//! whole DoE flow rests on: a source constructed twice from identical
+//! arguments (including the seed) is *bit-identical* — not merely
+//! close — at every time instant. Campaign results, RSM fits, and the
+//! e1–e9 experiment CSVs are reproducible only because this holds.
+
+use ehsim_vibration::{
+    BandNoise, Composite, DutyCycled, FilteredNoise, Sequence, ShockTrain, Sine, VibrationSource,
+};
+use proptest::prelude::*;
+
+/// Times at which two supposedly identical sources are compared.
+fn probe_times(span_s: f64) -> Vec<f64> {
+    (0..64).map(|k| span_s * k as f64 / 63.0).collect()
+}
+
+/// Asserts bit-identical samples and envelopes across two instances.
+fn assert_bit_identical(a: &dyn VibrationSource, b: &dyn VibrationSource, span_s: f64) {
+    for t in probe_times(span_s) {
+        assert_eq!(a.acceleration(t).to_bits(), b.acceleration(t).to_bits());
+        let (ea, eb) = (a.envelope(t), b.envelope(t));
+        assert_eq!(ea.freq_hz.to_bits(), eb.freq_hz.to_bits());
+        assert_eq!(ea.amp.to_bits(), eb.amp.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn filtered_noise_is_bit_identical_for_equal_seeds(
+        seed in 0u64..1_000_000,
+        rms in 0.2f64..3.0,
+        q in 1.0f64..30.0,
+    ) {
+        let a = FilteredNoise::new(60.0, q, (20.0, 140.0), rms, 40, seed).expect("valid");
+        let b = FilteredNoise::new(60.0, q, (20.0, 140.0), rms, 40, seed).expect("valid");
+        assert_bit_identical(&a, &b, 30.0);
+    }
+
+    #[test]
+    fn band_noise_is_bit_identical_for_equal_seeds(
+        seed in 0u64..1_000_000,
+        rms in 0.2f64..3.0,
+    ) {
+        let a = BandNoise::new(64.0, 12.0, rms, 24, seed).expect("valid");
+        let b = BandNoise::new(64.0, 12.0, rms, 24, seed).expect("valid");
+        assert_bit_identical(&a, &b, 30.0);
+    }
+
+    #[test]
+    fn shock_train_is_bit_identical_for_equal_seeds(
+        seed in 0u64..1_000_000,
+        jitter in 0.0f64..0.49,
+        peak in 0.5f64..5.0,
+    ) {
+        let a = ShockTrain::new(4.0, 110.0, peak, 0.08, jitter, seed).expect("valid");
+        let b = ShockTrain::new(4.0, 110.0, peak, 0.08, jitter, seed).expect("valid");
+        assert_bit_identical(&a, &b, 60.0);
+    }
+
+    #[test]
+    fn duty_cycled_stochastic_source_is_bit_identical(
+        seed in 0u64..1_000_000,
+        duty in 0.2f64..0.9,
+    ) {
+        let mk = |s| {
+            DutyCycled::new(
+                Box::new(FilteredNoise::new(62.0, 10.0, (30.0, 110.0), 1.0, 32, s).expect("valid")),
+                12.0,
+                duty,
+                0.5,
+            )
+            .expect("valid")
+        };
+        let (a, b) = (mk(seed), mk(seed));
+        assert_bit_identical(&a, &b, 40.0);
+    }
+
+    #[test]
+    fn sequence_and_composite_of_seeded_sources_are_bit_identical(
+        seed in 0u64..1_000_000,
+    ) {
+        let mk = |s: u64| -> Sequence {
+            Sequence::new(vec![
+                (
+                    Box::new(Sine::new(0.8, 58.0).expect("valid")) as Box<dyn VibrationSource>,
+                    10.0,
+                ),
+                (
+                    Box::new(Composite::new(vec![
+                        Box::new(BandNoise::new(64.0, 8.0, 0.6, 16, s).expect("valid")),
+                        Box::new(ShockTrain::new(3.0, 120.0, 2.0, 0.05, 0.2, s).expect("valid")),
+                    ])
+                    .expect("valid")),
+                    15.0,
+                ),
+            ])
+            .expect("valid")
+        };
+        let (a, b) = (mk(seed), mk(seed));
+        assert_bit_identical(&a, &b, 60.0);
+    }
+
+    #[test]
+    fn duty_cycled_gate_stays_in_unit_interval(
+        t in -100.0f64..100.0,
+        duty in 0.1f64..1.0,
+        ramp_frac in 0.0f64..0.49,
+    ) {
+        let period = 10.0;
+        let d = DutyCycled::new(
+            Box::new(Sine::new(1.0, 50.0).expect("valid")),
+            period,
+            duty,
+            ramp_frac * duty * period,
+        )
+        .expect("valid");
+        let g = d.gate(t);
+        prop_assert!((0.0..=1.0).contains(&g), "gate({t}) = {g}");
+        // The gated signal never exceeds the inner amplitude.
+        prop_assert!(d.acceleration(t).abs() <= 1.0 + 1e-12);
+    }
+}

@@ -18,12 +18,12 @@
 //! |---|---|---|
 //! | [`numeric`] | `ehsim-numeric` | linear algebra, ODE solvers, `expm`, statistics |
 //! | [`circuit`] | `ehsim-circuit` | MNA netlists, Newton–Raphson and linearized state-space engines |
-//! | [`vibration`] | `ehsim-vibration` | excitation sources and frequency-drift profiles |
+//! | [`vibration`] | `ehsim-vibration` | excitation sources: sines, drifts, noise, bursts, shocks |
 //! | [`harvester`] | `ehsim-harvester` | tunable electromagnetic harvester model |
 //! | [`power`] | `ehsim-power` | voltage multiplier, supercapacitor, regulator |
 //! | [`node`] | `ehsim-node` | sensor-node energy model and system simulator |
 //! | [`doe`] | `ehsim-doe` | experimental designs, OLS/ANOVA, RSM, optimisation |
-//! | [`core`] | `ehsim-core` | the DoE-based design flow toolkit |
+//! | [`core`] | `ehsim-core` | the DoE-based design flow toolkit, incl. scenario ensembles and robust optimisation |
 //!
 //! ## Quickstart
 //!

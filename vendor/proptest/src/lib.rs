@@ -142,7 +142,7 @@ impl<T: Clone> Strategy for Just<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
     pub trait SizeRange {
         fn draw(&self, rng: &mut TestRng) -> usize;
     }
