@@ -14,6 +14,7 @@
 //! | `e7_speedup` | Figure E7 — engine speed-up vs horizon |
 //! | `e8_design_ablation` | Table E8 — design choice vs accuracy/cost |
 //! | `e9_robust_scenarios` | Table E9 — single-scenario vs robust optima across an ensemble |
+//! | `e10_hotpath` | `BENCH_hotpath.json` — simulator ticks/sec (reference vs prepared vs warm-started) and campaign wall-clock vs thread count |
 //!
 //! Criterion benches (`benches/`) time the same kernels statistically.
 

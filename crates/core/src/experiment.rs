@@ -256,56 +256,76 @@ impl Campaign {
 }
 
 /// Runs `n_jobs` independent simulation jobs across up to `threads`
-/// scoped worker threads, preserving job order. Jobs are split into
-/// contiguous chunks; each worker owns one chunk, so results are
-/// written to disjoint slots and the output ordering never depends on
-/// the thread count. Returns the first job error encountered (in job
-/// order within each worker, workers joined in order).
+/// scoped worker threads, preserving job order.
+///
+/// Scheduling is a deterministic self-scheduling queue: workers claim
+/// the next job index from a shared atomic counter, so a worker that
+/// drew short jobs immediately picks up more work and a heterogeneous
+/// job mix (e.g. an ensemble whose scenarios differ in duration) no
+/// longer runs at the pace of the slowest static chunk. Each result is
+/// written to the slot indexed by its job, so the output vector — and
+/// therefore every downstream RSM fit and CSV artefact — is
+/// bit-identical for any thread count, including the sequential path.
+///
+/// Error semantics: the error of the smallest failing job index is
+/// returned, independent of thread count. (Claims are issued in index
+/// order, so every job below the first failing index has been claimed
+/// before the failure is observed and completes; remaining unclaimed
+/// jobs are abandoned once a failure is flagged.)
 fn run_jobs(
     n_jobs: usize,
     threads: usize,
     job: impl Fn(usize) -> Result<Vec<f64>> + Sync,
 ) -> Result<Vec<Vec<f64>>> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let threads = threads.clamp(1, n_jobs.max(1));
-    let mut responses: Vec<Option<Vec<f64>>> = vec![None; n_jobs];
-    let mut first_error: Option<CoreError> = None;
+    if threads == 1 {
+        // Sequential reference path: strict job order, first error wins.
+        let mut out = Vec::with_capacity(n_jobs);
+        for j in 0..n_jobs {
+            out.push(job(j)?);
+        }
+        return Ok(out);
+    }
+
+    // One slot per job; a worker is the only writer of the slots it
+    // claimed, so every lock is uncontended and the output ordering is
+    // fixed by construction.
+    let slots: Vec<Mutex<Option<Result<Vec<f64>>>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        let job = &job;
-        let chunk_size = n_jobs.div_ceil(threads);
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let lo = w * chunk_size;
-                let hi = ((w + 1) * chunk_size).min(n_jobs);
-                scope.spawn(move || {
-                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                    for j in lo..hi {
-                        out.push(job(j));
-                    }
-                    (lo, out)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (offset, results) = h.join().expect("simulation worker panicked");
-            for (i, r) in results.into_iter().enumerate() {
-                match r {
-                    Ok(v) => responses[offset + i] = Some(v),
-                    Err(e) => {
-                        if first_error.is_none() {
-                            first_error = Some(e);
-                        }
-                    }
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
                 }
-            }
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= n_jobs {
+                    break;
+                }
+                let r = job(j);
+                if r.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[j].lock().expect("result slot poisoned") = Some(r);
+            });
         }
     });
-    if let Some(e) = first_error {
-        return Err(e);
+    let mut out = Vec::with_capacity(n_jobs);
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Slots are claimed as a contiguous prefix, so an unclaimed
+            // slot can only sit behind a failing one.
+            None => unreachable!("unclaimed job slot implies an earlier error"),
+        }
     }
-    Ok(responses
-        .into_iter()
-        .map(|r| r.expect("no error implies every job succeeded"))
-        .collect())
+    Ok(out)
 }
 
 impl std::fmt::Debug for Campaign {
@@ -471,9 +491,14 @@ impl EnsembleCampaign {
 
     /// Runs every `(design point, scenario)` pair in one batched pass
     /// using up to `threads` worker threads. The flattened job list is
-    /// chunked across workers, so a four-point design over a
-    /// five-scenario ensemble keeps 8 threads busy with 20 jobs rather
-    /// than running five sequential 4-job campaigns.
+    /// drained through a self-scheduling queue, so a four-point design
+    /// over a five-scenario ensemble keeps 8 threads busy with 20 jobs
+    /// rather than running five sequential 4-job campaigns — and
+    /// scenarios of very different cost (a 20-minute stationary hum
+    /// next to an hour-long drift) cannot strand a worker on one static
+    /// chunk while the others idle. Responses are written to
+    /// job-indexed slots, so results are bit-identical for any thread
+    /// count.
     ///
     /// # Errors
     ///

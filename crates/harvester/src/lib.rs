@@ -305,12 +305,26 @@ impl Harvester {
     /// at excitation frequency `freq_hz`, actuator position `p`, and
     /// base-acceleration amplitude `accel_amp` (m/s²).
     ///
+    /// Validates the device parameters on every call; per-tick callers
+    /// should validate once via [`Harvester::prepared`] instead.
+    ///
     /// # Errors
     ///
     /// [`HarvesterError::InvalidParameter`] for non-positive frequency
     /// or negative amplitude (and any invalid device parameter).
     pub fn thevenin(&self, p: f64, freq_hz: f64, accel_amp: f64) -> Result<(f64, Complex)> {
         self.validate()?;
+        self.thevenin_prevalidated(p, freq_hz, accel_amp)
+    }
+
+    /// [`Harvester::thevenin`] minus the device-parameter validation;
+    /// shared by the validating entry point and [`PreparedHarvester`].
+    fn thevenin_prevalidated(
+        &self,
+        p: f64,
+        freq_hz: f64,
+        accel_amp: f64,
+    ) -> Result<(f64, Complex)> {
         if !(freq_hz > 0.0) || !(accel_amp >= 0.0) {
             return Err(HarvesterError::invalid(format!(
                 "need freq > 0 and accel >= 0 (got {freq_hz}, {accel_amp})"
@@ -326,6 +340,18 @@ impl Harvester {
         let z_src = Complex::new(self.coil_resistance, w * self.coil_inductance)
             + Complex::real(self.transduction * self.transduction) / zm;
         Ok((emf_oc, z_src))
+    }
+
+    /// Validates once and returns a handle whose
+    /// [`PreparedHarvester::thevenin`] skips the per-call device
+    /// validation — the entry point for per-tick hot loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Harvester::validate`] failures.
+    pub fn prepared(&self) -> Result<PreparedHarvester> {
+        self.validate()?;
+        Ok(PreparedHarvester { h: *self })
     }
 
     /// Analytic steady-state response with a resistive load `r_load` (Ω).
@@ -460,6 +486,45 @@ impl Harvester {
         // current, closing the gyrator.
         nl.ccvs("Hreact", m4, Netlist::GROUND, l_coil, self.transduction)?;
         Ok((nl, out))
+    }
+}
+
+/// A [`Harvester`] whose parameters were validated once at
+/// construction, so the per-tick [`PreparedHarvester::thevenin`] does
+/// only physics: no validation branches, no error-path formatting for
+/// the device parameters. Produced by [`Harvester::prepared`]; results
+/// are bit-identical to the validating [`Harvester::thevenin`] (the two
+/// share one implementation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedHarvester {
+    h: Harvester,
+}
+
+impl PreparedHarvester {
+    /// The underlying device parameters.
+    pub fn harvester(&self) -> &Harvester {
+        &self.h
+    }
+
+    /// Thevenin equivalent at `(p, freq_hz, accel_amp)` without
+    /// re-validating the device; see [`Harvester::thevenin`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarvesterError::InvalidParameter`] for non-positive frequency
+    /// or negative amplitude.
+    pub fn thevenin(&self, p: f64, freq_hz: f64, accel_amp: f64) -> Result<(f64, Complex)> {
+        self.h.thevenin_prevalidated(p, freq_hz, accel_amp)
+    }
+
+    /// Resonant frequency (Hz) at actuator position `p`.
+    pub fn resonant_frequency(&self, p: f64) -> f64 {
+        self.h.resonant_frequency(p)
+    }
+
+    /// Actuator position realising resonance at `f_hz` (clamped).
+    pub fn position_for_frequency(&self, f_hz: f64) -> f64 {
+        self.h.position_for_frequency(f_hz)
     }
 }
 

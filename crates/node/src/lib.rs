@@ -39,7 +39,9 @@ pub mod tuning;
 
 pub use mcu::{McuModel, RadioModel, TaskModel};
 pub use policy::DutyCyclePolicy;
-pub use sim::{NodeMetrics, SystemSimulator, SystemTrace};
+pub use sim::{
+    NodeMetrics, PreparedSimulator, SolverMode, SystemSimulator, SystemTrace, MIN_TASK_PERIOD_S,
+};
 pub use tuning::TuningController;
 
 use ehsim_harvester::Harvester;

@@ -7,9 +7,53 @@
 //!
 //! The simulator is deterministic: identical configurations and sources
 //! produce bit-identical metrics.
+//!
+//! # Hot path
+//!
+//! Every indicator of every DoE campaign is produced by this loop, so
+//! it is the throughput bottleneck of the whole workspace. The
+//! simulator is therefore split into a *preparation* stage and a *run*
+//! stage:
+//!
+//! * [`PreparedSimulator`] validates the harvester, power-processing
+//!   and node configs **once** at construction and precomputes every
+//!   tick-invariant constant (task cycle energy, regulator-referred
+//!   sleep/measure/actuator draws, the multiplier's droop numerator and
+//!   diode drop, the dt-derived task-firing bound). The per-tick loop
+//!   then contains no `validate()` calls and no error-path allocations.
+//! * The harvester Thevenin equivalent is memoized on its exact
+//!   `(position, frequency, amplitude)` inputs — under a stationary
+//!   envelope it is computed once per actuator move instead of once per
+//!   tick, with bit-identical results by construction.
+//! * [`SolverMode::Warm`] additionally seeds the PPU fixed-point solve
+//!   from the previous tick's converged operating point
+//!   ([`ehsim_power::PreparedPpu::operating_point_from`]), which
+//!   usually collapses the solve to one or two iterations. Warm results
+//!   agree with the cold solve to the solver's convergence tolerance;
+//!   the default [`SolverMode::Exact`] keeps the cold solve and is
+//!   bit-identical to [`SystemSimulator::run_reference`] — campaigns
+//!   (and so every `e1`–`e9` CSV artefact) use it. Relative to the
+//!   *pre-refactor* simulator, the only intentional metric changes are
+//!   the three documented bugfixes (dt-derived task-firing bound,
+//!   never-on `min_v_store`, clamp-consistent `harvested_energy_j`),
+//!   none of which the shipped campaign workloads exercise.
+//!
+//! [`SystemSimulator::run_reference`] preserves the straight-line
+//! per-tick implementation (re-validating sub-models every tick, cold
+//! solves, no memoization) as a differential-testing oracle and as the
+//! pre-refactor baseline for the `e10_hotpath` benchmark.
 
 use crate::{NodeConfig, NodeError, Result};
+use ehsim_harvester::PreparedHarvester;
+use ehsim_numeric::complex::Complex;
+use ehsim_power::PreparedPpu;
 use ehsim_vibration::VibrationSource;
+
+/// The floor the simulator applies to any task period returned by the
+/// duty-cycle policy (s). Together with the tick length it bounds how
+/// many times the task loop can fire within one tick, which is what
+/// makes the per-tick firing bound derivable instead of a magic cap.
+pub const MIN_TASK_PERIOD_S: f64 = 1e-3;
 
 /// Aggregated performance indicators of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,8 +76,16 @@ pub struct NodeMetrics {
     pub harvested_energy_j: f64,
     /// Energy drawn from storage by the node (J).
     pub consumed_energy_j: f64,
-    /// Minimum storage voltage observed after the first power-up (V);
-    /// the brown-out margin indicator is `min_v_store - v_off`.
+    /// Minimum storage voltage observed (V).
+    ///
+    /// Gated on the first power-up: once the node has been on, this is
+    /// the minimum *after* that instant, so the brown-out margin
+    /// indicator `min_v_store - v_off` measures how close a running
+    /// node came to browning out rather than penalising the initial
+    /// cold-start climb. If the node never turned on, the unconditional
+    /// minimum over the whole run is reported (a node that decayed and
+    /// partially recharged reports the bottom of the dip, not the final
+    /// voltage).
     pub min_v_store: f64,
     /// Storage voltage at the end of the run (V).
     pub final_v_store: f64,
@@ -61,10 +113,30 @@ pub struct SystemTrace {
     pub running: Vec<bool>,
 }
 
-/// The system-level simulator.
-#[derive(Debug, Clone)]
-pub struct SystemSimulator {
-    cfg: NodeConfig,
+/// Which PPU fixed-point strategy a [`PreparedSimulator`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Cold-start every solve — bit-identical to
+    /// [`SystemSimulator::run_reference`] (and, away from the three
+    /// documented metric bugfixes of the hot-path overhaul, to the
+    /// pre-refactor simulator). This is the default and what every
+    /// campaign (hence every CSV artefact) uses; it upholds the
+    /// workspace determinism contract.
+    #[default]
+    Exact,
+    /// Seed each solve from the previous tick's converged operating
+    /// point and exit as soon as the convergence criterion holds.
+    /// Fastest; wherever the PPU fixed point converges (everywhere the
+    /// shipped device models operate) it agrees with
+    /// [`SolverMode::Exact`] to the solver's convergence tolerance
+    /// (~1 ppb on the loaded input amplitude) — discrete metrics
+    /// (packets, brown-outs, retunes) are unaffected in practice,
+    /// continuous metrics agree to ~1e-6 relative. In the solver's rare
+    /// non-contracting corner (very high source impedance exactly at
+    /// the dead-zone crossing) both modes sit on the same bounded limit
+    /// cycle and may differ by its width. Use for throughput-critical
+    /// sweeps where that tolerance is acceptable.
+    Warm,
 }
 
 struct ActuatorMove {
@@ -74,15 +146,76 @@ struct ActuatorMove {
     t_end: f64,
 }
 
-impl SystemSimulator {
-    /// Creates a simulator after validating the configuration.
+/// A validated, precomputed simulator: the hot-path entry point.
+///
+/// Construction performs all configuration validation and precomputes
+/// every tick-invariant quantity; [`PreparedSimulator::run`] may then
+/// be called any number of times (e.g. once per scenario of an
+/// ensemble) without re-paying either cost.
+#[derive(Debug, Clone)]
+pub struct PreparedSimulator {
+    cfg: NodeConfig,
+    harv: PreparedHarvester,
+    ppu: PreparedPpu,
+    mode: SolverMode,
+    /// Task cycle energy referred to the storage side of the regulator
+    /// (J): `cycle_energy_j / regulator.efficiency`.
+    e_cycle_in: f64,
+    /// Regulator-referred sleep draw (W).
+    p_sleep_in: f64,
+    /// Regulator-referred tuning measurement energy (J).
+    e_measure_in: f64,
+    /// Regulator-referred actuator energy per tick while moving (J).
+    e_act_tick: f64,
+    /// dt-derived bound on task firings per tick (see
+    /// [`MIN_TASK_PERIOD_S`]).
+    max_fires_per_tick: u64,
+}
+
+impl PreparedSimulator {
+    /// Validates the configuration and precomputes the tick-invariant
+    /// constants, with the default [`SolverMode::Exact`].
     ///
     /// # Errors
     ///
     /// Propagates [`NodeConfig::validate`] failures.
     pub fn new(cfg: NodeConfig) -> Result<Self> {
+        Self::with_solver(cfg, SolverMode::default())
+    }
+
+    /// [`PreparedSimulator::new`] with an explicit solver mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NodeConfig::validate`] failures.
+    pub fn with_solver(cfg: NodeConfig, mode: SolverMode) -> Result<Self> {
         cfg.validate()?;
-        Ok(SystemSimulator { cfg })
+        let harv = cfg
+            .harvester
+            .prepared()
+            .map_err(|e| NodeError::invalid(e.to_string()))?;
+        let ppu = cfg
+            .multiplier
+            .prepared()
+            .map_err(|e| NodeError::invalid(e.to_string()))?;
+        let reg = &cfg.regulator;
+        let e_cycle = cfg.task.cycle_energy_j(&cfg.mcu, &cfg.radio);
+        let e_cycle_in = e_cycle / reg.efficiency;
+        let p_sleep_in = reg.input_power(cfg.mcu.sleep_power_w);
+        let e_measure_in = cfg.tuning.measure_energy_j / reg.efficiency;
+        let e_act_tick = reg.input_power(cfg.harvester.tuning.actuator_power_w) * cfg.tick_s;
+        let max_fires_per_tick = (cfg.tick_s / MIN_TASK_PERIOD_S).ceil() as u64 + 1;
+        Ok(PreparedSimulator {
+            cfg,
+            harv,
+            ppu,
+            mode,
+            e_cycle_in,
+            p_sleep_in,
+            e_measure_in,
+            e_act_tick,
+            max_fires_per_tick,
+        })
     }
 
     /// Borrow of the configuration.
@@ -90,12 +223,18 @@ impl SystemSimulator {
         &self.cfg
     }
 
+    /// The solver mode this simulator runs with.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.mode
+    }
+
     /// Runs for `duration_s` seconds and returns the metrics.
     ///
     /// # Errors
     ///
     /// [`NodeError::InvalidParameter`] for a non-positive duration, or
-    /// [`NodeError::Model`] if a sub-model fails mid-run.
+    /// [`NodeError::Model`] if a sub-model fails mid-run or the task
+    /// schedule saturates its per-tick firing bound.
     pub fn run(&self, source: &dyn VibrationSource, duration_s: f64) -> Result<NodeMetrics> {
         Ok(self.run_internal(source, duration_s, None)?.0)
     }
@@ -105,7 +244,7 @@ impl SystemSimulator {
     ///
     /// # Errors
     ///
-    /// Same as [`SystemSimulator::run`], plus rejection of a zero
+    /// Same as [`PreparedSimulator::run`], plus rejection of a zero
     /// stride.
     pub fn run_with_trace(
         &self,
@@ -134,8 +273,7 @@ impl SystemSimulator {
         let cfg = &self.cfg;
         let dt = cfg.tick_s;
         let n_ticks = (duration_s / dt).round().max(1.0) as usize;
-        let e_cycle = cfg.task.cycle_energy_j(&cfg.mcu, &cfg.radio);
-        let reg = &cfg.regulator;
+        let warm = self.mode == SolverMode::Warm;
 
         let mut v = cfg.v_store0;
         let mut pos = cfg.initial_position;
@@ -156,7 +294,18 @@ impl SystemSimulator {
         let mut harvested = 0.0f64;
         let mut consumed = 0.0f64;
         let mut min_v_after_on = f64::INFINITY;
+        let mut min_v = f64::INFINITY;
         let mut ever_on = running;
+
+        // Thevenin memo: the envelope and actuator position are
+        // piecewise-constant in most scenarios, so the equivalent is
+        // keyed on the exact input bits and recomputed only on change.
+        let mut thev_key = (0u64, 0u64, 0u64);
+        let mut thev_val: (f64, Complex) = (0.0, Complex::real(0.0));
+        let mut thev_primed = false;
+        // Warm-start seed: the previous tick's converged input
+        // amplitude.
+        let mut prev_v_pk: Option<f64> = None;
 
         let mut trace = trace_stride.map(|_| SystemTrace::default());
 
@@ -176,6 +325,299 @@ impl SystemSimulator {
             }
 
             // Harvest path.
+            let key = (pos.to_bits(), env.freq_hz.to_bits(), env.amp.to_bits());
+            if !thev_primed || key != thev_key {
+                thev_val = self
+                    .harv
+                    .thevenin(pos, env.freq_hz, env.amp)
+                    .map_err(|e| NodeError::Model(e.to_string()))?;
+                thev_key = key;
+                thev_primed = true;
+            }
+            let (v_oc, z_src) = thev_val;
+            let op = match prev_v_pk {
+                Some(seed) if warm => {
+                    self.ppu
+                        .operating_point_from(seed, v_oc, z_src, env.freq_hz, v)
+                }
+                _ => self.ppu.operating_point(v_oc, z_src, env.freq_hz, v),
+            }
+            .map_err(|e| NodeError::Model(e.to_string()))?;
+            prev_v_pk = Some(op.v_in_amp);
+            let p_in = op.p_store_w;
+            if !ema_primed {
+                ema = p_in;
+                ema_primed = true;
+            } else {
+                ema = cfg.policy.update_ema(ema, p_in);
+            }
+
+            // Consumption.
+            let mut e_tick = 0.0f64;
+            if running {
+                e_tick += self.p_sleep_in * dt;
+
+                // Periodic application task(s). Each firing advances the
+                // schedule by at least MIN_TASK_PERIOD_S, so the firing
+                // count per tick is bounded by dt / MIN_TASK_PERIOD_S
+                // (+1 for the fractional remainder); exceeding that
+                // bound means the schedule can no longer catch up and
+                // the run is aborted instead of silently undercounting.
+                let mut fires: u64 = 0;
+                while next_task_t <= t {
+                    if fires >= self.max_fires_per_tick {
+                        return Err(task_saturation_error(dt, self.max_fires_per_tick));
+                    }
+                    e_tick += self.e_cycle_in;
+                    packets += 1;
+                    if first_packet.is_none() {
+                        first_packet = Some(t);
+                    }
+                    let period = cfg.policy.period_s(
+                        cfg.task.period_s,
+                        v,
+                        cfg.thresholds.v_on,
+                        cfg.thresholds.v_off,
+                        ema,
+                        self.p_sleep_in,
+                        self.e_cycle_in,
+                    );
+                    next_task_t += period.max(MIN_TASK_PERIOD_S);
+                    fires += 1;
+                }
+
+                // Tuning controller.
+                if cfg.tuning.enabled && t >= next_check_t {
+                    e_tick += self.e_measure_in;
+                    measurements += 1;
+                    next_check_t = t + cfg.tuning.check_interval_s;
+                    if actuator.is_none() {
+                        let resonance = self.harv.resonant_frequency(pos);
+                        if let Some(target) = cfg.tuning.decide(
+                            env.freq_hz,
+                            resonance,
+                            |f| self.harv.position_for_frequency(f),
+                            pos,
+                        ) {
+                            let move_time = cfg.harvester.tuning.tuning_time_s(pos, target);
+                            actuator = Some(ActuatorMove {
+                                start_pos: pos,
+                                target_pos: target,
+                                t_start: t,
+                                t_end: t + move_time,
+                            });
+                            retunes += 1;
+                        }
+                    }
+                }
+
+                // Actuator draw while moving.
+                if actuator.is_some() {
+                    e_tick += self.e_act_tick;
+                    tuning_energy += self.e_act_tick;
+                }
+            }
+
+            let p_out = e_tick / dt;
+            // Charge-based stepping so a depleted capacitor cold-starts;
+            // the storage model reports the charging energy it actually
+            // absorbed (clamping included), keeping the harvest ledger
+            // consistent with the state update.
+            let (v_next, e_in) = cfg
+                .storage
+                .step_with_current_accounted(v, op.i_out_a, p_out, dt);
+            v = v_next;
+            harvested += e_in;
+            consumed += e_tick;
+
+            let was_running = running;
+            running = cfg.thresholds.update(v, running);
+            if was_running && !running {
+                brownouts += 1;
+                // A brown-out aborts any actuator motion.
+                actuator = None;
+            }
+            if !was_running && running {
+                // Wake-up: restart the schedules.
+                next_task_t = t + dt;
+                next_check_t = t + dt;
+                ever_on = true;
+            }
+            if running {
+                uptime_ticks += 1;
+                ever_on = true;
+            }
+            if ever_on {
+                min_v_after_on = min_v_after_on.min(v);
+            }
+            min_v = min_v.min(v);
+
+            if let (Some(stride), Some(tr)) = (trace_stride, trace.as_mut()) {
+                if k % stride == 0 {
+                    tr.t.push(t);
+                    tr.v_store.push(v);
+                    tr.resonance_hz.push(self.harv.resonant_frequency(pos));
+                    tr.ambient_hz.push(env.freq_hz);
+                    tr.p_harvest_w.push(p_in);
+                    tr.running.push(running);
+                }
+            }
+        }
+
+        let duration = n_ticks as f64 * dt;
+        let metrics = NodeMetrics {
+            duration_s: duration,
+            packets_delivered: packets,
+            uptime_fraction: uptime_ticks as f64 / n_ticks as f64,
+            brownout_count: brownouts,
+            retune_count: retunes,
+            measurement_count: measurements,
+            tuning_energy_j: tuning_energy,
+            harvested_energy_j: harvested,
+            consumed_energy_j: consumed,
+            min_v_store: if min_v_after_on.is_finite() {
+                min_v_after_on
+            } else {
+                min_v
+            },
+            final_v_store: v,
+            avg_harvest_power_w: harvested / duration,
+            time_to_first_packet_s: first_packet,
+        };
+        Ok((metrics, trace))
+    }
+}
+
+fn task_saturation_error(dt: f64, bound: u64) -> NodeError {
+    NodeError::Model(format!(
+        "task schedule saturated: more than {bound} task firings queued in one \
+         {dt} s tick (period floor {MIN_TASK_PERIOD_S} s); the duty-cycle \
+         policy is returning periods below the floor the simulator can resolve"
+    ))
+}
+
+/// The system-level simulator.
+///
+/// A thin wrapper over [`PreparedSimulator`] in [`SolverMode::Exact`]:
+/// construction validates and precomputes once, and every run is
+/// bit-identical to the straight-line reference implementation
+/// ([`SystemSimulator::run_reference`]).
+#[derive(Debug, Clone)]
+pub struct SystemSimulator {
+    prepared: PreparedSimulator,
+}
+
+impl SystemSimulator {
+    /// Creates a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NodeConfig::validate`] failures.
+    pub fn new(cfg: NodeConfig) -> Result<Self> {
+        Ok(SystemSimulator {
+            prepared: PreparedSimulator::new(cfg)?,
+        })
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &NodeConfig {
+        self.prepared.config()
+    }
+
+    /// Runs for `duration_s` seconds and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::InvalidParameter`] for a non-positive duration, or
+    /// [`NodeError::Model`] if a sub-model fails mid-run.
+    pub fn run(&self, source: &dyn VibrationSource, duration_s: f64) -> Result<NodeMetrics> {
+        self.prepared.run(source, duration_s)
+    }
+
+    /// Runs and additionally records a trace sampled every
+    /// `trace_stride` ticks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemSimulator::run`], plus rejection of a zero
+    /// stride.
+    pub fn run_with_trace(
+        &self,
+        source: &dyn VibrationSource,
+        duration_s: f64,
+        trace_stride: usize,
+    ) -> Result<(NodeMetrics, SystemTrace)> {
+        self.prepared
+            .run_with_trace(source, duration_s, trace_stride)
+    }
+
+    /// The straight-line reference implementation: semantically
+    /// identical to [`SystemSimulator::run`] but structured the way the
+    /// simulator was before the hot-path refactor — every sub-model is
+    /// re-validated on every tick, the Thevenin equivalent is
+    /// recomputed from scratch, and the PPU solve always cold-starts.
+    ///
+    /// Kept for two purposes: it is the differential-testing oracle the
+    /// equivalence suite compares [`PreparedSimulator`] against
+    /// (bit-identical metrics required), and it is the "pre-PR"
+    /// baseline the `e10_hotpath` benchmark measures speed-ups from.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemSimulator::run`].
+    pub fn run_reference(
+        &self,
+        source: &dyn VibrationSource,
+        duration_s: f64,
+    ) -> Result<NodeMetrics> {
+        if !(duration_s > 0.0) {
+            return Err(NodeError::invalid(format!(
+                "duration must be positive, got {duration_s}"
+            )));
+        }
+        let cfg = self.config();
+        let dt = cfg.tick_s;
+        let n_ticks = (duration_s / dt).round().max(1.0) as usize;
+        let e_cycle = cfg.task.cycle_energy_j(&cfg.mcu, &cfg.radio);
+        let reg = &cfg.regulator;
+        let max_fires = (dt / MIN_TASK_PERIOD_S).ceil() as u64 + 1;
+
+        let mut v = cfg.v_store0;
+        let mut pos = cfg.initial_position;
+        let mut running = cfg.thresholds.update(v, false);
+        let mut next_task_t = 0.0f64;
+        let mut next_check_t = 0.0f64;
+        let mut actuator: Option<ActuatorMove> = None;
+        let mut ema = 0.0f64;
+        let mut ema_primed = false;
+
+        let mut packets: u64 = 0;
+        let mut first_packet: Option<f64> = None;
+        let mut uptime_ticks: usize = 0;
+        let mut brownouts: u32 = 0;
+        let mut retunes: u32 = 0;
+        let mut measurements: u32 = 0;
+        let mut tuning_energy = 0.0f64;
+        let mut harvested = 0.0f64;
+        let mut consumed = 0.0f64;
+        let mut min_v_after_on = f64::INFINITY;
+        let mut min_v = f64::INFINITY;
+        let mut ever_on = running;
+
+        for k in 0..n_ticks {
+            let t = k as f64 * dt;
+            let env = source.envelope(t);
+
+            if let Some(mv) = &actuator {
+                if t >= mv.t_end {
+                    pos = mv.target_pos;
+                    actuator = None;
+                } else {
+                    let frac = (t - mv.t_start) / (mv.t_end - mv.t_start);
+                    pos = mv.start_pos + (mv.target_pos - mv.start_pos) * frac;
+                }
+            }
+
             let (v_oc, z_src) = cfg
                 .harvester
                 .thevenin(pos, env.freq_hz, env.amp)
@@ -192,14 +634,15 @@ impl SystemSimulator {
                 ema = cfg.policy.update_ema(ema, p_in);
             }
 
-            // Consumption.
             let mut e_tick = 0.0f64;
             if running {
                 e_tick += reg.input_power(cfg.mcu.sleep_power_w) * dt;
 
-                // Periodic application task(s).
-                let mut fires = 0;
-                while next_task_t <= t && fires < 1000 {
+                let mut fires: u64 = 0;
+                while next_task_t <= t {
+                    if fires >= max_fires {
+                        return Err(task_saturation_error(dt, max_fires));
+                    }
                     e_tick += e_cycle / reg.efficiency;
                     packets += 1;
                     if first_packet.is_none() {
@@ -214,11 +657,10 @@ impl SystemSimulator {
                         reg.input_power(cfg.mcu.sleep_power_w),
                         e_cycle / reg.efficiency,
                     );
-                    next_task_t += period.max(1e-3);
+                    next_task_t += period.max(MIN_TASK_PERIOD_S);
                     fires += 1;
                 }
 
-                // Tuning controller.
                 if cfg.tuning.enabled && t >= next_check_t {
                     e_tick += cfg.tuning.measure_energy_j / reg.efficiency;
                     measurements += 1;
@@ -243,7 +685,6 @@ impl SystemSimulator {
                     }
                 }
 
-                // Actuator draw while moving.
                 if actuator.is_some() {
                     let e_act = reg.input_power(cfg.harvester.tuning.actuator_power_w) * dt;
                     e_tick += e_act;
@@ -252,23 +693,20 @@ impl SystemSimulator {
             }
 
             let p_out = e_tick / dt;
-            // Charge-based stepping so a depleted capacitor cold-starts;
-            // the harvested energy is v·i at the mid-charge voltage.
-            let v_mid =
-                (v + 0.5 * op.i_out_a * dt / cfg.storage.capacitance).min(cfg.storage.v_rated);
-            v = cfg.storage.step_with_current(v, op.i_out_a, p_out, dt);
-            harvested += v_mid * op.i_out_a * dt;
+            let (v_next, e_in) = cfg
+                .storage
+                .step_with_current_accounted(v, op.i_out_a, p_out, dt);
+            v = v_next;
+            harvested += e_in;
             consumed += e_tick;
 
             let was_running = running;
             running = cfg.thresholds.update(v, running);
             if was_running && !running {
                 brownouts += 1;
-                // A brown-out aborts any actuator motion.
                 actuator = None;
             }
             if !was_running && running {
-                // Wake-up: restart the schedules.
                 next_task_t = t + dt;
                 next_check_t = t + dt;
                 ever_on = true;
@@ -280,21 +718,11 @@ impl SystemSimulator {
             if ever_on {
                 min_v_after_on = min_v_after_on.min(v);
             }
-
-            if let (Some(stride), Some(tr)) = (trace_stride, trace.as_mut()) {
-                if k % stride == 0 {
-                    tr.t.push(t);
-                    tr.v_store.push(v);
-                    tr.resonance_hz.push(cfg.harvester.resonant_frequency(pos));
-                    tr.ambient_hz.push(env.freq_hz);
-                    tr.p_harvest_w.push(p_in);
-                    tr.running.push(running);
-                }
-            }
+            min_v = min_v.min(v);
         }
 
         let duration = n_ticks as f64 * dt;
-        let metrics = NodeMetrics {
+        Ok(NodeMetrics {
             duration_s: duration,
             packets_delivered: packets,
             uptime_fraction: uptime_ticks as f64 / n_ticks as f64,
@@ -307,13 +735,12 @@ impl SystemSimulator {
             min_v_store: if min_v_after_on.is_finite() {
                 min_v_after_on
             } else {
-                v
+                min_v
             },
             final_v_store: v,
             avg_harvest_power_w: harvested / duration,
             time_to_first_packet_s: first_packet,
-        };
-        Ok((metrics, trace))
+        })
     }
 }
 
@@ -321,7 +748,7 @@ impl SystemSimulator {
 mod tests {
     use super::*;
     use crate::policy::DutyCyclePolicy;
-    use ehsim_vibration::{DriftSchedule, Sine};
+    use ehsim_vibration::{DriftSchedule, DutyCycled, Sine};
 
     fn resonant_sine(cfg: &NodeConfig, amp: f64) -> Sine {
         let f = cfg.harvester.resonant_frequency(cfg.initial_position);
@@ -484,6 +911,42 @@ mod tests {
     }
 
     #[test]
+    fn energy_bookkeeping_consistent_at_rated_voltage() {
+        // Pin the storage at the rated voltage: the shunt regulator
+        // dumps most of the pump current, and the harvest ledger must
+        // count only the energy the capacitor actually absorbed (the
+        // old separately clamped mid-voltage accounting counted the
+        // dumped charge as harvested and blew the balance open).
+        let mut cfg = NodeConfig::default_node();
+        cfg.tuning.enabled = false;
+        cfg.storage.capacitance = 1e-3;
+        // Keep the node off throughout (v_on above the rated rail) so
+        // the run isolates the charge-clamp accounting.
+        cfg.thresholds.v_on = 6.0;
+        cfg.thresholds.v_off = 5.0;
+        cfg.v_store0 = 5.2;
+        let src = resonant_sine(&cfg, 1.0);
+        let horizon = 900.0;
+        let m = SystemSimulator::new(cfg.clone())
+            .unwrap()
+            .run(&src, horizon)
+            .unwrap();
+        assert!(
+            (m.final_v_store - cfg.storage.v_rated).abs() < 0.05,
+            "expected the rail to pin near rated, got {}",
+            m.final_v_store
+        );
+        let e0 = cfg.storage.energy_j(cfg.v_store0);
+        let e1 = cfg.storage.energy_j(m.final_v_store);
+        let balance = m.harvested_energy_j - m.consumed_energy_j - (e1 - e0);
+        let leak_bound = cfg.storage.v_rated.powi(2) / cfg.storage.leak_resistance * horizon;
+        assert!(
+            balance >= -1e-6 && balance <= leak_bound * 2.0 + 1e-6,
+            "balance = {balance}, leak bound = {leak_bound}"
+        );
+    }
+
+    #[test]
     fn trace_shapes_match() {
         let cfg = NodeConfig::default_node();
         let src = resonant_sine(&cfg, 0.8);
@@ -550,6 +1013,145 @@ mod tests {
         let src = resonant_sine(&cfg, 0.8);
         let sim = SystemSimulator::new(cfg).unwrap();
         assert!(sim.run(&src, 0.0).is_err());
+        assert!(sim.run_reference(&src, 0.0).is_err());
         assert!(sim.run_with_trace(&src, 10.0, 0).is_err());
+    }
+
+    // ---- hot-path refactor equivalence & bugfix coverage ----
+
+    fn assert_metrics_bitwise_eq(a: &NodeMetrics, b: &NodeMetrics, what: &str) {
+        assert_eq!(a.packets_delivered, b.packets_delivered, "{what}");
+        assert_eq!(a.brownout_count, b.brownout_count, "{what}");
+        assert_eq!(a.retune_count, b.retune_count, "{what}");
+        assert_eq!(a.measurement_count, b.measurement_count, "{what}");
+        for (x, y, f) in [
+            (a.uptime_fraction, b.uptime_fraction, "uptime"),
+            (a.tuning_energy_j, b.tuning_energy_j, "tuning_energy"),
+            (a.harvested_energy_j, b.harvested_energy_j, "harvested"),
+            (a.consumed_energy_j, b.consumed_energy_j, "consumed"),
+            (a.min_v_store, b.min_v_store, "min_v"),
+            (a.final_v_store, b.final_v_store, "final_v"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {f}: {x} vs {y}");
+        }
+        assert_eq!(a.time_to_first_packet_s, b.time_to_first_packet_s, "{what}");
+    }
+
+    #[test]
+    fn prepared_exact_is_bit_identical_to_reference() {
+        // The prepared hot path (validate-once, precomputed constants,
+        // Thevenin memoization, prepared cold solver) must reproduce
+        // the straight-line reference implementation bit for bit, on
+        // stationary, drifting, weak, and cold-start workloads.
+        let mut cases: Vec<(NodeConfig, Box<dyn VibrationSource>, f64)> = Vec::new();
+        let base = NodeConfig::default_node();
+        cases.push((base.clone(), Box::new(resonant_sine(&base, 0.9)), 900.0));
+        let mut weak = NodeConfig::default_node();
+        weak.storage.capacitance = 0.02;
+        cases.push((weak.clone(), Box::new(resonant_sine(&weak, 0.6)), 1800.0));
+        let mut cold = NodeConfig::default_node();
+        cold.v_store0 = 0.0;
+        cold.storage.capacitance = 2e-3;
+        cases.push((cold.clone(), Box::new(resonant_sine(&cold, 1.0)), 1200.0));
+        let mut drift = NodeConfig::default_node();
+        drift.initial_position = drift.harvester.position_for_frequency(60.0);
+        cases.push((
+            drift,
+            Box::new(DriftSchedule::new(vec![(0.0, 60.0), (1200.0, 72.0)], 0.8).unwrap()),
+            1500.0,
+        ));
+        for (i, (cfg, src, dur)) in cases.iter().enumerate() {
+            let sim = SystemSimulator::new(cfg.clone()).unwrap();
+            let fast = sim.run(src.as_ref(), *dur).unwrap();
+            let oracle = sim.run_reference(src.as_ref(), *dur).unwrap();
+            assert_metrics_bitwise_eq(&fast, &oracle, &format!("case {i}"));
+        }
+    }
+
+    #[test]
+    fn warm_solver_matches_exact_to_tolerance() {
+        let cfg = NodeConfig::default_node();
+        let src = resonant_sine(&cfg, 0.9);
+        let exact = PreparedSimulator::with_solver(cfg.clone(), SolverMode::Exact)
+            .unwrap()
+            .run(&src, 1800.0)
+            .unwrap();
+        let warm = PreparedSimulator::with_solver(cfg, SolverMode::Warm)
+            .unwrap()
+            .run(&src, 1800.0)
+            .unwrap();
+        assert_eq!(exact.packets_delivered, warm.packets_delivered);
+        assert_eq!(exact.brownout_count, warm.brownout_count);
+        assert_eq!(exact.retune_count, warm.retune_count);
+        let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-12);
+        assert!(rel(exact.harvested_energy_j, warm.harvested_energy_j) < 1e-6);
+        assert!(rel(exact.consumed_energy_j, warm.consumed_energy_j) < 1e-6);
+        assert!(rel(exact.final_v_store, warm.final_v_store) < 1e-6);
+    }
+
+    #[test]
+    fn solver_mode_defaults_and_accessors() {
+        let cfg = NodeConfig::default_node();
+        let p = PreparedSimulator::new(cfg.clone()).unwrap();
+        assert_eq!(p.solver_mode(), SolverMode::Exact);
+        assert_eq!(p.config().tick_s, cfg.tick_s);
+        let w = PreparedSimulator::with_solver(cfg, SolverMode::Warm).unwrap();
+        assert_eq!(w.solver_mode(), SolverMode::Warm);
+    }
+
+    #[test]
+    fn coarse_tick_fast_task_no_longer_saturates() {
+        // dt = 5 s with a 10 ms fixed period queues 500 firings per
+        // tick — under the old hard-coded `fires < 1000` cap this was
+        // fine, but dt = 10 s with a 5 ms period queues 2000 and was
+        // silently truncated to 1000, undercounting packets with no
+        // signal. The dt-derived bound admits every firing the period
+        // floor allows.
+        let mut cfg = NodeConfig::default_node();
+        cfg.tuning.enabled = false;
+        cfg.policy = DutyCyclePolicy::Fixed;
+        cfg.tick_s = 10.0;
+        cfg.task.period_s = 5e-3;
+        // Plenty of stored energy so the node stays on throughout.
+        cfg.storage.capacitance = 5e3;
+        cfg.v_store0 = 5.0;
+        let src = resonant_sine(&cfg, 0.9);
+        let m = SystemSimulator::new(cfg).unwrap().run(&src, 100.0).unwrap();
+        // The schedule catches up to the last tick time (90 s): 1 +
+        // 90 s / 5 ms = 18 001 packets. The old cap delivered at most
+        // 1000 per 10 s tick — 9001 — with no indication of loss.
+        assert!(
+            m.packets_delivered > 17_500,
+            "undercounted: {}",
+            m.packets_delivered
+        );
+        assert_eq!(m.brownout_count, 0);
+    }
+
+    #[test]
+    fn min_v_store_tracks_dip_when_node_never_turns_on() {
+        // Never-on node with a V-shaped voltage history: the source is
+        // off for the middle third (storage decays), then back on
+        // (storage partially recharges, but the charging equilibrium
+        // sits below v_on). The reported minimum must be the bottom of
+        // the dip, not the recovered final voltage.
+        let mut cfg = NodeConfig::default_node();
+        cfg.tuning.enabled = false;
+        cfg.storage.capacitance = 2e-5; // fast storage dynamics
+        cfg.v_store0 = 3.0; // below v_on = 3.3: starts off
+        let f = cfg.harvester.resonant_frequency(cfg.initial_position);
+        // Weak resonant drive: the charging equilibrium (~3.06 V) stays
+        // below v_on = 3.3 V.
+        let inner = Sine::new(0.42, f).unwrap();
+        // Period 300 s, 33% duty, so [0,100) on, [100,300) off,
+        // [300,400) on again over a 400 s run.
+        let src = DutyCycled::new(Box::new(inner), 300.0, 1.0 / 3.0, 1.0).unwrap();
+        let m = SystemSimulator::new(cfg).unwrap().run(&src, 400.0).unwrap();
+        assert_eq!(m.uptime_fraction, 0.0, "node must never turn on: {m:?}");
+        assert_eq!(m.packets_delivered, 0);
+        assert!(
+            m.min_v_store < m.final_v_store - 0.05,
+            "minimum must capture the dip below the final voltage: {m:?}"
+        );
     }
 }

@@ -129,7 +129,191 @@ pub struct PpuOperatingPoint {
     pub efficiency: f64,
 }
 
+/// A [`Multiplier`] validated once, with every tick-invariant constant
+/// of the behavioural operating-point solve precomputed: `2N`, the
+/// diode drop, and the droop numerator `2N³/3 + N²/2 − N/6`.
+///
+/// This is the hot-path entry point of the system-level simulator: it
+/// removes the per-call parameter validation (and its error-path
+/// machinery) from a function executed once per simulation tick,
+/// millions of times per DoE campaign, and it exposes the warm-started
+/// solve [`PreparedPpu::operating_point_from`].
+///
+/// The cold-start [`PreparedPpu::operating_point`] is bit-identical to
+/// [`Multiplier::operating_point`] by construction — both run the same
+/// fixed-point iteration from the same seed (see the property suite in
+/// `tests/warm_start.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedPpu {
+    n2: f64,
+    v_d: f64,
+    droop_num: f64,
+    stage_capacitance: f64,
+}
+
+impl PreparedPpu {
+    /// Classic CW output droop resistance at excitation frequency `f`.
+    pub fn droop_resistance(&self, freq_hz: f64) -> f64 {
+        self.droop_num / (freq_hz * self.stage_capacitance)
+    }
+
+    /// Cold-started behavioural operating point; bit-identical to
+    /// [`Multiplier::operating_point`].
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidParameter`] on non-positive frequency or
+    /// negative `v_oc` / `v_store`.
+    pub fn operating_point(
+        &self,
+        v_oc: f64,
+        z_src: Complex,
+        freq_hz: f64,
+        v_store: f64,
+    ) -> Result<PpuOperatingPoint> {
+        self.solve(v_oc, z_src, freq_hz, v_store, None)
+    }
+
+    /// Warm-started behavioural operating point: the fixed-point
+    /// iteration is seeded from `prev_v_pk` — typically the
+    /// [`PpuOperatingPoint::v_in_amp`] of the previous simulation tick —
+    /// instead of the open-circuit amplitude, and exits as soon as the
+    /// convergence criterion holds (often on the first iteration when
+    /// the inputs moved only slightly between ticks).
+    ///
+    /// Wherever the damped fixed-point iteration converges — the whole
+    /// physical operating range of the shipped device models — the
+    /// result agrees with the cold-started solve to the solver's
+    /// convergence tolerance (1 ppb on the loaded input amplitude); on
+    /// the dead-zone path (`v_oc` below the diode drop) the two are
+    /// bit-identical because the seed is never consulted. In the
+    /// iteration's non-contracting corner (source impedance far above
+    /// the pump's equivalent input resistance, right at the dead-zone
+    /// crossing) the legacy solver itself stops seed-dependently on a
+    /// bounded limit cycle, and warm and cold starts may land on
+    /// different points of that cycle. A non-finite or non-positive
+    /// seed falls back to the cold start.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PreparedPpu::operating_point`].
+    pub fn operating_point_from(
+        &self,
+        prev_v_pk: f64,
+        v_oc: f64,
+        z_src: Complex,
+        freq_hz: f64,
+        v_store: f64,
+    ) -> Result<PpuOperatingPoint> {
+        let seed = if prev_v_pk.is_finite() && prev_v_pk > 0.0 {
+            Some(prev_v_pk)
+        } else {
+            None
+        };
+        self.solve(v_oc, z_src, freq_hz, v_store, seed)
+    }
+
+    /// The shared fixed-point solve. With `seed == None` this is the
+    /// legacy cold start (`v_pk` starts at `v_oc`); the float-operation
+    /// sequence is kept identical to the pre-refactor
+    /// `Multiplier::operating_point` so cold results are bit-stable
+    /// across the refactor.
+    fn solve(
+        &self,
+        v_oc: f64,
+        z_src: Complex,
+        freq_hz: f64,
+        v_store: f64,
+        seed: Option<f64>,
+    ) -> Result<PpuOperatingPoint> {
+        if !(freq_hz > 0.0) || !(v_oc >= 0.0) || !(v_store >= 0.0) {
+            return Err(PowerError::invalid(format!(
+                "need freq > 0, v_oc >= 0, v_store >= 0 (got {freq_hz}, {v_oc}, {v_store})"
+            )));
+        }
+        let n2 = self.n2;
+        let r_droop = self.droop_resistance(freq_hz);
+        let v_d = self.v_d;
+
+        let idle = PpuOperatingPoint {
+            p_store_w: 0.0,
+            i_out_a: 0.0,
+            v_in_amp: v_oc,
+            p_in_w: 0.0,
+            efficiency: 0.0,
+        };
+        if v_oc <= v_d {
+            return Ok(idle);
+        }
+
+        // Fixed point: v_pk -> pump current -> equivalent input
+        // resistance -> loaded v_pk.
+        let mut v_pk = seed.unwrap_or(v_oc);
+        let mut op = idle;
+        for _ in 0..60 {
+            let v_out_oc = n2 * (v_pk - v_d).max(0.0);
+            let i_out = ((v_out_oc - v_store) / r_droop).max(0.0);
+            if i_out <= 0.0 {
+                // The pump cannot push charge at this storage voltage.
+                op = PpuOperatingPoint {
+                    p_store_w: 0.0,
+                    i_out_a: 0.0,
+                    v_in_amp: v_pk,
+                    p_in_w: 0.0,
+                    efficiency: 0.0,
+                };
+                // Unloaded: input floats back towards open circuit.
+                let v_next = v_oc;
+                if (v_next - v_pk).abs() < 1e-12 {
+                    break;
+                }
+                v_pk = 0.5 * (v_pk + v_next);
+                continue;
+            }
+            let p_store = v_store * i_out;
+            let p_diode = n2 * v_d * i_out;
+            let p_droop = i_out * i_out * r_droop;
+            let p_in = p_store + p_diode + p_droop;
+            // Equivalent fundamental input resistance.
+            let r_eq = if p_in > 0.0 {
+                (v_pk * v_pk / (2.0 * p_in)).max(1e-3)
+            } else {
+                f64::INFINITY
+            };
+            let v_next = v_oc * r_eq / (z_src + Complex::real(r_eq)).abs();
+            op = PpuOperatingPoint {
+                p_store_w: p_store,
+                i_out_a: i_out,
+                v_in_amp: v_pk,
+                p_in_w: p_in,
+                efficiency: if p_in > 0.0 { p_store / p_in } else { 0.0 },
+            };
+            if (v_next - v_pk).abs() < 1e-9 * v_pk.max(1e-9) {
+                break;
+            }
+            v_pk = 0.5 * (v_pk + v_next);
+        }
+        Ok(op)
+    }
+}
+
 impl Multiplier {
+    /// Validates once and returns the hot-path solver handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Multiplier::validate`] failures.
+    pub fn prepared(&self) -> Result<PreparedPpu> {
+        self.validate()?;
+        let n = self.stages as f64;
+        Ok(PreparedPpu {
+            n2: (2 * self.stages) as f64,
+            v_d: self.diode.v_fwd,
+            droop_num: 2.0 * n * n * n / 3.0 + n * n / 2.0 - n / 6.0,
+            stage_capacitance: self.stage_capacitance,
+        })
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors
@@ -231,6 +415,10 @@ impl Multiplier {
     /// source loading; returns an all-zero operating point when the
     /// input cannot overcome the dead zone.
     ///
+    /// Equivalent to `self.prepared()?.operating_point(..)`; callers in
+    /// a per-tick loop should hold a [`PreparedPpu`] instead so the
+    /// parameter validation runs once rather than per call.
+    ///
     /// # Errors
     ///
     /// [`PowerError::InvalidParameter`] on invalid parameters or
@@ -242,75 +430,7 @@ impl Multiplier {
         freq_hz: f64,
         v_store: f64,
     ) -> Result<PpuOperatingPoint> {
-        self.validate()?;
-        if !(freq_hz > 0.0) || !(v_oc >= 0.0) || !(v_store >= 0.0) {
-            return Err(PowerError::invalid(format!(
-                "need freq > 0, v_oc >= 0, v_store >= 0 (got {freq_hz}, {v_oc}, {v_store})"
-            )));
-        }
-        let n2 = (2 * self.stages) as f64;
-        let r_droop = self.droop_resistance(freq_hz);
-        let v_d = self.diode.v_fwd;
-
-        let idle = PpuOperatingPoint {
-            p_store_w: 0.0,
-            i_out_a: 0.0,
-            v_in_amp: v_oc,
-            p_in_w: 0.0,
-            efficiency: 0.0,
-        };
-        if v_oc <= v_d {
-            return Ok(idle);
-        }
-
-        // Fixed point: v_pk -> pump current -> equivalent input
-        // resistance -> loaded v_pk.
-        let mut v_pk = v_oc;
-        let mut op = idle;
-        for _ in 0..60 {
-            let v_out_oc = n2 * (v_pk - v_d).max(0.0);
-            let i_out = ((v_out_oc - v_store) / r_droop).max(0.0);
-            if i_out <= 0.0 {
-                // The pump cannot push charge at this storage voltage.
-                op = PpuOperatingPoint {
-                    p_store_w: 0.0,
-                    i_out_a: 0.0,
-                    v_in_amp: v_pk,
-                    p_in_w: 0.0,
-                    efficiency: 0.0,
-                };
-                // Unloaded: input floats back towards open circuit.
-                let v_next = v_oc;
-                if (v_next - v_pk).abs() < 1e-12 {
-                    break;
-                }
-                v_pk = 0.5 * (v_pk + v_next);
-                continue;
-            }
-            let p_store = v_store * i_out;
-            let p_diode = n2 * v_d * i_out;
-            let p_droop = i_out * i_out * r_droop;
-            let p_in = p_store + p_diode + p_droop;
-            // Equivalent fundamental input resistance.
-            let r_eq = if p_in > 0.0 {
-                (v_pk * v_pk / (2.0 * p_in)).max(1e-3)
-            } else {
-                f64::INFINITY
-            };
-            let v_next = v_oc * r_eq / (z_src + Complex::real(r_eq)).abs();
-            op = PpuOperatingPoint {
-                p_store_w: p_store,
-                i_out_a: i_out,
-                v_in_amp: v_pk,
-                p_in_w: p_in,
-                efficiency: if p_in > 0.0 { p_store / p_in } else { 0.0 },
-            };
-            if (v_next - v_pk).abs() < 1e-9 * v_pk.max(1e-9) {
-                break;
-            }
-            v_pk = 0.5 * (v_pk + v_next);
-        }
-        Ok(op)
+        self.prepared()?.solve(v_oc, z_src, freq_hz, v_store, None)
     }
 }
 
@@ -381,10 +501,46 @@ impl Supercap {
     /// depleted capacitor, where the absorbed *energy* `v·i` is zero but
     /// the charge still accumulates.
     pub fn step_with_current(&self, v: f64, i_in: f64, p_out: f64, dt: f64) -> f64 {
-        let v_charged = (v + i_in * dt / self.capacitance).min(self.v_rated);
+        self.step_with_current_accounted(v, i_in, p_out, dt).0
+    }
+
+    /// [`Supercap::step_with_current`] that additionally returns the
+    /// charging energy (J) *actually delivered into the capacitor* by
+    /// `i_in` during this step, from the same clamping arithmetic that
+    /// produced the new voltage.
+    ///
+    /// Away from the rated-voltage clamp the delivered energy is the
+    /// mid-charge `v·i·dt` (trapezoidal `v_mid · ΔQ`). When the charge
+    /// would push the voltage past `v_rated`, the shunt regulator dumps
+    /// the excess: only the charge up to the rail is accepted, and the
+    /// delivered energy is exactly `E(v_rated) − E(v)`. Accounting the
+    /// energy here — rather than recomputing a separately clamped
+    /// mid-voltage at the call site — keeps `harvested_energy_j` equal
+    /// to the energy the storage model actually absorbed, closing the
+    /// simulator's energy balance near the rail.
+    pub fn step_with_current_accounted(
+        &self,
+        v: f64,
+        i_in: f64,
+        p_out: f64,
+        dt: f64,
+    ) -> (f64, f64) {
+        let v_charged_raw = v + i_in * dt / self.capacitance;
+        let (v_charged, e_in) = if v_charged_raw <= self.v_rated {
+            // Unclamped: v_mid·i·dt with v_mid the exact mid-charge
+            // voltage (algebraically E(v_charged) − E(v)).
+            (
+                v_charged_raw,
+                (v + 0.5 * i_in * dt / self.capacitance) * i_in * dt,
+            )
+        } else {
+            // Clamped at the rail: only C·(v_rated − v) of charge is
+            // accepted; the rest is shunted away and never stored.
+            (self.v_rated, self.energy_j(self.v_rated) - self.energy_j(v))
+        };
         let leak = v_charged * v_charged / self.leak_resistance;
         let e = self.energy_j(v_charged) - (p_out + leak) * dt;
-        self.voltage_at(e).min(self.v_rated)
+        (self.voltage_at(e).min(self.v_rated), e_in)
     }
 }
 

@@ -1,0 +1,193 @@
+//! Property suite for the prepared/warm-started PPU solver.
+//!
+//! Two contracts are proven over randomized sweeps of the physical
+//! operating range:
+//!
+//! 1. **Cold bit-identity** — the prepared solver with a cold seed (the
+//!    path the system simulator uses in its default `Exact` mode) is
+//!    bit-identical to the legacy `Multiplier::operating_point`, field
+//!    by field. This is what keeps every campaign CSV byte-stable
+//!    across the hot-path refactor.
+//! 2. **Warm agreement** — a solve seeded from a neighbouring converged
+//!    operating point (the previous simulation tick, in practice)
+//!    lands on the same fixed point as the cold start, within the
+//!    solver's convergence tolerance; and on the dead-zone path the
+//!    seed is never consulted, so warm and cold are bit-identical
+//!    there.
+
+use ehsim_numeric::complex::Complex;
+use ehsim_power::{Multiplier, PpuOperatingPoint};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn assert_bit_identical(a: &PpuOperatingPoint, b: &PpuOperatingPoint) -> Result<(), TestCaseError> {
+    for (x, y, f) in [
+        (a.p_store_w, b.p_store_w, "p_store_w"),
+        (a.i_out_a, b.i_out_a, "i_out_a"),
+        (a.v_in_amp, b.v_in_amp, "v_in_amp"),
+        (a.p_in_w, b.p_in_w, "p_in_w"),
+        (a.efficiency, b.efficiency, "efficiency"),
+    ] {
+        prop_assert!(x.to_bits() == y.to_bits(), "{}: {} vs {}", f, x, y);
+    }
+    Ok(())
+}
+
+/// `|a − b| ≤ rel·max(|a|,|b|) + abs` — the agreement the warm start
+/// guarantees given the solver's 1 ppb stopping criterion on `v_pk`.
+fn close(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    (a - b).abs() <= rel * a.abs().max(b.abs()) + abs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prepared_cold_solve_is_bit_identical_to_legacy(
+        v_oc in 0.0f64..4.0,
+        r_src in 100.0f64..50e3,
+        x_src in -20e3f64..20e3,
+        freq in 40.0f64..120.0,
+        v_store in 0.0f64..6.0,
+        stages in 1usize..9,
+    ) {
+        let m = Multiplier { stages, ..Multiplier::default() };
+        let z = Complex::new(r_src, x_src);
+        let legacy = m.operating_point(v_oc, z, freq, v_store).expect("legacy solve");
+        let ppu = m.prepared().expect("valid multiplier");
+        let cold = ppu.operating_point(v_oc, z, freq, v_store).expect("prepared solve");
+        assert_bit_identical(&legacy, &cold)?;
+        prop_assert_eq!(
+            ppu.droop_resistance(freq).to_bits(),
+            m.droop_resistance(freq).to_bits()
+        );
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve(
+        v_oc in 0.0f64..4.0,
+        r_src in 100.0f64..50e3,
+        x_src in -20e3f64..20e3,
+        freq in 40.0f64..120.0,
+        v_store in 0.0f64..6.0,
+        dv in -0.05f64..0.05,
+        stages in 1usize..9,
+    ) {
+        let m = Multiplier { stages, ..Multiplier::default() };
+        let z = Complex::new(r_src, x_src);
+        let ppu = m.prepared().expect("valid multiplier");
+        let cold = ppu.operating_point(v_oc, z, freq, v_store).expect("cold solve");
+        // The warm-agreement contract applies where the damped Picard
+        // iteration converges. In a thin sliver of the input space
+        // (very high source impedance right at the dead-zone crossing)
+        // the map is non-contracting and the legacy solver itself stops
+        // seed-dependently on a bounded limit cycle; skip those draws.
+        // Convergence is detected through the public API: re-seeding
+        // the solver with its own answer must reproduce it.
+        let re = ppu
+            .operating_point_from(cold.v_in_amp, v_oc, z, freq, v_store)
+            .expect("re-solve");
+        prop_assume!(close(cold.v_in_amp, re.v_in_amp, 1e-6, 1e-9));
+        // The seed the simulator would carry: the converged input
+        // amplitude of the "previous tick", whose storage voltage
+        // differs slightly.
+        let v_prev = (v_store + dv).max(0.0);
+        let seed = ppu
+            .operating_point(v_oc, z, freq, v_prev)
+            .expect("seed solve")
+            .v_in_amp;
+        let warm = ppu
+            .operating_point_from(seed, v_oc, z, freq, v_store)
+            .expect("warm solve");
+        prop_assert!(
+            close(cold.v_in_amp, warm.v_in_amp, 1e-6, 1e-9),
+            "v_in_amp: {} vs {} (v_oc={} r={} x={} f={} vs={} dv={} n={})",
+            cold.v_in_amp, warm.v_in_amp, v_oc, r_src, x_src, freq, v_store, dv, stages
+        );
+        prop_assert!(
+            close(cold.p_store_w, warm.p_store_w, 1e-4, 1e-9),
+            "p_store_w: {} vs {}", cold.p_store_w, warm.p_store_w
+        );
+        prop_assert!(
+            close(cold.i_out_a, warm.i_out_a, 1e-4, 1e-12),
+            "i_out_a: {} vs {}", cold.i_out_a, warm.i_out_a
+        );
+        prop_assert!(
+            close(cold.p_in_w, warm.p_in_w, 1e-4, 1e-9),
+            "p_in_w: {} vs {}", cold.p_in_w, warm.p_in_w
+        );
+        prop_assert!(
+            close(cold.efficiency, warm.efficiency, 1e-4, 1e-6),
+            "efficiency: {} vs {}", cold.efficiency, warm.efficiency
+        );
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_on_the_dead_zone_path(
+        v_oc_frac in 0.0f64..1.0,
+        seed in 0.0f64..5.0,
+        freq in 40.0f64..120.0,
+        v_store in 0.0f64..6.0,
+    ) {
+        // v_oc at or below the diode drop: the solve returns the idle
+        // point before consulting the seed, so any seed gives bits
+        // equal to the cold start.
+        let m = Multiplier::default();
+        let v_oc = v_oc_frac * m.diode.v_fwd;
+        let z = Complex::real(2e3);
+        let ppu = m.prepared().expect("valid multiplier");
+        let cold = ppu.operating_point(v_oc, z, freq, v_store).expect("cold solve");
+        let warm = ppu
+            .operating_point_from(seed, v_oc, z, freq, v_store)
+            .expect("warm solve");
+        assert_bit_identical(&cold, &warm)?;
+        prop_assert_eq!(cold.p_store_w.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn degenerate_seeds_fall_back_to_cold_start(
+        v_oc in 0.5f64..3.0,
+        freq in 40.0f64..120.0,
+        v_store in 0.0f64..6.0,
+    ) {
+        let m = Multiplier::default();
+        let z = Complex::new(5e3, 1e3);
+        let ppu = m.prepared().expect("valid multiplier");
+        let cold = ppu.operating_point(v_oc, z, freq, v_store).expect("cold solve");
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let warm = ppu
+                .operating_point_from(bad, v_oc, z, freq, v_store)
+                .expect("warm solve");
+            assert_bit_identical(&cold, &warm)?;
+        }
+    }
+}
+
+#[test]
+fn accounted_step_matches_unaccounted_voltage_and_ledger() {
+    use ehsim_power::Supercap;
+    let sc = Supercap::default();
+    // Away from the rail the accounted step returns the legacy voltage
+    // bit-for-bit and the trapezoidal v_mid·i·dt energy.
+    let (v, e) = sc.step_with_current_accounted(3.0, 1e-5, 2e-5, 0.1);
+    assert_eq!(
+        v.to_bits(),
+        sc.step_with_current(3.0, 1e-5, 2e-5, 0.1).to_bits()
+    );
+    let v_mid = 3.0 + 0.5 * 1e-5 * 0.1 / sc.capacitance;
+    assert_eq!(e.to_bits(), (v_mid * 1e-5 * 0.1).to_bits());
+    // At the rail only the accepted charge counts: E(v_rated) − E(v).
+    let sc_small = Supercap {
+        capacitance: 1e-3,
+        ..Supercap::default()
+    };
+    let v0 = sc_small.v_rated - 1e-4;
+    let i = 1e-2; // would overshoot the rail by far
+    let (v_clamped, e_clamped) = sc_small.step_with_current_accounted(v0, i, 0.0, 0.1);
+    assert!(v_clamped <= sc_small.v_rated);
+    let absorbed = sc_small.energy_j(sc_small.v_rated) - sc_small.energy_j(v0);
+    assert!((e_clamped - absorbed).abs() < 1e-15);
+    // The old separately clamped accounting would have claimed
+    // v_rated·i·dt — three orders of magnitude more than was stored.
+    assert!(e_clamped < 0.1 * (sc_small.v_rated * i * 0.1));
+}
