@@ -50,6 +50,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ac;
 pub mod dc;
 pub mod lss;

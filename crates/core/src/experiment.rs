@@ -8,7 +8,8 @@ use crate::scenario::{Scenario, ScenarioEnsemble};
 use crate::space::{DesignSpace, Factor};
 use crate::{CoreError, Result};
 use ehsim_doe::Design;
-use ehsim_node::{NodeConfig, SystemSimulator};
+use ehsim_node::energy_policy::{EnergyAware, Threshold};
+use ehsim_node::{DutyCyclePolicy, NodeConfig, PolicyKind, SystemSimulator};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,6 +74,198 @@ impl StandardFactors {
         cfg.tuning.retune_threshold_hz = physical[2];
         cfg.radio.tx_power_dbm = physical[3];
         cfg
+    }
+}
+
+/// Which adaptive energy-policy family a [`PolicyFactors`] space spans,
+/// with the physical ranges of the family's parameters.
+///
+/// Each variant contributes a fixed set of design factors; the band of
+/// a [`Threshold`] policy is parameterised as `(v_low, band_width)`
+/// rather than `(v_low, v_high)` so every point of the rectangular
+/// design box decodes to a valid hysteresis band.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyFactorSet {
+    /// No runtime adaptation: the static baseline. Contributes no
+    /// factors, so the space reduces to the tuning factors alone —
+    /// which is exactly what makes static-vs-adaptive comparisons
+    /// apples-to-apples (same flow, same design family, same budget
+    /// per factor).
+    Static,
+    /// Hysteresis throttling bands ([`Threshold`]): contributes
+    /// `policy_v_low_v`, `policy_band_v`, `policy_throttle`.
+    Threshold {
+        /// Throttle-entry voltage range (V).
+        v_low: (f64, f64),
+        /// Hysteresis band width range (V); `v_high = v_low + band`.
+        band: (f64, f64),
+        /// Throttled period-multiplier range (≥ 1).
+        throttle_scale: (f64, f64),
+    },
+    /// Harvest-tracking pacing ([`EnergyAware`]): contributes
+    /// `policy_ema_alpha`, `policy_margin`, `policy_max_scale`.
+    EnergyAware {
+        /// EMA smoothing-constant range, within `(0, 1]`.
+        ema_alpha: (f64, f64),
+        /// Spend-fraction range, within `(0, 1]`.
+        margin: (f64, f64),
+        /// Upper period-multiplier clamp range (≥ 1).
+        max_scale: (f64, f64),
+    },
+}
+
+impl PolicyFactorSet {
+    /// Paper-style default ranges for the threshold family: bands just
+    /// above the default 2.4 V brown-out threshold, throttling 2–30×.
+    pub fn default_threshold() -> Self {
+        PolicyFactorSet::Threshold {
+            v_low: (2.5, 3.2),
+            band: (0.1, 0.8),
+            throttle_scale: (2.0, 30.0),
+        }
+    }
+
+    /// Default ranges for the energy-aware family: minutes-scale
+    /// smoothing, 30–100 % spend fraction, generous stretch headroom.
+    pub fn default_energy_aware() -> Self {
+        PolicyFactorSet::EnergyAware {
+            ema_alpha: (0.005, 0.2),
+            margin: (0.3, 1.0),
+            max_scale: (5.0, 100.0),
+        }
+    }
+
+    /// Short label for reports and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyFactorSet::Static => "static",
+            PolicyFactorSet::Threshold { .. } => "threshold",
+            PolicyFactorSet::EnergyAware { .. } => "energy-aware",
+        }
+    }
+
+    /// The factors this family contributes, in decode order.
+    fn factors(&self) -> Result<Vec<Factor>> {
+        Ok(match self {
+            PolicyFactorSet::Static => vec![],
+            PolicyFactorSet::Threshold {
+                v_low,
+                band,
+                throttle_scale,
+            } => vec![
+                Factor::new("policy_v_low_v", v_low.0, v_low.1)?,
+                Factor::new("policy_band_v", band.0, band.1)?,
+                Factor::new("policy_throttle", throttle_scale.0, throttle_scale.1)?,
+            ],
+            PolicyFactorSet::EnergyAware {
+                ema_alpha,
+                margin,
+                max_scale,
+            } => vec![
+                Factor::new("policy_ema_alpha", ema_alpha.0, ema_alpha.1)?,
+                Factor::new("policy_margin", margin.0, margin.1)?,
+                Factor::new("policy_max_scale", max_scale.0, max_scale.1)?,
+            ],
+        })
+    }
+
+    /// Builds the policy for this family's slice of a physical design
+    /// point. Values are clamped into the policy's valid domain so the
+    /// mild out-of-box extrapolation some designs use (rotatable CCD
+    /// axial points) still decodes to a simulable configuration.
+    fn policy_for(&self, p: &[f64]) -> PolicyKind {
+        match self {
+            PolicyFactorSet::Static => PolicyKind::Static,
+            PolicyFactorSet::Threshold { .. } => PolicyKind::Threshold(Threshold {
+                v_low: p[0].max(1e-3),
+                v_high: p[0].max(1e-3) + p[1].max(1e-3),
+                throttle_scale: p[2].max(1.0),
+                skip_while_throttled: false,
+            }),
+            PolicyFactorSet::EnergyAware { .. } => PolicyKind::EnergyAware(EnergyAware {
+                ema_alpha: p[0].clamp(1e-4, 1.0),
+                margin: p[1].clamp(1e-3, 1.0),
+                min_scale: 0.1,
+                max_scale: p[2].max(1.0),
+            }),
+        }
+    }
+
+    /// Number of factors the family contributes.
+    fn k(&self) -> usize {
+        match self {
+            PolicyFactorSet::Static => 0,
+            _ => 3,
+        }
+    }
+}
+
+/// A design problem over *(static tuning × adaptive policy)*: storage
+/// capacitance and task period as the tuning factors, plus the
+/// parameters of one adaptive-policy family as runtime factors.
+///
+/// This is the closing of the loop the adaptive-policy literature asks
+/// for: the paper's DoE/RSM machinery optimises the *policy parameters*
+/// exactly as it optimises the static tuning — one response surface
+/// over the joint space. The base node runs a [`DutyCyclePolicy::Fixed`]
+/// schedule so the [`PolicyKind`] layer is the only runtime adaptation
+/// being measured.
+#[derive(Debug, Clone)]
+pub struct PolicyFactors {
+    /// Base node configuration; each design point modifies a copy.
+    pub base: NodeConfig,
+    /// Storage capacitance range (F).
+    pub c_store: (f64, f64),
+    /// Nominal task period range (s).
+    pub task_period: (f64, f64),
+    /// The adaptive-policy family and its parameter ranges.
+    pub set: PolicyFactorSet,
+}
+
+impl PolicyFactors {
+    /// The standard policy design problem over the default node for the
+    /// given family: campaign-friendly tick, fixed duty-cycle schedule,
+    /// and the same tuning ranges as [`StandardFactors`].
+    pub fn standard(set: PolicyFactorSet) -> Self {
+        let mut base = NodeConfig::default_node();
+        base.tick_s = 0.25;
+        base.policy = DutyCyclePolicy::Fixed;
+        PolicyFactors {
+            base,
+            c_store: (0.05, 0.5),
+            task_period: (2.0, 30.0),
+            set,
+        }
+    }
+
+    /// The corresponding [`DesignSpace`]: the two tuning factors
+    /// followed by the family's policy factors.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if any range is inverted.
+    pub fn space(&self) -> Result<DesignSpace> {
+        let mut factors = vec![
+            Factor::new("c_store_f", self.c_store.0, self.c_store.1)?,
+            Factor::new("task_period_s", self.task_period.0, self.task_period.1)?,
+        ];
+        factors.extend(self.set.factors()?);
+        DesignSpace::new(factors)
+    }
+
+    /// Builds the node configuration for a physical design point
+    /// `[c_store, task_period, policy factors...]`.
+    pub fn config_for(&self, physical: &[f64]) -> NodeConfig {
+        let mut cfg = self.base.clone();
+        cfg.storage.capacitance = physical[0];
+        cfg.task.period_s = physical[1];
+        cfg.energy_policy = self.set.policy_for(&physical[2..]);
+        cfg
+    }
+
+    /// Number of factors (tuning + policy).
+    pub fn k(&self) -> usize {
+        2 + self.set.k()
     }
 }
 
@@ -164,6 +357,21 @@ impl Campaign {
     /// Propagates construction errors.
     pub fn standard(
         factors: StandardFactors,
+        scenario: Scenario,
+        indicators: Vec<Indicator>,
+    ) -> Result<Self> {
+        let space = factors.space()?;
+        let configure: Configure = Arc::new(move |phys| factors.config_for(phys));
+        Campaign::new(space, configure, scenario, indicators)
+    }
+
+    /// Creates a campaign over a *(tuning × policy)* space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn adaptive(
+        factors: PolicyFactors,
         scenario: Scenario,
         indicators: Vec<Indicator>,
     ) -> Result<Self> {
@@ -420,6 +628,23 @@ impl EnsembleCampaign {
         EnsembleCampaign::new(space, configure, ensemble, indicators)
     }
 
+    /// Creates an ensemble campaign over a *(tuning × policy)* space —
+    /// the substrate for optimising adaptive-policy parameters robustly
+    /// across a whole deployment envelope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn adaptive(
+        factors: PolicyFactors,
+        ensemble: ScenarioEnsemble,
+        indicators: Vec<Indicator>,
+    ) -> Result<Self> {
+        let space = factors.space()?;
+        let configure: Configure = Arc::new(move |phys| factors.config_for(phys));
+        EnsembleCampaign::new(space, configure, ensemble, indicators)
+    }
+
     /// The design space.
     pub fn space(&self) -> &DesignSpace {
         &self.space
@@ -610,6 +835,84 @@ mod tests {
         assert!((cfg.task.period_s - 5.0).abs() < 1e-12);
         assert!((cfg.tuning.retune_threshold_hz - 1.0).abs() < 1e-12);
         assert!((cfg.radio.tx_power_dbm + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_factor_spaces_decode_to_valid_configs() {
+        // Threshold family: 5 factors, band decodes to v_high > v_low.
+        let f = PolicyFactors::standard(PolicyFactorSet::default_threshold());
+        assert_eq!(f.k(), 5);
+        let s = f.space().unwrap();
+        assert_eq!(s.k(), 5);
+        assert_eq!(s.index_of("policy_v_low_v"), Some(2));
+        let cfg = f.config_for(&[0.1, 5.0, 2.8, 0.3, 10.0]);
+        assert!((cfg.storage.capacitance - 0.1).abs() < 1e-12);
+        assert!((cfg.task.period_s - 5.0).abs() < 1e-12);
+        match cfg.energy_policy {
+            PolicyKind::Threshold(t) => {
+                assert!((t.v_low - 2.8).abs() < 1e-12);
+                assert!((t.v_high - 3.1).abs() < 1e-12);
+                assert!((t.throttle_scale - 10.0).abs() < 1e-12);
+            }
+            other => panic!("wrong family: {other:?}"),
+        }
+        cfg.validate().unwrap();
+
+        // Energy-aware family, including clamping of extrapolated
+        // points back into the valid parameter domain.
+        let f = PolicyFactors::standard(PolicyFactorSet::default_energy_aware());
+        assert_eq!(f.space().unwrap().k(), 5);
+        let cfg = f.config_for(&[0.1, 5.0, 0.05, 1.07, 50.0]);
+        match cfg.energy_policy {
+            PolicyKind::EnergyAware(p) => {
+                assert_eq!(p.margin, 1.0, "margin must clamp to its domain");
+                assert!((p.ema_alpha - 0.05).abs() < 1e-12);
+            }
+            other => panic!("wrong family: {other:?}"),
+        }
+        cfg.validate().unwrap();
+
+        // Static family: tuning factors only, identity policy.
+        let f = PolicyFactors::standard(PolicyFactorSet::Static);
+        assert_eq!(f.k(), 2);
+        assert_eq!(f.space().unwrap().k(), 2);
+        let cfg = f.config_for(&[0.2, 10.0]);
+        assert_eq!(cfg.energy_policy, PolicyKind::Static);
+        assert_eq!(cfg.policy, DutyCyclePolicy::Fixed);
+        assert_eq!(PolicyFactorSet::Static.label(), "static");
+        assert_eq!(PolicyFactorSet::default_threshold().label(), "threshold");
+        assert_eq!(
+            PolicyFactorSet::default_energy_aware().label(),
+            "energy-aware"
+        );
+    }
+
+    #[test]
+    fn adaptive_campaign_runs_a_design() {
+        let c = Campaign::adaptive(
+            PolicyFactors::standard(PolicyFactorSet::default_threshold()),
+            Scenario::stationary_machine(120.0),
+            vec![Indicator::PacketsPerHour],
+        )
+        .unwrap();
+        let d = full_factorial_2k(5).unwrap();
+        let r = c.run_design(&d, 4).unwrap();
+        assert_eq!(r.sim_count, 32);
+        assert!(r.response_column(0).iter().all(|y| y.is_finite()));
+
+        let ec = EnsembleCampaign::adaptive(
+            PolicyFactors::standard(PolicyFactorSet::default_energy_aware()),
+            ScenarioEnsemble::uniform(vec![
+                Scenario::stationary_machine(120.0),
+                Scenario::fading_machine(120.0),
+            ])
+            .unwrap(),
+            vec![Indicator::PacketsPerHour],
+        )
+        .unwrap();
+        let (per, agg) = ec.evaluate_coded(&[0.0; 5]).unwrap();
+        assert_eq!(per.len(), 2);
+        assert_eq!(agg.len(), 1);
     }
 
     #[test]

@@ -591,6 +591,81 @@ impl EnsembleSurrogateSet {
         Ok(optimize_robust(&models, (-1.0, 1.0), goal, robust, seed)?)
     }
 
+    /// Constrained robust optimisation: optimise the robust aggregate
+    /// of `indicator_idx` subject to *every* scenario's predicted value
+    /// of each `(indicator, floor)` pair staying at or above its floor,
+    /// via an exact-penalty formulation (the ensemble counterpart of
+    /// [`SurrogateSet::optimize_constrained`]).
+    ///
+    /// This is the natural shape of the energy-neutral-operation
+    /// objectives of the adaptive energy-management literature:
+    /// maximise delivered throughput subject to the node never browning
+    /// out in *any* environment of the deployment envelope — a
+    /// guarantee the weighted mean alone cannot express, because a
+    /// margin violated in one scenario cannot be bought back by slack
+    /// in another.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] for bad indicator indices.
+    pub fn optimize_robust_constrained(
+        &self,
+        indicator_idx: usize,
+        goal: Goal,
+        robust: RobustGoal,
+        floors: &[(usize, f64)],
+        seed: u64,
+    ) -> Result<Optimum> {
+        if indicator_idx >= self.indicators.len()
+            || floors.iter().any(|(i, _)| *i >= self.indicators.len())
+        {
+            return Err(CoreError::invalid("indicator index out of range"));
+        }
+        let models = self.models_for(indicator_idx)?;
+        // Scale the penalty to the objective's observed range across
+        // every scenario so violations dominate the objective without
+        // flattening its gradient.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for sc in &self.result.per_scenario {
+            for r in &sc.responses {
+                lo = lo.min(r[indicator_idx]);
+                hi = hi.max(r[indicator_idx]);
+            }
+        }
+        let penalty_scale = 100.0 * (hi - lo).max(1.0);
+        let objective = |x: &[f64]| {
+            let mut v =
+                robust_objective(&models, robust, goal, x).expect("dimension checked at entry");
+            // In the Minimize case optimize_fn still maximises the
+            // signed objective internally; express the penalty on the
+            // same maximisation axis.
+            if goal == Goal::Minimize {
+                v = -v;
+            }
+            for (ci, floor) in floors {
+                for ms in &self.scenario_models {
+                    let c = ms[*ci].predict(x);
+                    if c < *floor {
+                        v -= penalty_scale * (floor - c);
+                    }
+                }
+            }
+            v
+        };
+        let opt = optimize_fn(
+            &objective,
+            self.space.k(),
+            (-1.0, 1.0),
+            Goal::Maximize,
+            seed,
+            16,
+        )?;
+        // Report the true (unpenalised) robust objective at the winner.
+        let value = robust_objective(&models, robust, goal, &opt.x)?;
+        Ok(Optimum { x: opt.x, value })
+    }
+
     /// Optimises one indicator against a *single* scenario's surface —
     /// the non-robust baseline the robust optimum is compared to.
     ///
@@ -785,6 +860,50 @@ mod tests {
                 single_wc
             );
         }
+    }
+
+    #[test]
+    fn ensemble_constrained_optimum_respects_per_scenario_floors() {
+        let campaign = small_ensemble_campaign();
+        let s = DoeFlow::new(DesignChoice::FaceCenteredCcd { center_points: 2 })
+            .with_threads(8)
+            .run_ensemble(&campaign)
+            .unwrap();
+        // Unconstrained vs margin-floored weighted-mean optimum.
+        let free = s
+            .optimize_robust(0, Goal::Maximize, RobustGoal::WeightedMean, 7)
+            .unwrap();
+        let floor = 0.3;
+        let con = s
+            .optimize_robust_constrained(
+                0,
+                Goal::Maximize,
+                RobustGoal::WeightedMean,
+                &[(1, floor)],
+                7,
+            )
+            .unwrap();
+        // Every scenario's predicted margin must satisfy the floor
+        // (small tolerance for the exact-penalty formulation).
+        for sc in 0..s.n_scenarios() {
+            let margin = s.predict_scenario(sc, 1, &con.x).unwrap();
+            assert!(margin >= floor - 0.05, "scenario {sc}: margin {margin}");
+        }
+        // The constraint can only cost objective value.
+        assert!(con.value <= free.value + 1e-9);
+        // Index validation.
+        assert!(s
+            .optimize_robust_constrained(9, Goal::Maximize, RobustGoal::WeightedMean, &[], 0)
+            .is_err());
+        assert!(s
+            .optimize_robust_constrained(
+                0,
+                Goal::Maximize,
+                RobustGoal::WeightedMean,
+                &[(9, 0.0)],
+                0
+            )
+            .is_err());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use crate::{CoreError, Result};
 use ehsim_vibration::{
-    Composite, DriftSchedule, DutyCycled, FilteredNoise, MultiTone, ShockTrain, Sine,
-    VibrationSource,
+    AmplitudeSchedule, Composite, DriftSchedule, DutyCycled, FilteredNoise, MultiTone, ShockTrain,
+    Sine, VibrationSource,
 };
 use std::sync::Arc;
 
@@ -91,6 +91,52 @@ impl Scenario {
             source: Arc::new(MultiTone::machinery(62.0, 0.8, 3).expect("valid parameters")),
             duration_s,
             label: "industrial-62Hz".into(),
+        }
+    }
+
+    /// A machine whose vibration *level* fades and recovers while its
+    /// speed stays at 64 Hz: full amplitude for the first third, a deep
+    /// fade to 25 % through the middle (load removed), then recovery.
+    /// Frequency retuning cannot help here — the excitation itself
+    /// weakens — which is what makes this the canonical workload for
+    /// *runtime* energy-management policies.
+    pub fn fading_machine(duration_s: f64) -> Self {
+        let schedule = AmplitudeSchedule::new(
+            vec![
+                (0.0, 0.9),
+                (duration_s * 0.3, 0.9),
+                (duration_s * 0.4, 0.25),
+                (duration_s * 0.75, 0.25),
+                (duration_s * 0.85, 0.9),
+                (duration_s, 0.9),
+            ],
+            64.0,
+        )
+        .expect("valid schedule");
+        Scenario {
+            source: Arc::new(schedule),
+            duration_s,
+            label: "fading-64Hz".into(),
+        }
+    }
+
+    /// Intermittent machinery: long on/off blocks (35 % duty over four
+    /// cycles per run) of a harmonic-rich 64 Hz spectrum. During the
+    /// off blocks nothing is harvested at all, so a tuning that merely
+    /// maximises average packets power-cycles the node; surviving the
+    /// gaps takes either oversized storage or an adaptive policy.
+    pub fn intermittent_machine(duration_s: f64) -> Self {
+        let burst = DutyCycled::new(
+            Box::new(MultiTone::machinery(64.0, 0.9, 3).expect("valid parameters")),
+            duration_s / 4.0,
+            0.35,
+            duration_s / 80.0,
+        )
+        .expect("valid duty cycle");
+        Scenario {
+            source: Arc::new(burst),
+            duration_s,
+            label: "intermittent-64Hz".into(),
         }
     }
 
@@ -266,6 +312,24 @@ mod tests {
     fn validation() {
         let src = Arc::new(Sine::new(1.0, 50.0).unwrap());
         assert!(Scenario::new(src, 0.0, "x").is_err());
+    }
+
+    #[test]
+    fn non_stationary_fixtures() {
+        let f = Scenario::fading_machine(1000.0);
+        assert_eq!(f.label(), "fading-64Hz");
+        // Full level at the start, faded in the middle, recovered at
+        // the end; the frequency never moves.
+        assert!((f.source().envelope(0.0).amp - 0.9).abs() < 1e-12);
+        assert!((f.source().envelope(500.0).amp - 0.25).abs() < 1e-12);
+        assert!((f.source().envelope(1000.0).amp - 0.9).abs() < 1e-12);
+        assert_eq!(f.source().envelope(500.0).freq_hz, 64.0);
+
+        let i = Scenario::intermittent_machine(1000.0);
+        assert_eq!(i.label(), "intermittent-64Hz");
+        // On at the middle of the first burst, fully off mid-gap.
+        assert!(i.source().envelope(40.0).amp > 0.5);
+        assert_eq!(i.source().envelope(200.0).amp, 0.0);
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 use ehsim_circuit::{Netlist, NodeId, SourceWaveform};
 use ehsim_numeric::complex::Complex;
 use ehsim_vibration::VibrationSource;

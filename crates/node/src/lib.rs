@@ -44,6 +44,13 @@ pub use sim::{
 };
 pub use tuning::TuningController;
 
+/// The adaptive runtime energy-management layer (re-exported
+/// [`ehsim_policy`]): the [`energy_policy::EnergyPolicy`] trait, the
+/// shipped [`PolicyKind`] implementations, and their observation/action
+/// types.
+pub use ehsim_policy as energy_policy;
+pub use ehsim_policy::PolicyKind;
+
 use ehsim_harvester::Harvester;
 use ehsim_power::{Multiplier, Regulator, Supercap, Thresholds};
 use std::error::Error;
@@ -106,6 +113,13 @@ pub struct NodeConfig {
     pub task: TaskModel,
     /// Duty-cycle adaptation policy.
     pub policy: DutyCyclePolicy,
+    /// Runtime energy-management policy layered on top of the
+    /// duty-cycle schedule: observes the stored-energy and harvest
+    /// state each tick and may stretch the task period or skip firings
+    /// (see [`ehsim_policy`]). The default [`PolicyKind::Static`]
+    /// never intervenes and is bit-identical to a policy-free
+    /// simulator.
+    pub energy_policy: PolicyKind,
     /// Closed-loop frequency tuning controller.
     pub tuning: TuningController,
     /// Initial storage voltage at `t = 0` (V).
@@ -132,6 +146,7 @@ impl NodeConfig {
             radio: RadioModel::default(),
             task: TaskModel::default(),
             policy: DutyCyclePolicy::default(),
+            energy_policy: PolicyKind::Static,
             tuning: TuningController::default(),
             v_store0: Thresholds::default().v_on,
             initial_position: 0.5,
@@ -164,6 +179,12 @@ impl NodeConfig {
         self.radio.validate()?;
         self.task.validate()?;
         self.policy.validate()?;
+        {
+            use ehsim_policy::EnergyPolicy as _;
+            self.energy_policy
+                .validate()
+                .map_err(|e| NodeError::invalid(e.to_string()))?;
+        }
         self.tuning.validate()?;
         if !(self.v_store0 >= 0.0) || self.v_store0 > self.storage.v_rated {
             return Err(NodeError::invalid(format!(

@@ -5,6 +5,18 @@
 //! management, tuning controller) with a fixed tick, producing the
 //! performance indicators the DoE response surfaces are built from.
 //!
+//! # Energy-policy hook
+//!
+//! Each tick, the runtime energy-management policy
+//! ([`NodeConfig::energy_policy`], an [`ehsim_policy::PolicyKind`])
+//! observes the stored-energy and harvest state and returns an action
+//! that may stretch the task period or skip firings for that tick. The
+//! default `Static` policy returns the identity action, and the hook is
+//! constructed so the identity action leaves every arithmetic operation
+//! bit-identical to the pre-policy simulator — the equivalence suite
+//! asserts this against [`SystemSimulator::run_reference`], which
+//! predates (and ignores) the hook.
+//!
 //! The simulator is deterministic: identical configurations and sources
 //! produce bit-identical metrics.
 //!
@@ -46,6 +58,7 @@
 use crate::{NodeConfig, NodeError, Result};
 use ehsim_harvester::PreparedHarvester;
 use ehsim_numeric::complex::Complex;
+use ehsim_policy::{EnergyPolicy, PolicyObs};
 use ehsim_power::PreparedPpu;
 use ehsim_vibration::VibrationSource;
 
@@ -283,6 +296,10 @@ impl PreparedSimulator {
         let mut actuator: Option<ActuatorMove> = None;
         let mut ema = 0.0f64;
         let mut ema_primed = false;
+        // Runtime energy-management policy: the policy object lives in
+        // the (shared) config; its scratch state is owned by this run,
+        // so one prepared simulator can serve many concurrent jobs.
+        let mut policy_state = cfg.energy_policy.initial_state();
 
         let mut packets: u64 = 0;
         let mut first_packet: Option<f64> = None;
@@ -352,6 +369,28 @@ impl PreparedSimulator {
                 ema = cfg.policy.update_ema(ema, p_in);
             }
 
+            // Energy-management policy hook: observe the tick, get the
+            // action governing it. `PolicyKind::Static` returns the
+            // identity action, and multiplying a period by its 1.0
+            // scale is bit-exact, so the default policy reproduces the
+            // policy-free simulator bit for bit (asserted against
+            // `run_reference` by the equivalence suite).
+            let policy_action = cfg.energy_policy.act(
+                &mut policy_state,
+                &PolicyObs {
+                    t_s: t,
+                    dt_s: dt,
+                    v_store: v,
+                    v_on: cfg.thresholds.v_on,
+                    v_off: cfg.thresholds.v_off,
+                    p_harvest_w: p_in,
+                    nominal_period_s: cfg.task.period_s,
+                    p_idle_w: self.p_sleep_in,
+                    e_cycle_j: self.e_cycle_in,
+                    running,
+                },
+            );
+
             // Consumption.
             let mut e_tick = 0.0f64;
             if running {
@@ -368,11 +407,17 @@ impl PreparedSimulator {
                     if fires >= self.max_fires_per_tick {
                         return Err(task_saturation_error(dt, self.max_fires_per_tick));
                     }
-                    e_tick += self.e_cycle_in;
-                    packets += 1;
-                    if first_packet.is_none() {
-                        first_packet = Some(t);
+                    if !policy_action.skip_fire {
+                        e_tick += self.e_cycle_in;
+                        packets += 1;
+                        if first_packet.is_none() {
+                            first_packet = Some(t);
+                        }
                     }
+                    // The energy policy's scale composes
+                    // multiplicatively with the duty-cycle policy's
+                    // adapted period; the MIN_TASK_PERIOD_S floor still
+                    // bounds the firing rate, whatever the policy asks.
                     let period = cfg.policy.period_s(
                         cfg.task.period_s,
                         v,
@@ -381,7 +426,7 @@ impl PreparedSimulator {
                         ema,
                         self.p_sleep_in,
                         self.e_cycle_in,
-                    );
+                    ) * policy_action.period_scale;
                     next_task_t += period.max(MIN_TASK_PERIOD_S);
                     fires += 1;
                 }
@@ -561,6 +606,12 @@ impl SystemSimulator {
     /// equivalence suite compares [`PreparedSimulator`] against
     /// (bit-identical metrics required), and it is the "pre-PR"
     /// baseline the `e10_hotpath` benchmark measures speed-ups from.
+    ///
+    /// The reference predates the runtime energy-management hook and
+    /// deliberately ignores [`NodeConfig::energy_policy`] — it always
+    /// behaves as `PolicyKind::Static`, which is exactly what makes it
+    /// the oracle proving the `Static` default is bit-identical to the
+    /// pre-policy simulator.
     ///
     /// # Errors
     ///
@@ -1126,6 +1177,158 @@ mod tests {
             m.packets_delivered
         );
         assert_eq!(m.brownout_count, 0);
+    }
+
+    // ---- runtime energy-policy hook ----
+
+    #[test]
+    fn static_energy_policy_is_bit_identical_to_pre_policy_simulator() {
+        // The full node matrix: every duty-cycle policy family crossed
+        // with stationary, weak, cold-start, and drifting workloads.
+        // `run_reference` predates the energy-policy hook, so bitwise
+        // equality here proves the default `Static` policy reproduces
+        // the pre-PR simulator exactly.
+        let duty_policies = [
+            DutyCyclePolicy::Fixed,
+            DutyCyclePolicy::StorageLinear { max_stretch: 6.0 },
+            DutyCyclePolicy::default(),
+        ];
+        let mut cases: Vec<(NodeConfig, Box<dyn VibrationSource>, f64)> = Vec::new();
+        for duty in duty_policies {
+            let mut base = NodeConfig::default_node();
+            base.policy = duty;
+            cases.push((base.clone(), Box::new(resonant_sine(&base, 0.9)), 900.0));
+            let mut weak = base.clone();
+            weak.storage.capacitance = 0.02;
+            cases.push((weak.clone(), Box::new(resonant_sine(&weak, 0.6)), 1200.0));
+            let mut cold = base.clone();
+            cold.v_store0 = 0.0;
+            cold.storage.capacitance = 2e-3;
+            cases.push((cold.clone(), Box::new(resonant_sine(&cold, 1.0)), 900.0));
+            let mut drift = base;
+            drift.initial_position = drift.harvester.position_for_frequency(60.0);
+            cases.push((
+                drift,
+                Box::new(DriftSchedule::new(vec![(0.0, 60.0), (900.0, 72.0)], 0.8).unwrap()),
+                1100.0,
+            ));
+        }
+        for (i, (cfg, src, dur)) in cases.iter().enumerate() {
+            assert_eq!(cfg.energy_policy, ehsim_policy::PolicyKind::Static);
+            let sim = SystemSimulator::new(cfg.clone()).unwrap();
+            let hooked = sim.run(src.as_ref(), *dur).unwrap();
+            let pre_policy = sim.run_reference(src.as_ref(), *dur).unwrap();
+            assert_metrics_bitwise_eq(&hooked, &pre_policy, &format!("matrix case {i}"));
+        }
+    }
+
+    #[test]
+    fn threshold_policy_prevents_brownouts_under_weak_harvest() {
+        // Same workload as fixed_policy_browns_out_...: a fixed 1 s
+        // period far outruns the ~5 µW harvest. The threshold policy
+        // throttles 20x near the brown-out band and must keep the node
+        // alive where the static node power-cycles.
+        let mut static_cfg = NodeConfig::default_node();
+        static_cfg.tuning.enabled = false;
+        static_cfg.policy = DutyCyclePolicy::Fixed;
+        static_cfg.task.period_s = 1.0;
+        static_cfg.storage.capacitance = 0.02;
+        let src = resonant_sine(&static_cfg, 0.7);
+
+        let mut throttled = static_cfg.clone();
+        throttled.energy_policy = ehsim_policy::PolicyKind::Threshold(ehsim_policy::Threshold {
+            v_low: 2.8,
+            v_high: 3.2,
+            throttle_scale: 20.0,
+            skip_while_throttled: false,
+        });
+
+        let m_static = SystemSimulator::new(static_cfg)
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
+        let m_thr = SystemSimulator::new(throttled)
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
+        assert!(m_static.brownout_count > 0, "{m_static:?}");
+        assert_eq!(m_thr.brownout_count, 0, "{m_thr:?}");
+        assert!(m_thr.uptime_fraction > m_static.uptime_fraction);
+    }
+
+    #[test]
+    fn threshold_skip_variant_delivers_fewer_packets_while_throttled() {
+        let mut base = NodeConfig::default_node();
+        base.tuning.enabled = false;
+        base.policy = DutyCyclePolicy::Fixed;
+        base.task.period_s = 1.0;
+        base.storage.capacitance = 0.02;
+        let src = resonant_sine(&base, 0.7);
+        let thr = ehsim_policy::Threshold {
+            v_low: 2.8,
+            v_high: 3.2,
+            throttle_scale: 4.0,
+            skip_while_throttled: false,
+        };
+        let mut keep = base.clone();
+        keep.energy_policy = ehsim_policy::PolicyKind::Threshold(thr);
+        let mut skip = base;
+        skip.energy_policy = ehsim_policy::PolicyKind::Threshold(ehsim_policy::Threshold {
+            skip_while_throttled: true,
+            ..thr
+        });
+        let m_keep = SystemSimulator::new(keep)
+            .unwrap()
+            .run(&src, 1800.0)
+            .unwrap();
+        let m_skip = SystemSimulator::new(skip)
+            .unwrap()
+            .run(&src, 1800.0)
+            .unwrap();
+        // Skipping fires spends less and sends less.
+        assert!(m_skip.packets_delivered < m_keep.packets_delivered);
+        assert!(m_skip.consumed_energy_j < m_keep.consumed_energy_j);
+    }
+
+    #[test]
+    fn energy_aware_policy_paces_consumption_to_harvest() {
+        // Weak harvest, aggressive 1 s nominal period: the energy-aware
+        // policy must stretch the schedule to what the environment
+        // funds, avoiding brown-outs without any voltage-band tuning.
+        let mut cfg = NodeConfig::default_node();
+        cfg.tuning.enabled = false;
+        cfg.policy = DutyCyclePolicy::Fixed;
+        cfg.task.period_s = 1.0;
+        cfg.storage.capacitance = 0.02;
+        let src = resonant_sine(&cfg, 0.7);
+        let mut aware = cfg.clone();
+        aware.energy_policy =
+            ehsim_policy::PolicyKind::EnergyAware(ehsim_policy::EnergyAware::default());
+        let m_static = SystemSimulator::new(cfg)
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
+        let m_aware = SystemSimulator::new(aware)
+            .unwrap()
+            .run(&src, 3600.0)
+            .unwrap();
+        assert!(m_static.brownout_count > 0, "{m_static:?}");
+        assert_eq!(m_aware.brownout_count, 0, "{m_aware:?}");
+        // Pacing trades packets for availability.
+        assert!(m_aware.packets_delivered < m_static.packets_delivered);
+        assert!(m_aware.uptime_fraction > m_static.uptime_fraction);
+    }
+
+    #[test]
+    fn invalid_energy_policy_rejected_at_construction() {
+        let mut cfg = NodeConfig::default_node();
+        cfg.energy_policy = ehsim_policy::PolicyKind::Threshold(ehsim_policy::Threshold {
+            v_low: 3.0,
+            v_high: 2.0,
+            throttle_scale: 4.0,
+            skip_while_throttled: false,
+        });
+        assert!(SystemSimulator::new(cfg).is_err());
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cholesky;
 pub mod complex;
 pub mod eigen;

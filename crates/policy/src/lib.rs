@@ -1,0 +1,644 @@
+//! Adaptive runtime energy-management policies for harvester-powered
+//! sensor nodes.
+//!
+//! The DATE'13 flow this workspace reproduces optimises *static*
+//! energy-management tunings (task period, duty cycle, harvester
+//! tuning) ahead of deployment. The energy-harvesting literature shows
+//! that a second, *runtime* layer pays for itself: policies that adapt
+//! consumption to the stored-energy state and the harvest rate (Sharma
+//! et al., "Optimal Energy Management Policies for Energy Harvesting
+//! Sensor Nodes", arXiv:0809.3908; Srivastava & Koksal, "Basic
+//! Performance Limits and Tradeoffs in Energy Harvesting Sensor Nodes
+//! with Finite Data and Energy Storage", arXiv:1009.0569).
+//!
+//! This crate defines that layer for the `ehsim` node simulator:
+//!
+//! * [`EnergyPolicy`] — the per-tick hook contract: observe the node's
+//!   energy situation ([`PolicyObs`]), update policy-private scratch
+//!   state ([`PolicyState`]), return a [`PolicyAction`] that rescales
+//!   the task period or skips task firings outright.
+//! * [`Static`] — the identity policy: never intervenes. With it the
+//!   simulator is bit-identical to a policy-free build (proven by the
+//!   node crate's equivalence suite), so the hook costs nothing when
+//!   unused.
+//! * [`Threshold`] — hysteresis throttling on stored-voltage bands:
+//!   below `v_low` the node enters a throttled mode (stretched period,
+//!   optionally skipped firings) and stays there until the storage
+//!   recovers above `v_high`. The band is what prevents mode chatter.
+//! * [`EnergyAware`] — consumption tracks a smoothed harvest estimate,
+//!   after the throughput-optimal policy shape of Sharma et al.: spend
+//!   a margin of what the environment currently provides.
+//!
+//! Policies are plain data ([`PolicyKind`] is `Copy`), so their
+//! parameters can serve as DoE design factors — the point of the whole
+//! exercise: the paper's response-surface flow optimises the *adaptive
+//! policy's parameters* exactly as it optimises the static tuning.
+//!
+//! # Determinism contract
+//!
+//! A policy must be a pure function of `(self, state, obs)`: no clocks,
+//! no entropy, no interior mutability. Identical observation sequences
+//! must produce bit-identical action sequences — campaign results and
+//! experiment CSVs stay byte-reproducible only because this holds.
+//!
+//! # Example
+//!
+//! ```
+//! use ehsim_policy::{EnergyPolicy, PolicyKind, PolicyObs, Threshold};
+//!
+//! let policy = PolicyKind::Threshold(Threshold {
+//!     v_low: 2.8,
+//!     v_high: 3.1,
+//!     throttle_scale: 8.0,
+//!     skip_while_throttled: false,
+//! });
+//! policy.validate().expect("valid parameters");
+//! let mut state = policy.initial_state();
+//!
+//! let mut obs = PolicyObs::example();
+//! obs.v_store = 3.3; // healthy storage: no intervention
+//! assert!(policy.act(&mut state, &obs).is_none());
+//!
+//! obs.v_store = 2.7; // below v_low: throttle engages
+//! assert_eq!(policy.act(&mut state, &obs).period_scale, 8.0);
+//!
+//! obs.v_store = 3.0; // inside the band: hysteresis holds the mode
+//! assert_eq!(policy.act(&mut state, &obs).period_scale, 8.0);
+//!
+//! obs.v_store = 3.2; // above v_high: back to nominal
+//! assert!(policy.act(&mut state, &obs).is_none());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by policy validation.
+#[derive(Debug, Clone)]
+pub enum PolicyError {
+    /// A parameter violated its precondition.
+    InvalidParameter {
+        /// Description of the violated precondition.
+        message: String,
+    },
+}
+
+impl PolicyError {
+    fn invalid(message: impl Into<String>) -> Self {
+        PolicyError::InvalidParameter {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::InvalidParameter { message } => {
+                write!(f, "invalid policy parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for PolicyError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PolicyError>;
+
+/// What the policy sees each simulator tick.
+///
+/// All power/energy quantities are referred to the storage side of the
+/// node's regulator, so the policy reasons in the same units the
+/// storage ledger is kept in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyObs {
+    /// Simulation time at the start of the tick (s).
+    pub t_s: f64,
+    /// Tick length (s).
+    pub dt_s: f64,
+    /// Storage voltage at the start of the tick (V).
+    pub v_store: f64,
+    /// Power-on threshold of the node's supply gate (V).
+    pub v_on: f64,
+    /// Brown-out threshold of the node's supply gate (V).
+    pub v_off: f64,
+    /// Instantaneous harvested power flowing into storage (W).
+    pub p_harvest_w: f64,
+    /// The task's nominal (un-adapted) period (s).
+    pub nominal_period_s: f64,
+    /// Regulator-referred idle (sleep) power floor (W).
+    pub p_idle_w: f64,
+    /// Regulator-referred energy of one task cycle (J).
+    pub e_cycle_j: f64,
+    /// Whether the node is currently powered.
+    pub running: bool,
+}
+
+impl PolicyObs {
+    /// A plausible fully-populated observation for documentation and
+    /// tests: a healthy 3.3 V node harvesting 50 µW against a 10 s
+    /// task period.
+    pub fn example() -> Self {
+        PolicyObs {
+            t_s: 0.0,
+            dt_s: 0.1,
+            v_store: 3.3,
+            v_on: 3.3,
+            v_off: 2.4,
+            p_harvest_w: 50e-6,
+            nominal_period_s: 10.0,
+            p_idle_w: 2e-6,
+            e_cycle_j: 100e-6,
+            running: true,
+        }
+    }
+}
+
+/// What the policy asks the simulator to do for the current tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyAction {
+    /// Multiplier applied to the period the duty-cycle schedule would
+    /// otherwise use. Must be positive and finite; `1.0` leaves the
+    /// schedule untouched. Values above one throttle the node, values
+    /// below one (bounded by the simulator's period floor) speed it up.
+    pub period_scale: f64,
+    /// Skip any task firing scheduled within this tick: the schedule
+    /// still advances, but no energy is spent and no packet is counted.
+    pub skip_fire: bool,
+}
+
+impl PolicyAction {
+    /// The identity action: nominal period, nothing skipped.
+    pub const fn none() -> Self {
+        PolicyAction {
+            period_scale: 1.0,
+            skip_fire: false,
+        }
+    }
+
+    /// Whether this action leaves the tick untouched.
+    pub fn is_none(&self) -> bool {
+        self.period_scale == 1.0 && !self.skip_fire
+    }
+}
+
+impl Default for PolicyAction {
+    fn default() -> Self {
+        PolicyAction::none()
+    }
+}
+
+/// Policy-private scratch state, owned by the simulator run.
+///
+/// One run holds exactly one `PolicyState`; the policy object itself
+/// stays immutable (and shareable across threads), which is what lets
+/// one prepared simulator serve many concurrent campaign jobs. The
+/// fields are generic enough for the shipped policies and for custom
+/// [`EnergyPolicy`] implementations with similar needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyState {
+    /// Smoothed harvest-power estimate (W).
+    pub harvest_ema_w: f64,
+    /// Whether [`PolicyState::harvest_ema_w`] has been seeded with a
+    /// first sample.
+    pub ema_primed: bool,
+    /// Whether the policy is currently in its throttled mode.
+    pub throttled: bool,
+}
+
+/// The per-tick energy-management hook.
+///
+/// Implementations must be deterministic pure functions of
+/// `(self, state, obs)` — see the crate docs for the contract — and
+/// must return a positive, finite [`PolicyAction::period_scale`].
+pub trait EnergyPolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::InvalidParameter`] for out-of-range values.
+    fn validate(&self) -> Result<()>;
+
+    /// The scratch state a fresh simulation run starts from.
+    fn initial_state(&self) -> PolicyState {
+        PolicyState::default()
+    }
+
+    /// Observes one tick and decides the action for it.
+    fn act(&self, state: &mut PolicyState, obs: &PolicyObs) -> PolicyAction;
+}
+
+/// The identity policy: never intervenes.
+///
+/// This is the default of the node simulator; with it the tick loop is
+/// bit-identical to a build without the policy hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Static;
+
+impl EnergyPolicy for Static {
+    fn validate(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn act(&self, _state: &mut PolicyState, _obs: &PolicyObs) -> PolicyAction {
+        PolicyAction::none()
+    }
+}
+
+/// Hysteresis throttling on stored-voltage bands.
+///
+/// Two thresholds define a band: dropping to `v_low` or below enters
+/// the throttled mode, and only recovering to `v_high` or above leaves
+/// it. While throttled the task period is stretched by
+/// `throttle_scale` (and firings are skipped outright if
+/// `skip_while_throttled` is set). The band gap is the anti-chatter
+/// guarantee: between two mode flips the storage voltage must traverse
+/// the whole band, so a voltage ripple smaller than `v_high - v_low`
+/// can never toggle the mode (proven by this crate's property suite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    /// Enter the throttled mode at or below this storage voltage (V).
+    pub v_low: f64,
+    /// Leave the throttled mode at or above this storage voltage (V).
+    /// Must be strictly greater than [`Threshold::v_low`].
+    pub v_high: f64,
+    /// Period multiplier while throttled (≥ 1).
+    pub throttle_scale: f64,
+    /// Skip task firings entirely while throttled (the schedule keeps
+    /// advancing, so recovery does not unleash a burst of queued work).
+    pub skip_while_throttled: bool,
+}
+
+impl Default for Threshold {
+    /// A band just above the default node's brown-out threshold
+    /// (2.4 V): throttle 8× below 2.8 V, recover at 3.1 V.
+    fn default() -> Self {
+        Threshold {
+            v_low: 2.8,
+            v_high: 3.1,
+            throttle_scale: 8.0,
+            skip_while_throttled: false,
+        }
+    }
+}
+
+impl EnergyPolicy for Threshold {
+    fn validate(&self) -> Result<()> {
+        if !(self.v_low > 0.0) || !self.v_low.is_finite() || !self.v_high.is_finite() {
+            return Err(PolicyError::invalid(format!(
+                "thresholds must be positive and finite, got v_low {} v_high {}",
+                self.v_low, self.v_high
+            )));
+        }
+        if !(self.v_high > self.v_low) {
+            return Err(PolicyError::invalid(format!(
+                "hysteresis band needs v_high > v_low, got [{}, {}]",
+                self.v_low, self.v_high
+            )));
+        }
+        if !(self.throttle_scale >= 1.0) || !self.throttle_scale.is_finite() {
+            return Err(PolicyError::invalid(format!(
+                "throttle_scale must be finite and >= 1, got {}",
+                self.throttle_scale
+            )));
+        }
+        Ok(())
+    }
+
+    fn act(&self, state: &mut PolicyState, obs: &PolicyObs) -> PolicyAction {
+        if state.throttled {
+            if obs.v_store >= self.v_high {
+                state.throttled = false;
+            }
+        } else if obs.v_store <= self.v_low {
+            state.throttled = true;
+        }
+        if state.throttled {
+            PolicyAction {
+                period_scale: self.throttle_scale,
+                skip_fire: self.skip_while_throttled,
+            }
+        } else {
+            PolicyAction::none()
+        }
+    }
+}
+
+/// Energy-aware pacing: consumption proportional to a smoothed harvest
+/// estimate.
+///
+/// Follows the shape of the throughput-optimal policy of Sharma et al.
+/// (arXiv:0809.3908): spend a `margin` of the (smoothed) harvested
+/// power rather than a fixed budget, so the duty cycle rises in rich
+/// environments and falls in lean ones before the storage ever sags.
+/// The period that balances the books is
+/// `e_cycle / (margin · p_ema − p_idle)`; the returned action scales
+/// the nominal period toward it, clamped to
+/// `[min_scale, max_scale] × nominal`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyAware {
+    /// Exponential-moving-average smoothing constant per tick, in
+    /// `(0, 1]`.
+    pub ema_alpha: f64,
+    /// Fraction of the smoothed harvest the tasks may spend, in
+    /// `(0, 1]`. Below one, the remainder trickles into storage.
+    pub margin: f64,
+    /// Lower clamp on the period multiplier (> 0).
+    pub min_scale: f64,
+    /// Upper clamp on the period multiplier (≥ `min_scale`).
+    pub max_scale: f64,
+}
+
+impl Default for EnergyAware {
+    /// Track the harvest with a ~50-tick memory, spend 80 % of it, and
+    /// allow the period to swing from 0.2× to 50× nominal.
+    fn default() -> Self {
+        EnergyAware {
+            ema_alpha: 0.02,
+            margin: 0.8,
+            min_scale: 0.2,
+            max_scale: 50.0,
+        }
+    }
+}
+
+impl EnergyAware {
+    /// The period multiplier this policy would choose for a smoothed
+    /// harvest estimate `p_ema_w` — exposed so tests and sizing
+    /// calculations can reason about the steady state directly.
+    pub fn scale_for(&self, p_ema_w: f64, obs: &PolicyObs) -> f64 {
+        let budget = self.margin * p_ema_w - obs.p_idle_w;
+        let target_period = if budget > 1e-12 {
+            obs.e_cycle_j / budget
+        } else {
+            f64::INFINITY
+        };
+        (target_period / obs.nominal_period_s).clamp(self.min_scale, self.max_scale)
+    }
+}
+
+impl EnergyPolicy for EnergyAware {
+    fn validate(&self) -> Result<()> {
+        if !(self.ema_alpha > 0.0) || self.ema_alpha > 1.0 {
+            return Err(PolicyError::invalid(format!(
+                "ema_alpha must be in (0, 1], got {}",
+                self.ema_alpha
+            )));
+        }
+        if !(self.margin > 0.0) || self.margin > 1.0 {
+            return Err(PolicyError::invalid(format!(
+                "margin must be in (0, 1], got {}",
+                self.margin
+            )));
+        }
+        if !(self.min_scale > 0.0)
+            || !(self.max_scale >= self.min_scale)
+            || !self.max_scale.is_finite()
+        {
+            return Err(PolicyError::invalid(format!(
+                "need 0 < min_scale <= max_scale (finite), got [{}, {}]",
+                self.min_scale, self.max_scale
+            )));
+        }
+        Ok(())
+    }
+
+    fn act(&self, state: &mut PolicyState, obs: &PolicyObs) -> PolicyAction {
+        if !state.ema_primed {
+            state.harvest_ema_w = obs.p_harvest_w;
+            state.ema_primed = true;
+        } else {
+            state.harvest_ema_w += self.ema_alpha * (obs.p_harvest_w - state.harvest_ema_w);
+        }
+        PolicyAction {
+            period_scale: self.scale_for(state.harvest_ema_w, obs),
+            skip_fire: false,
+        }
+    }
+}
+
+/// The closed set of shipped policies, as plain `Copy` data.
+///
+/// This is what [`ehsim-node`'s `NodeConfig`] stores: an enum keeps the
+/// configuration `Clone + Copy`-friendly and the tick loop free of
+/// dynamic dispatch, while the [`EnergyPolicy`] trait remains open for
+/// custom implementations driving the simulator through their own
+/// harness.
+///
+/// [`ehsim-node`'s `NodeConfig`]: https://docs.rs/ehsim-node
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PolicyKind {
+    /// No runtime adaptation (the default).
+    #[default]
+    Static,
+    /// Hysteresis throttling on stored-voltage bands.
+    Threshold(Threshold),
+    /// Consumption proportional to a smoothed harvest estimate.
+    EnergyAware(EnergyAware),
+}
+
+impl PolicyKind {
+    /// Short label for reports and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::Threshold(_) => "threshold",
+            PolicyKind::EnergyAware(_) => "energy-aware",
+        }
+    }
+}
+
+impl EnergyPolicy for PolicyKind {
+    fn validate(&self) -> Result<()> {
+        match self {
+            PolicyKind::Static => Static.validate(),
+            PolicyKind::Threshold(p) => p.validate(),
+            PolicyKind::EnergyAware(p) => p.validate(),
+        }
+    }
+
+    fn act(&self, state: &mut PolicyState, obs: &PolicyObs) -> PolicyAction {
+        match self {
+            PolicyKind::Static => PolicyAction::none(),
+            PolicyKind::Threshold(p) => p.act(state, obs),
+            PolicyKind::EnergyAware(p) => p.act(state, obs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_is_identity() {
+        let mut state = Static.initial_state();
+        let obs = PolicyObs::example();
+        for _ in 0..10 {
+            let a = Static.act(&mut state, &obs);
+            assert!(a.is_none());
+            assert_eq!(a, PolicyAction::none());
+        }
+        assert_eq!(state, PolicyState::default());
+        assert!(Static.validate().is_ok());
+    }
+
+    #[test]
+    fn threshold_hysteresis_engages_and_releases() {
+        let p = Threshold::default();
+        let mut state = p.initial_state();
+        let mut obs = PolicyObs::example();
+        // Healthy voltage: no intervention.
+        obs.v_store = 3.3;
+        assert!(p.act(&mut state, &obs).is_none());
+        // Sag to the low threshold: throttle.
+        obs.v_store = 2.8;
+        assert_eq!(p.act(&mut state, &obs).period_scale, 8.0);
+        // Partial recovery inside the band: mode holds.
+        obs.v_store = 3.0;
+        assert_eq!(p.act(&mut state, &obs).period_scale, 8.0);
+        // Full recovery: back to nominal.
+        obs.v_store = 3.1;
+        assert!(p.act(&mut state, &obs).is_none());
+    }
+
+    #[test]
+    fn threshold_skip_variant_skips() {
+        let p = Threshold {
+            skip_while_throttled: true,
+            ..Threshold::default()
+        };
+        let mut state = p.initial_state();
+        let mut obs = PolicyObs::example();
+        obs.v_store = 2.5;
+        let a = p.act(&mut state, &obs);
+        assert!(a.skip_fire);
+        assert_eq!(a.period_scale, p.throttle_scale);
+    }
+
+    #[test]
+    fn energy_aware_tracks_harvest() {
+        let p = EnergyAware {
+            ema_alpha: 1.0, // no smoothing: react instantly
+            margin: 1.0,
+            min_scale: 0.01,
+            max_scale: 1000.0,
+        };
+        let mut state = p.initial_state();
+        let mut obs = PolicyObs::example();
+        // 100 µJ per cycle, 20 µW harvest, 2 µW idle:
+        // neutral period = 100µJ / 18µW ≈ 5.56 s → scale ≈ 0.556.
+        obs.p_harvest_w = 20e-6;
+        let a = p.act(&mut state, &obs);
+        assert!((a.period_scale - (100e-6 / 18e-6) / 10.0).abs() < 1e-9);
+        assert!(!a.skip_fire);
+        // Starved: clamps to max_scale.
+        obs.p_harvest_w = 0.0;
+        let a = p.act(&mut state, &obs);
+        assert_eq!(a.period_scale, 1000.0);
+        // Flooded: clamps to min_scale.
+        obs.p_harvest_w = 1.0;
+        let a = p.act(&mut state, &obs);
+        assert_eq!(a.period_scale, 0.01);
+    }
+
+    #[test]
+    fn energy_aware_smoothing_lags() {
+        let p = EnergyAware {
+            ema_alpha: 0.5,
+            ..EnergyAware::default()
+        };
+        let mut state = p.initial_state();
+        let mut obs = PolicyObs::example();
+        obs.p_harvest_w = 10e-6;
+        p.act(&mut state, &obs); // primes the EMA at 10 µW
+        assert_eq!(state.harvest_ema_w, 10e-6);
+        obs.p_harvest_w = 30e-6;
+        p.act(&mut state, &obs);
+        assert!((state.harvest_ema_w - 20e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(Threshold::default().validate().is_ok());
+        assert!(Threshold {
+            v_low: 3.0,
+            v_high: 2.0,
+            ..Threshold::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Threshold {
+            throttle_scale: 0.5,
+            ..Threshold::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Threshold {
+            v_low: -1.0,
+            ..Threshold::default()
+        }
+        .validate()
+        .is_err());
+
+        assert!(EnergyAware::default().validate().is_ok());
+        assert!(EnergyAware {
+            ema_alpha: 0.0,
+            ..EnergyAware::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EnergyAware {
+            margin: 1.5,
+            ..EnergyAware::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EnergyAware {
+            min_scale: 2.0,
+            max_scale: 1.0,
+            ..EnergyAware::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn kind_delegates_and_labels() {
+        assert_eq!(PolicyKind::default(), PolicyKind::Static);
+        assert_eq!(PolicyKind::Static.label(), "static");
+        assert_eq!(
+            PolicyKind::Threshold(Threshold::default()).label(),
+            "threshold"
+        );
+        assert_eq!(
+            PolicyKind::EnergyAware(EnergyAware::default()).label(),
+            "energy-aware"
+        );
+        for kind in [
+            PolicyKind::Static,
+            PolicyKind::Threshold(Threshold::default()),
+            PolicyKind::EnergyAware(EnergyAware::default()),
+        ] {
+            assert!(kind.validate().is_ok());
+            let mut state = kind.initial_state();
+            let obs = PolicyObs::example();
+            let a = kind.act(&mut state, &obs);
+            assert!(a.period_scale.is_finite() && a.period_scale > 0.0);
+        }
+        assert!(PolicyKind::Threshold(Threshold {
+            v_high: 0.0,
+            ..Threshold::default()
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = PolicyError::invalid("x");
+        assert!(!e.to_string().is_empty());
+    }
+}

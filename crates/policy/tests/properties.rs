@@ -1,0 +1,128 @@
+//! Property-based tests for the energy-management policies.
+//!
+//! Two contracts are proven here:
+//!
+//! * the hysteresis band of [`Threshold`] really prevents chatter — a
+//!   mode flip can only happen when the storage voltage exits the band,
+//!   so no two consecutive flips occur while the voltage stays within
+//!   one band, and flips always alternate direction;
+//! * [`Static`] and the stateful policies are deterministic — identical
+//!   observation sequences yield bit-identical action sequences.
+
+use ehsim_policy::{EnergyAware, EnergyPolicy, PolicyObs, Static, Threshold};
+use proptest::prelude::*;
+
+fn obs_with_v(v: f64) -> PolicyObs {
+    let mut obs = PolicyObs::example();
+    obs.v_store = v;
+    obs
+}
+
+/// Replays a voltage trajectory through a `Threshold` policy and
+/// returns `(index, became_throttled, v_at_flip)` for every mode flip.
+fn flips(policy: &Threshold, vs: &[f64]) -> Vec<(usize, bool, f64)> {
+    let mut state = policy.initial_state();
+    let mut out = Vec::new();
+    let mut prev = state.throttled;
+    for (i, &v) in vs.iter().enumerate() {
+        policy.act(&mut state, &obs_with_v(v));
+        if state.throttled != prev {
+            out.push((i, state.throttled, v));
+            prev = state.throttled;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mode flips only happen at band exits: entering throttle requires
+    /// `v <= v_low`, leaving it requires `v >= v_high`. Consecutive
+    /// flips therefore alternate direction and the voltage must
+    /// traverse the whole band between them — no chatter within a band.
+    #[test]
+    fn threshold_never_chatters(
+        v_low in 2.5f64..3.0,
+        band in 0.05f64..0.6,
+        scale in 1.0f64..20.0,
+        vs in prop::collection::vec(2.0f64..4.0, 64),
+    ) {
+        let policy = Threshold {
+            v_low,
+            v_high: v_low + band,
+            throttle_scale: scale,
+            skip_while_throttled: false,
+        };
+        policy.validate().expect("valid by construction");
+        let flips = flips(&policy, &vs);
+        for window in flips.windows(2) {
+            let (_, dir_a, _) = window[0];
+            let (_, dir_b, _) = window[1];
+            prop_assert!(dir_a != dir_b, "consecutive flips must alternate");
+        }
+        for (_, became_throttled, v) in flips {
+            if became_throttled {
+                prop_assert!(v <= policy.v_low, "throttled at v = {v} above v_low");
+            } else {
+                prop_assert!(v >= policy.v_high, "released at v = {v} below v_high");
+            }
+        }
+    }
+
+    /// A trajectory confined strictly inside the open band can never
+    /// flip the mode, whatever it does in there.
+    #[test]
+    fn threshold_holds_mode_inside_band(
+        v_low in 2.5f64..3.0,
+        band in 0.2f64..0.6,
+        jitter in prop::collection::vec(0.0f64..1.0, 64),
+        start_mode in 0u64..2,
+    ) {
+        let start_throttled = start_mode == 1;
+        let policy = Threshold {
+            v_low,
+            v_high: v_low + band,
+            throttle_scale: 4.0,
+            skip_while_throttled: false,
+        };
+        let mut state = policy.initial_state();
+        state.throttled = start_throttled;
+        let eps = band * 1e-3;
+        for j in jitter {
+            // Strictly inside (v_low, v_high).
+            let v = v_low + eps + (band - 2.0 * eps) * j;
+            policy.act(&mut state, &obs_with_v(v));
+            prop_assert_eq!(state.throttled, start_throttled);
+        }
+    }
+
+    /// Identical observation sequences produce bit-identical action
+    /// sequences for every shipped policy family.
+    #[test]
+    fn policies_are_deterministic(
+        vs in prop::collection::vec(2.0f64..4.0, 32),
+        ps in prop::collection::vec(0.0f64..200e-6, 32),
+        alpha in 0.01f64..1.0,
+    ) {
+        let threshold = Threshold::default();
+        let aware = EnergyAware { ema_alpha: alpha, ..EnergyAware::default() };
+        let run = |policy: &dyn EnergyPolicy| -> Vec<(u64, bool)> {
+            let mut state = policy.initial_state();
+            vs.iter().zip(ps.iter()).map(|(&v, &p)| {
+                let mut obs = obs_with_v(v);
+                obs.p_harvest_w = p;
+                let a = policy.act(&mut state, &obs);
+                (a.period_scale.to_bits(), a.skip_fire)
+            }).collect()
+        };
+        for policy in [&Static as &dyn EnergyPolicy, &threshold, &aware] {
+            prop_assert_eq!(run(policy), run(policy));
+        }
+        // Static never intervenes.
+        for (bits, skip) in run(&Static) {
+            prop_assert_eq!(bits, 1.0f64.to_bits());
+            prop_assert!(!skip);
+        }
+    }
+}

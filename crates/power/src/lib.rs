@@ -23,6 +23,8 @@
 //! collapse under loading, and the stage-count trade-off (more stages
 //! lower the threshold voltage gain but raise droop and diode loss).
 
+#![warn(missing_docs)]
+
 pub mod frontend;
 
 use ehsim_circuit::{DiodeModel, Netlist, NodeId};

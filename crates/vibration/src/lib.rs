@@ -16,6 +16,10 @@
 //! * [`Sweep`] — linear chirp with continuous phase;
 //! * [`DriftSchedule`] — piecewise-linear frequency drift over hours,
 //!   phase-continuous, the workhorse of the tuning experiments;
+//! * [`AmplitudeSchedule`] — piecewise-linear *amplitude* fades at a
+//!   fixed frequency (machinery load changes), the harvest-level
+//!   counterpart of [`DriftSchedule`] used by the adaptive-policy
+//!   experiments;
 //! * [`BandNoise`] — seeded band-limited noise (sum of random tones);
 //! * [`FilteredNoise`] — seeded stochastic vibration shaped by a
 //!   second-order structural resonance;
@@ -28,8 +32,8 @@
 //!
 //! Every stochastic source is seeded and bit-reproducible: the same
 //! constructor arguments always produce the same sample stream, which
-//! is what makes whole-campaign results (and the e1–e9 experiment CSVs)
-//! deterministic.
+//! is what makes whole-campaign results (and the e1–e11 experiment
+//! CSVs) deterministic.
 //!
 //! Every source reports both the instantaneous base acceleration
 //! (`acceleration`, m/s²) used by circuit-level simulation and a
@@ -289,6 +293,47 @@ impl VibrationSource for Sweep {
     }
 }
 
+/// Validates a `(time, value)` knot list shared by the schedule
+/// sources: non-empty, with finite, strictly increasing times. (Values
+/// carry source-specific constraints and are checked by each caller.)
+fn validate_knot_times(knots: &[(f64, f64)]) -> Result<()> {
+    if knots.is_empty() {
+        return Err(VibrationError::invalid("at least one knot required"));
+    }
+    for &(t, _) in knots {
+        if !t.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "knot times must be finite, got {t}"
+            )));
+        }
+    }
+    for w in knots.windows(2) {
+        if !(w[0].0 < w[1].0) {
+            return Err(VibrationError::invalid(
+                "knot times must be strictly increasing",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a `(time, value)` knot list at `t`: linear interpolation
+/// between knots, constant extension before the first and after the
+/// last. Requires the knot list to satisfy [`validate_knot_times`].
+fn piecewise_linear(knots: &[(f64, f64)], t: f64) -> f64 {
+    let n = knots.len();
+    if t <= knots[0].0 {
+        return knots[0].1;
+    }
+    if t >= knots[n - 1].0 {
+        return knots[n - 1].1;
+    }
+    let idx = knots.partition_point(|&(kt, _)| kt < t);
+    let (t0, v0) = knots[idx - 1];
+    let (t1, v1) = knots[idx];
+    v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+}
+
 /// Piecewise-linear frequency drift over a `(time, frequency)` schedule
 /// with a fixed amplitude. Phase is continuous across segments — the
 /// instantaneous frequency is the schedule's linear interpolation and
@@ -312,20 +357,11 @@ impl DriftSchedule {
     /// non-increasing times, non-positive frequencies, or a negative
     /// amplitude.
     pub fn new(knots: Vec<(f64, f64)>, amp: f64) -> Result<Self> {
-        if knots.is_empty() {
-            return Err(VibrationError::invalid("at least one knot required"));
-        }
+        validate_knot_times(&knots)?;
         if !(amp >= 0.0) || !amp.is_finite() {
             return Err(VibrationError::invalid(format!(
                 "amplitude must be non-negative, got {amp}"
             )));
-        }
-        for w in knots.windows(2) {
-            if !(w[0].0 < w[1].0) {
-                return Err(VibrationError::invalid(
-                    "knot times must be strictly increasing",
-                ));
-            }
         }
         for &(_, f) in &knots {
             if !(f > 0.0) || !f.is_finite() {
@@ -346,17 +382,7 @@ impl DriftSchedule {
 
     /// The schedule's instantaneous frequency at `t`.
     pub fn frequency(&self, t: f64) -> f64 {
-        let n = self.knots.len();
-        if t <= self.knots[0].0 {
-            return self.knots[0].1;
-        }
-        if t >= self.knots[n - 1].0 {
-            return self.knots[n - 1].1;
-        }
-        let idx = self.knots.partition_point(|&(kt, _)| kt < t);
-        let (t0, f0) = self.knots[idx - 1];
-        let (t1, f1) = self.knots[idx];
-        f0 + (f1 - f0) * (t - t0) / (t1 - t0)
+        piecewise_linear(&self.knots, t)
     }
 
     fn phase(&self, t: f64) -> f64 {
@@ -386,6 +412,67 @@ impl VibrationSource for DriftSchedule {
         Envelope {
             freq_hz: self.frequency(t),
             amp: self.amp,
+        }
+    }
+}
+
+/// Piecewise-linear *amplitude* schedule at a fixed frequency: the
+/// harvest-level counterpart of [`DriftSchedule`]. Models machinery
+/// whose vibration level fades and recovers with load changes while its
+/// speed (and so the dominant frequency) stays put — the non-stationary
+/// supply that runtime energy-management policies must ride out, since
+/// no amount of frequency retuning helps when the excitation itself
+/// weakens.
+///
+/// Amplitude is held constant before the first and after the last knot;
+/// phase is trivially continuous because the frequency never changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeSchedule {
+    knots: Vec<(f64, f64)>,
+    freq_hz: f64,
+}
+
+impl AmplitudeSchedule {
+    /// Creates an amplitude schedule from `(time, amp)` knots (strictly
+    /// increasing times, non-negative amplitudes) at `freq_hz`.
+    ///
+    /// # Errors
+    ///
+    /// [`VibrationError::InvalidArgument`] for an empty knot list,
+    /// non-increasing times, negative amplitudes, or a non-positive
+    /// frequency.
+    pub fn new(knots: Vec<(f64, f64)>, freq_hz: f64) -> Result<Self> {
+        validate_knot_times(&knots)?;
+        if !(freq_hz > 0.0) || !freq_hz.is_finite() {
+            return Err(VibrationError::invalid(format!(
+                "frequency must be positive, got {freq_hz}"
+            )));
+        }
+        for &(_, a) in &knots {
+            if !(a >= 0.0) || !a.is_finite() {
+                return Err(VibrationError::invalid(format!(
+                    "amplitudes must be non-negative, got {a}"
+                )));
+            }
+        }
+        Ok(AmplitudeSchedule { knots, freq_hz })
+    }
+
+    /// The schedule's instantaneous amplitude at `t` (m/s²).
+    pub fn amplitude(&self, t: f64) -> f64 {
+        piecewise_linear(&self.knots, t)
+    }
+}
+
+impl VibrationSource for AmplitudeSchedule {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.amplitude(t) * (2.0 * PI * self.freq_hz * t).sin()
+    }
+
+    fn envelope(&self, t: f64) -> Envelope {
+        Envelope {
+            freq_hz: self.freq_hz,
+            amp: self.amplitude(t),
         }
     }
 }
@@ -924,6 +1011,45 @@ pub fn estimate_frequency_zero_crossings(samples: &[f64], fs_hz: f64) -> Option<
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn amplitude_schedule_interpolates_and_clamps() {
+        let a = AmplitudeSchedule::new(vec![(0.0, 1.0), (10.0, 0.2), (20.0, 0.8)], 64.0).unwrap();
+        // Held constant outside the schedule.
+        assert_eq!(a.amplitude(-5.0), 1.0);
+        assert_eq!(a.amplitude(25.0), 0.8);
+        // Linear interpolation between knots.
+        assert!((a.amplitude(5.0) - 0.6).abs() < 1e-12);
+        assert!((a.amplitude(15.0) - 0.5).abs() < 1e-12);
+        // Envelope carries the fixed frequency and the faded amplitude.
+        let e = a.envelope(5.0);
+        assert_eq!(e.freq_hz, 64.0);
+        assert!((e.amp - 0.6).abs() < 1e-12);
+        // Acceleration is the faded sine.
+        let t = 5.0;
+        let want = a.amplitude(t) * (2.0 * PI * 64.0 * t).sin();
+        assert_eq!(a.acceleration(t), want);
+    }
+
+    #[test]
+    fn amplitude_schedule_validation() {
+        assert!(AmplitudeSchedule::new(vec![], 60.0).is_err());
+        assert!(AmplitudeSchedule::new(vec![(0.0, 1.0)], 0.0).is_err());
+        assert!(AmplitudeSchedule::new(vec![(0.0, 1.0), (0.0, 2.0)], 60.0).is_err());
+        assert!(AmplitudeSchedule::new(vec![(0.0, -1.0)], 60.0).is_err());
+        assert!(AmplitudeSchedule::new(vec![(0.0, f64::NAN)], 60.0).is_err());
+        assert!(AmplitudeSchedule::new(vec![(0.0, 1.0)], 60.0).is_ok());
+    }
+
+    #[test]
+    fn schedules_reject_non_finite_knot_times() {
+        // A single NaN-time knot used to slip past the windows(2)
+        // strictly-increasing check and panic inside the evaluator.
+        assert!(AmplitudeSchedule::new(vec![(f64::NAN, 1.0)], 60.0).is_err());
+        assert!(AmplitudeSchedule::new(vec![(f64::INFINITY, 1.0)], 60.0).is_err());
+        assert!(DriftSchedule::new(vec![(f64::NAN, 60.0)], 1.0).is_err());
+        assert!(DriftSchedule::new(vec![(0.0, 60.0), (f64::NAN, 62.0)], 1.0).is_err());
+    }
 
     #[test]
     fn sine_values_and_envelope() {

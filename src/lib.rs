@@ -21,6 +21,7 @@
 //! | [`vibration`] | `ehsim-vibration` | excitation sources: sines, drifts, noise, bursts, shocks |
 //! | [`harvester`] | `ehsim-harvester` | tunable electromagnetic harvester model |
 //! | [`power`] | `ehsim-power` | voltage multiplier, supercapacitor, regulator |
+//! | [`policy`] | `ehsim-policy` | adaptive runtime energy-management policies |
 //! | [`node`] | `ehsim-node` | sensor-node energy model and system simulator |
 //! | [`doe`] | `ehsim-doe` | experimental designs, OLS/ANOVA, RSM, optimisation |
 //! | [`core`] | `ehsim-core` | the DoE-based design flow toolkit, incl. scenario ensembles and robust optimisation |
@@ -31,11 +32,14 @@
 //! space, run the experiment campaign, fit RSMs, and explore trade-offs
 //! instantly.
 
+#![warn(missing_docs)]
+
 pub use ehsim_circuit as circuit;
 pub use ehsim_core as core;
 pub use ehsim_doe as doe;
 pub use ehsim_harvester as harvester;
 pub use ehsim_node as node;
 pub use ehsim_numeric as numeric;
+pub use ehsim_policy as policy;
 pub use ehsim_power as power;
 pub use ehsim_vibration as vibration;
