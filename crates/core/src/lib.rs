@@ -27,6 +27,11 @@
 //!    [`flow::EnsembleSurrogateSet::optimize_robust`] returns tunings
 //!    that are good across the ensemble (weighted-mean or worst-case),
 //!    not just at one operating point.
+//! 7. Where the budget matters more than a single global fit,
+//!    [`sequential::SequentialCampaign`] spends it *adaptively*: the
+//!    classical screen → steepest-ascent → augment-and-shrink RSM loop,
+//!    run against a memoizing [`sequential::CachedEvaluator`] under a
+//!    hard cap on fresh simulations, with a per-iteration audit trail.
 //!
 //! # Quickstart
 //!
@@ -62,6 +67,7 @@ pub mod indicators;
 pub mod report;
 pub mod scenario;
 pub mod sensitivity;
+pub mod sequential;
 pub mod space;
 pub mod tradeoff;
 
@@ -71,6 +77,7 @@ pub use experiment::{
 pub use flow::{DesignChoice, DoeFlow, EnsembleSurrogateSet, SurrogateSet};
 pub use indicators::Indicator;
 pub use scenario::{Scenario, ScenarioEnsemble};
+pub use sequential::{CachedEvaluator, SequentialCampaign, SequentialOutcome};
 pub use space::{DesignSpace, Factor};
 
 use std::error::Error;

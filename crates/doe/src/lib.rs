@@ -30,6 +30,12 @@
 //! * **Optimisation** ([`optimize`]): multi-start projected gradient
 //!   search on the fitted surface, and Derringer–Suich desirability for
 //!   multi-response trade-offs.
+//! * **Sequential refinement** ([`sequential`]): the classical
+//!   Box–Wilson loop made budget-aware — screen, follow the path of
+//!   steepest ascent, augment with fold-over/axial points where
+//!   curvature appears, relocate and shrink the region of interest —
+//!   against a memoizing evaluator so augmented designs never re-pay
+//!   for points already run.
 //!
 //! # Example: fit and interrogate a response surface
 //!
@@ -58,12 +64,14 @@ pub mod fit;
 pub mod model;
 pub mod optimize;
 pub mod rsm;
+pub mod sequential;
 pub mod stepwise;
 
 pub use design::Design;
 pub use fit::{fit, FittedModel};
 pub use model::{ModelSpec, Term};
 pub use rsm::ResponseSurface;
+pub use sequential::{RefinementConfig, RefinementLoop, SequentialEvaluator};
 
 use ehsim_numeric::NumericError;
 use std::error::Error;

@@ -65,9 +65,22 @@ fn numeric_gradient(f: &dyn Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
 /// assert!((opt.value - 3.0).abs() < 1e-6);
 /// ```
 ///
+/// # Boundary-seeded starts
+///
+/// The start list deliberately includes every corner of the clamped
+/// box (for `k ≤ 6`). A user objective may be undefined (non-finite)
+/// exactly there — penalty compositions, log/sqrt transforms, and
+/// clamped decodes all go degenerate on the domain edge first. Two
+/// guarantees protect the multi-start comparison from such starts:
+/// a start whose objective is non-finite first walks toward the box
+/// centre until the objective is defined (instead of being returned
+/// untouched), and a non-finite candidate score can never displace —
+/// or, having been seen first, block — a finite evaluated one.
+///
 /// # Errors
 ///
-/// [`DoeError::InvalidArgument`] on malformed bounds or `k == 0`.
+/// [`DoeError::InvalidArgument`] on malformed bounds or `k == 0`, or if
+/// the objective is non-finite at every start.
 pub fn optimize_fn(
     f: &dyn Fn(&[f64]) -> f64,
     k: usize,
@@ -110,20 +123,21 @@ pub fn optimize_fn(
         );
     }
 
+    // Non-finite scores must never poison the comparison: a NaN seen
+    // first would otherwise be sticky (`score > NaN` is false for every
+    // later start), returning an effectively unevaluated start point.
     let mut best: Option<Optimum> = None;
+    let mut best_score = f64::NEG_INFINITY;
     for start in starts {
         let x = projected_gradient_ascent(&obj, start, lo, hi);
         let value = f(&x);
         let score = sign * value;
-        let better = match &best {
-            None => true,
-            Some(b) => score > sign * b.value,
-        };
-        if better {
+        if score.is_finite() && (best.is_none() || score > best_score) {
+            best_score = score;
             best = Some(Optimum { x, value });
         }
     }
-    Ok(best.expect("at least one start"))
+    best.ok_or_else(|| DoeError::invalid("objective is non-finite at every start"))
 }
 
 fn projected_gradient_ascent(
@@ -134,10 +148,36 @@ fn projected_gradient_ascent(
 ) -> Vec<f64> {
     let mut step = 0.25 * (hi - lo);
     let mut fx = obj(&x);
+    // Recovery for starts seeded where the objective is undefined —
+    // corner starts sit exactly on the clamped domain edge, the first
+    // place penalty/transform objectives go non-finite. Walk toward the
+    // box centre (deterministically) until the objective is defined;
+    // without this, every line-search comparison against a non-finite
+    // `fx` fails and the start would be returned unevaluated.
+    if !fx.is_finite() {
+        // Smallest inward nudge first (an edge-only singularity needs
+        // only an epsilon), growing geometrically up to the centre
+        // itself.
+        let mid = 0.5 * (lo + hi);
+        let mut s = 2f64.powi(-20);
+        while s <= 1.0 {
+            let cand: Vec<f64> = x.iter().map(|xi| xi + s * (mid - xi)).collect();
+            let fc = obj(&cand);
+            if fc.is_finite() {
+                x = cand;
+                fx = fc;
+                break;
+            }
+            s *= 2.0;
+        }
+        if !fx.is_finite() {
+            return x;
+        }
+    }
     for _ in 0..200 {
         let g = numeric_gradient(obj, &x);
         let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if gnorm < 1e-12 {
+        if !gnorm.is_finite() || gnorm < 1e-12 {
             break;
         }
         // Backtracking line search along the projected gradient.
@@ -543,6 +583,54 @@ mod tests {
         assert!(optimize_fn(&|_x| 0.0, 0, (-1.0, 1.0), Goal::Maximize, 0, 4).is_err());
         assert!(optimize_model(&m, (1.0, -1.0), Goal::Maximize, 0).is_err());
         assert!(optimize_desirability(&[], (-1.0, 1.0), 0).is_err());
+    }
+
+    // Regression tests for the multi-start boundary audit: starts
+    // seeded exactly on the clamped domain edge must not come back as
+    // the "optimum" with an unevaluated (non-finite) objective.
+    #[test]
+    fn edge_seeded_starts_recover_into_the_domain() {
+        // Objective undefined on the closed boundary of the box — the
+        // corner starts all begin in NaN territory — with a finite bowl
+        // peaked at (0.2, -0.1) inside.
+        let f = |x: &[f64]| {
+            if x.iter().any(|v| v.abs() >= 1.0) {
+                f64::NAN
+            } else {
+                5.0 - (x[0] - 0.2).powi(2) - (x[1] + 0.1).powi(2)
+            }
+        };
+        let opt = optimize_fn(&f, 2, (-1.0, 1.0), Goal::Maximize, 11, 8).unwrap();
+        assert!(opt.value.is_finite(), "returned an unevaluated point");
+        assert!((opt.x[0] - 0.2).abs() < 1e-3, "{:?}", opt.x);
+        assert!((opt.x[1] + 0.1).abs() < 1e-3, "{:?}", opt.x);
+    }
+
+    #[test]
+    fn nan_start_cannot_poison_the_multistart_comparison() {
+        // Undefined at the centre (the first start) and on the edges;
+        // finite only in an annulus. Pre-fix, the centre's NaN score
+        // was sticky: no finite candidate could displace it.
+        let f = |x: &[f64]| {
+            let d = (x[0] * x[0] + x[1] * x[1]).sqrt();
+            if (0.25..0.95).contains(&d) {
+                1.0 - (d - 0.6) * (d - 0.6)
+            } else {
+                f64::NAN
+            }
+        };
+        let opt = optimize_fn(&f, 2, (-1.0, 1.0), Goal::Maximize, 7, 16).unwrap();
+        assert!(opt.value.is_finite(), "NaN start won the comparison");
+        let d = (opt.x[0] * opt.x[0] + opt.x[1] * opt.x[1]).sqrt();
+        assert!((d - 0.6).abs() < 0.05, "optimum at distance {d}");
+    }
+
+    #[test]
+    fn everywhere_nonfinite_objective_is_an_error() {
+        let f = |_x: &[f64]| f64::NAN;
+        assert!(optimize_fn(&f, 2, (-1.0, 1.0), Goal::Maximize, 0, 4).is_err());
+        let g = |_x: &[f64]| f64::INFINITY;
+        assert!(optimize_fn(&g, 2, (-1.0, 1.0), Goal::Maximize, 0, 4).is_err());
     }
 
     #[test]

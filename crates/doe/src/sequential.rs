@@ -1,0 +1,1259 @@
+//! Sequential adaptive DoE: budget-aware response-surface refinement.
+//!
+//! Classical RSM is not one-shot. The textbook flow — and the flow the
+//! adaptive-allocation literature (Sharma et al., arXiv:0809.3908;
+//! Srivastava & Koksal, arXiv:1009.0569) shows dominates static designs
+//! under a fixed evaluation budget — is *sequential*: screen a region
+//! with a cheap first-order design, follow the path of steepest ascent
+//! while the surface is first-order dominated, and only where curvature
+//! appears pay for the axial runs that support a full quadratic, then
+//! relocate and shrink the region of interest around its stationary
+//! point. This module implements that loop on top of the existing
+//! design/fit/diagnose machinery:
+//!
+//! * [`Region`] — a movable, shrinkable box of interest inside the
+//!   global coded domain, with local `[-1, 1]` coordinates.
+//! * [`augment_axial`] / [`augment_foldover`] — design augmentation,
+//!   clamped to the factor domain, so an already-run design is extended
+//!   instead of replaced.
+//! * [`SequentialEvaluator`] — the budget-aware evaluation contract.
+//!   Implementations memoize: re-asking for an evaluated point is free,
+//!   which is what makes augmentation and re-centred designs cheap.
+//!   [`FnEvaluator`] wraps a closure for tests and analytic studies;
+//!   `ehsim-core`'s `CachedEvaluator` runs real simulation campaigns.
+//! * [`RefinementLoop`] — the driver: fit, gate on diagnostics
+//!   (R²/PRESS-based predicted R²), then ascend, recenter-and-shrink,
+//!   or shrink, iterating until the region collapses, the iteration cap
+//!   is hit, or the next design no longer fits the budget.
+//!
+//! # Example: refine an analytic surface under a budget
+//!
+//! ```
+//! use ehsim_doe::optimize::Goal;
+//! use ehsim_doe::sequential::{FnEvaluator, RefinementConfig, RefinementLoop};
+//!
+//! // A bowl with its peak at (0.55, -0.3) — quadratic, so the loop's
+//! // curvature step homes in after the first augmented fit.
+//! let truth = |x: &[f64]| 4.0 - (x[0] - 0.55).powi(2) - 2.0 * (x[1] + 0.3).powi(2);
+//! let mut ev = FnEvaluator::new(truth).with_budget(80);
+//! let loop_ = RefinementLoop::new(RefinementConfig::new(Goal::Maximize, 2)).unwrap();
+//! let report = loop_.run(&mut ev).unwrap();
+//! assert!((report.best_point[0] - 0.55).abs() < 0.05, "{:?}", report.best_point);
+//! assert!((report.best_point[1] + 0.30).abs() < 0.05, "{:?}", report.best_point);
+//! assert!(ev.fresh_evals() <= 80, "budget is a hard ceiling");
+//! assert!(ev.cache_hits() > 0, "augmented designs re-use evaluated points");
+//! ```
+
+use crate::design::factorial::full_factorial_2k;
+use crate::design::fractional::{fractional_factorial, Generator};
+use crate::design::Design;
+use crate::fit::fit;
+use crate::model::ModelSpec;
+use crate::optimize::Goal;
+use crate::rsm::{ResponseSurface, StationaryKind};
+use crate::{DoeError, Result};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Canonical cache key of a coded design point: every coordinate
+/// quantised to 1e-9 coded units and reinterpreted as an integer.
+///
+/// Two points whose coordinates agree to within half a billionth of the
+/// coded range map to the same key, so re-centred regions, augmented
+/// designs, and replicate runs hit the cache even when their
+/// coordinates were produced by different arithmetic. (A coded domain
+/// spans ~2 units; 1e-9 is far below any physically meaningful factor
+/// resolution and far above f64 round-off of the region arithmetic.)
+///
+/// ```
+/// use ehsim_doe::sequential::canonical_key;
+/// assert_eq!(canonical_key(&[0.1 + 0.2]), canonical_key(&[0.3]));
+/// assert_ne!(canonical_key(&[0.3]), canonical_key(&[0.300001]));
+/// assert_eq!(canonical_key(&[-0.0]), canonical_key(&[0.0]));
+/// ```
+pub fn canonical_key(x: &[f64]) -> Vec<i64> {
+    x.iter().map(|v| (v * 1e9).round() as i64).collect()
+}
+
+/// A rectangular region of interest inside the global coded domain:
+/// a centre, a half-width, and the domain bounds it must stay within.
+///
+/// Local coordinates in `[-1, 1]` map onto `centre ± half_width`; the
+/// centre is always clamped so the whole box fits inside the domain,
+/// which keeps every design point of an in-region design simulable.
+///
+/// ```
+/// use ehsim_doe::sequential::Region;
+///
+/// let r = Region::new(vec![0.9, 0.0], 0.25, (-1.0, 1.0)).unwrap();
+/// // The centre was clamped so the box fits: 0.9 + 0.25 > 1.
+/// assert_eq!(r.center(), &[0.75, 0.0]);
+/// assert_eq!(r.to_global(&[1.0, -1.0]), vec![1.0, -0.25]);
+/// let s = r.shrunk(0.5);
+/// assert_eq!(s.half_width(), 0.125);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    center: Vec<f64>,
+    half_width: f64,
+    domain: (f64, f64),
+}
+
+impl Region {
+    /// Creates a region; the centre is clamped so the box fits in the
+    /// domain.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidArgument`] for an empty centre, non-finite
+    /// inputs, a malformed domain, or a half-width that is non-positive
+    /// or wider than half the domain.
+    pub fn new(center: Vec<f64>, half_width: f64, domain: (f64, f64)) -> Result<Self> {
+        let (lo, hi) = domain;
+        if center.is_empty() {
+            return Err(DoeError::invalid("region needs at least one factor"));
+        }
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(DoeError::invalid(format!("bad domain [{lo}, {hi}]")));
+        }
+        if !(half_width > 0.0) || half_width > 0.5 * (hi - lo) {
+            return Err(DoeError::invalid(format!(
+                "half-width must be in (0, {}], got {half_width}",
+                0.5 * (hi - lo)
+            )));
+        }
+        if !center.iter().all(|v| v.is_finite()) {
+            return Err(DoeError::invalid("region centre must be finite"));
+        }
+        let mut r = Region {
+            center,
+            half_width,
+            domain,
+        };
+        r.clamp_center();
+        Ok(r)
+    }
+
+    fn clamp_center(&mut self) {
+        let (lo, hi) = self.domain;
+        for c in &mut self.center {
+            *c = c.clamp(lo + self.half_width, hi - self.half_width);
+        }
+    }
+
+    /// The region centre in global coded units.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The half-width (same for every factor, in global coded units).
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// The global coded domain `(lo, hi)`.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Number of factors.
+    pub fn k(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Maps a local `[-1, 1]` point to global coded units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local.len()` differs from the factor count.
+    pub fn to_global(&self, local: &[f64]) -> Vec<f64> {
+        assert_eq!(local.len(), self.k(), "dimension mismatch");
+        self.center
+            .iter()
+            .zip(local.iter())
+            .map(|(c, l)| c + self.half_width * l)
+            .collect()
+    }
+
+    /// Clamps a global coded point into the domain box.
+    pub fn clamp_to_domain(&self, x: &[f64]) -> Vec<f64> {
+        let (lo, hi) = self.domain;
+        x.iter().map(|v| v.clamp(lo, hi)).collect()
+    }
+
+    /// The same region moved to a new centre (clamped to keep the box
+    /// inside the domain).
+    pub fn recentered(&self, new_center: &[f64]) -> Self {
+        let mut r = Region {
+            center: new_center.to_vec(),
+            half_width: self.half_width,
+            domain: self.domain,
+        };
+        r.clamp_center();
+        r
+    }
+
+    /// The same region shrunk by `factor` (in `(0, 1)`), keeping the
+    /// centre.
+    pub fn shrunk(&self, factor: f64) -> Self {
+        let mut r = Region {
+            center: self.center.clone(),
+            half_width: self.half_width * factor,
+            domain: self.domain,
+        };
+        r.clamp_center();
+        r
+    }
+}
+
+/// Appends `2k` axial (star) points at `center ± distance·eⱼ` to a
+/// design in global coded units, clamping each point into the factor
+/// domain — the augmentation that upgrades an already-run two-level
+/// factorial to a central composite without re-paying for the cube.
+///
+/// ```
+/// use ehsim_doe::design::factorial::full_factorial_2k;
+/// use ehsim_doe::sequential::augment_axial;
+///
+/// let cube = full_factorial_2k(2).unwrap();
+/// let ccd = augment_axial(&cube, &[0.0, 0.0], 1.0, (-1.0, 1.0)).unwrap();
+/// assert_eq!(ccd.n_runs(), 4 + 4);
+/// // Clamping: axial points past the domain edge land on it.
+/// let edge = augment_axial(&cube, &[0.5, 0.0], 1.0, (-1.0, 1.0)).unwrap();
+/// assert_eq!(edge.points()[4], vec![-0.5, 0.0]);
+/// assert_eq!(edge.points()[5], vec![1.0, 0.0]); // 1.5 clamped to 1.0
+/// ```
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] on a centre/design dimension mismatch
+/// or a non-positive axial distance.
+pub fn augment_axial(
+    design: &Design,
+    center: &[f64],
+    distance: f64,
+    domain: (f64, f64),
+) -> Result<Design> {
+    if center.len() != design.k() {
+        return Err(DoeError::invalid(format!(
+            "centre has {} coordinates, design has {} factors",
+            center.len(),
+            design.k()
+        )));
+    }
+    if !(distance > 0.0) || !distance.is_finite() {
+        return Err(DoeError::invalid(format!(
+            "axial distance must be positive, got {distance}"
+        )));
+    }
+    let (lo, hi) = domain;
+    let mut points = design.points().to_vec();
+    for j in 0..design.k() {
+        for sign in [-1.0, 1.0] {
+            let mut p = center.to_vec();
+            p[j] = (p[j] + sign * distance).clamp(lo, hi);
+            points.push(p);
+        }
+    }
+    Design::new(design.k(), points, format!("{} + axial", design.label()))
+}
+
+/// Appends the fold-over of every run, mirrored through `center` and
+/// clamped to the factor domain — the augmentation that de-aliases a
+/// fractional screening design in place. (For designs centred at the
+/// coded origin this reduces to the classical sign-reversal
+/// [`fold_over`](crate::design::fractional::fold_over); this variant
+/// works on region-local designs that live anywhere in the domain.)
+///
+/// ```
+/// use ehsim_doe::design::Design;
+/// use ehsim_doe::sequential::augment_foldover;
+///
+/// let d = Design::new(2, vec![vec![0.6, 0.2]], "run").unwrap();
+/// let f = augment_foldover(&d, &[0.5, 0.0], (-1.0, 1.0)).unwrap();
+/// assert_eq!(f.points()[1], vec![0.4, -0.2]); // 2·c − x
+/// ```
+///
+/// # Errors
+///
+/// [`DoeError::InvalidArgument`] on a centre/design dimension mismatch.
+pub fn augment_foldover(design: &Design, center: &[f64], domain: (f64, f64)) -> Result<Design> {
+    if center.len() != design.k() {
+        return Err(DoeError::invalid(format!(
+            "centre has {} coordinates, design has {} factors",
+            center.len(),
+            design.k()
+        )));
+    }
+    let (lo, hi) = domain;
+    let mut points = design.points().to_vec();
+    points.extend(design.points().iter().map(|p| {
+        p.iter()
+            .zip(center.iter())
+            .map(|(x, c)| (2.0 * c - x).clamp(lo, hi))
+            .collect::<Vec<f64>>()
+    }));
+    Design::new(
+        design.k(),
+        points,
+        format!("{} + fold-over", design.label()),
+    )
+}
+
+/// The budget-aware evaluation contract of the refinement loop.
+///
+/// Implementations memoize results under [`canonical_key`], so asking
+/// again for an evaluated point is free — the property the loop's
+/// design augmentation and re-centring rely on — and they meter a hard
+/// budget of *fresh* (uncached) evaluations that [`RefinementLoop`]
+/// consults before submitting each batch.
+pub trait SequentialEvaluator {
+    /// The error produced by a failed evaluation (e.g. a simulation
+    /// failure, or a budget violation on over-ask).
+    type Error;
+
+    /// Evaluates the objective at each global coded point, in order.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the loop aborts on the first error.
+    fn eval_batch(&mut self, points: &[Vec<f64>]) -> std::result::Result<Vec<f64>, Self::Error>;
+
+    /// How many *fresh* evaluations the batch would cost (distinct
+    /// uncached points; duplicates within the batch count once).
+    fn fresh_cost(&self, points: &[Vec<f64>]) -> usize;
+
+    /// Fresh evaluations still affordable (`usize::MAX` if unlimited).
+    fn remaining_budget(&self) -> usize;
+}
+
+/// A [`SequentialEvaluator`] over a plain closure, with a built-in
+/// memo cache and an optional hard budget — the test double for the
+/// refinement loop (real campaigns use `ehsim-core`'s
+/// `CachedEvaluator`).
+///
+/// ```
+/// use ehsim_doe::sequential::{FnEvaluator, SequentialEvaluator};
+///
+/// let mut ev = FnEvaluator::new(|x: &[f64]| x[0] * x[0]).with_budget(2);
+/// let pts = vec![vec![1.0], vec![2.0], vec![1.0]];
+/// assert_eq!(ev.fresh_cost(&pts), 2); // the repeat is free
+/// assert_eq!(ev.eval_batch(&pts).unwrap(), vec![1.0, 4.0, 1.0]);
+/// assert_eq!(ev.fresh_evals(), 2);
+/// assert_eq!(ev.cache_hits(), 1);
+/// assert_eq!(ev.remaining_budget(), 0);
+/// assert!(ev.eval_batch(&[vec![3.0]]).is_err(), "budget is hard");
+/// ```
+pub struct FnEvaluator<F> {
+    f: F,
+    cache: HashMap<Vec<i64>, f64>,
+    budget: Option<usize>,
+    fresh: usize,
+    hits: usize,
+}
+
+impl<F: FnMut(&[f64]) -> f64> FnEvaluator<F> {
+    /// Wraps a closure with an unlimited budget.
+    pub fn new(f: F) -> Self {
+        FnEvaluator {
+            f,
+            cache: HashMap::new(),
+            budget: None,
+            fresh: 0,
+            hits: 0,
+        }
+    }
+
+    /// Sets a hard budget of fresh evaluations.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Fresh (uncached) evaluations spent so far.
+    pub fn fresh_evals(&self) -> usize {
+        self.fresh
+    }
+
+    /// Cache hits served so far.
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+}
+
+impl<F: FnMut(&[f64]) -> f64> SequentialEvaluator for FnEvaluator<F> {
+    type Error = DoeError;
+
+    fn eval_batch(&mut self, points: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if self.fresh_cost(points) > self.remaining_budget() {
+            return Err(DoeError::invalid(format!(
+                "evaluation budget exhausted: batch needs {} fresh evaluations, {} remain",
+                self.fresh_cost(points),
+                self.remaining_budget()
+            )));
+        }
+        let mut out = Vec::with_capacity(points.len());
+        for p in points {
+            let key = canonical_key(p);
+            if let Some(&y) = self.cache.get(&key) {
+                self.hits += 1;
+                out.push(y);
+            } else {
+                let y = (self.f)(p);
+                self.cache.insert(key, y);
+                self.fresh += 1;
+                out.push(y);
+            }
+        }
+        Ok(out)
+    }
+
+    fn fresh_cost(&self, points: &[Vec<f64>]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        points
+            .iter()
+            .map(|p| canonical_key(p))
+            .filter(|k| !self.cache.contains_key(k) && seen.insert(k.clone()))
+            .count()
+    }
+
+    fn remaining_budget(&self) -> usize {
+        self.budget.map_or(usize::MAX, |b| b - self.fresh.min(b))
+    }
+}
+
+/// Error of a refinement run: either the evaluator failed or the DoE
+/// machinery did.
+#[derive(Debug)]
+pub enum SequentialError<E> {
+    /// The evaluator failed (simulation error, budget violation, …).
+    Eval(E),
+    /// Design construction or model fitting failed.
+    Doe(DoeError),
+}
+
+impl<E: fmt::Display> fmt::Display for SequentialError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequentialError::Eval(e) => write!(f, "evaluator failure: {e}"),
+            SequentialError::Doe(e) => write!(f, "doe failure: {e}"),
+        }
+    }
+}
+
+impl<E: Error + 'static> Error for SequentialError<E> {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SequentialError::Eval(e) => Some(e),
+            SequentialError::Doe(e) => Some(e),
+        }
+    }
+}
+
+impl<E> From<DoeError> for SequentialError<E> {
+    fn from(e: DoeError) -> Self {
+        SequentialError::Doe(e)
+    }
+}
+
+/// What the loop decided at the end of an iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The fit was first-order dominated: the region centre moved
+    /// `steps` steepest-ascent steps along the fitted gradient.
+    Ascend {
+        /// Number of accepted line-search steps.
+        steps: usize,
+    },
+    /// Curvature was trusted: the region re-centred on the (clamped)
+    /// stationary point and shrank.
+    Recenter,
+    /// No trustworthy move was available (failed diagnostics gate, flat
+    /// gradient, or a stalled ascent): the region shrank around the
+    /// best point seen.
+    Shrink,
+    /// The region's half-width fell below the configured minimum.
+    Converged,
+    /// The next design no longer fit the remaining evaluation budget.
+    BudgetExhausted,
+}
+
+impl Decision {
+    /// Stable lower-case label for audit trails and CSV rows.
+    pub fn label(&self) -> String {
+        match self {
+            Decision::Ascend { steps } => format!("ascend({steps})"),
+            Decision::Recenter => "recenter".into(),
+            Decision::Shrink => "shrink".into(),
+            Decision::Converged => "converged".into(),
+            Decision::BudgetExhausted => "budget-exhausted".into(),
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One iteration of the audit trail: where the region was, what was
+/// spent, how the fit looked, and what the loop decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Region centre at the start of the iteration (global coded).
+    pub center: Vec<f64>,
+    /// Region half-width at the start of the iteration.
+    pub half_width: f64,
+    /// Design points submitted this iteration (including cache hits).
+    pub n_points: usize,
+    /// Fresh (uncached) evaluations spent this iteration.
+    pub n_fresh: usize,
+    /// Whether the second-order (augmented) fit was run.
+    pub second_order: bool,
+    /// R² of the iteration's final fit (NaN if no fit ran).
+    pub r_squared: f64,
+    /// PRESS-based predicted R² of the final fit (NaN if no fit ran).
+    pub predicted_r_squared: f64,
+    /// Curvature-to-linear-effect ratio from the screening comparison
+    /// (NaN if no fit ran).
+    pub curvature_ratio: f64,
+    /// The decision taken.
+    pub decision: Decision,
+    /// Best raw objective value seen so far (after this iteration).
+    pub best_value: f64,
+}
+
+/// Result of a refinement run.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// Per-iteration audit records, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// The best *evaluated* point, in global coded units — an actually
+    /// simulated/evaluated design, not a model extrapolation.
+    pub best_point: Vec<f64>,
+    /// The raw objective value at [`RefinementReport::best_point`].
+    pub best_value: f64,
+    /// True when the region collapsed below the configured minimum
+    /// half-width (as opposed to stopping on iterations or budget).
+    pub converged: bool,
+}
+
+/// Configuration of a [`RefinementLoop`].
+#[derive(Debug, Clone)]
+pub struct RefinementConfig {
+    /// Whether the objective is maximised or minimised.
+    pub goal: Goal,
+    /// Number of design factors.
+    pub k: usize,
+    /// Global coded domain bounds (default `(-1, 1)`).
+    pub domain: (f64, f64),
+    /// Initial region half-width (default: half the domain width, i.e.
+    /// the first screening design covers the whole domain, corners
+    /// included — the same coverage a one-shot face-centred CCD buys).
+    pub initial_half_width: f64,
+    /// Convergence threshold: stop once the half-width falls below this
+    /// (default 0.05).
+    pub min_half_width: f64,
+    /// Shrink factor applied on `Recenter`/`Shrink` (default 0.5).
+    pub shrink: f64,
+    /// Centre replicates per in-region design (default 1; the centre
+    /// point doubles as the curvature check and is a guaranteed cache
+    /// hit after any move that lands on an evaluated point).
+    pub center_points: usize,
+    /// Maximum refinement iterations (default 12).
+    pub max_iterations: usize,
+    /// Maximum steepest-ascent steps per iteration (default 4).
+    pub max_ascent_steps: usize,
+    /// Curvature-to-linear-effect ratio above which the loop pays for
+    /// the axial augmentation and a second-order fit (default 0.25).
+    pub curvature_threshold: f64,
+    /// Diagnostics gate: a second-order fit whose PRESS-based predicted
+    /// R² falls below this is not trusted for a stationary-point move
+    /// (default 0.5).
+    pub min_predicted_r2: f64,
+}
+
+impl RefinementConfig {
+    /// Defaults for `k` factors over the standard coded domain.
+    pub fn new(goal: Goal, k: usize) -> Self {
+        RefinementConfig {
+            goal,
+            k,
+            domain: (-1.0, 1.0),
+            initial_half_width: 1.0,
+            min_half_width: 0.05,
+            shrink: 0.5,
+            center_points: 1,
+            max_iterations: 12,
+            max_ascent_steps: 4,
+            curvature_threshold: 0.25,
+            min_predicted_r2: 0.5,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let (lo, hi) = self.domain;
+        if self.k == 0 {
+            return Err(DoeError::invalid("need at least one factor"));
+        }
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(DoeError::invalid(format!("bad domain [{lo}, {hi}]")));
+        }
+        if !(self.initial_half_width > 0.0) || self.initial_half_width > 0.5 * (hi - lo) {
+            return Err(DoeError::invalid(
+                "initial half-width must be in (0, (hi-lo)/2]",
+            ));
+        }
+        if !(self.min_half_width > 0.0) || self.min_half_width > self.initial_half_width {
+            return Err(DoeError::invalid(
+                "min half-width must be in (0, initial half-width]",
+            ));
+        }
+        if !(self.shrink > 0.0 && self.shrink < 1.0) {
+            return Err(DoeError::invalid("shrink factor must be in (0, 1)"));
+        }
+        if self.max_iterations == 0 {
+            return Err(DoeError::invalid("need at least one iteration"));
+        }
+        if !(self.curvature_threshold >= 0.0) {
+            return Err(DoeError::invalid("curvature threshold must be >= 0"));
+        }
+        Ok(())
+    }
+}
+
+/// The sequential refinement driver. See the [module docs](self) for
+/// the algorithm and a runnable example.
+#[derive(Debug, Clone)]
+pub struct RefinementLoop {
+    cfg: RefinementConfig,
+}
+
+impl RefinementLoop {
+    /// Creates a loop after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidArgument`] on malformed configuration.
+    pub fn new(cfg: RefinementConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(RefinementLoop { cfg })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RefinementConfig {
+        &self.cfg
+    }
+
+    /// The local (region-coordinate) screening design: a full two-level
+    /// factorial for `k ≤ 4`, a half fraction for larger `k`, plus
+    /// centre replicates.
+    fn screening_local(&self) -> Result<Design> {
+        let k = self.cfg.k;
+        let d = if k <= 4 {
+            full_factorial_2k(k)?
+        } else {
+            // Highest-resolution half fraction: last factor = product of
+            // all others.
+            let generator = Generator {
+                factor: k - 1,
+                word: (0..k - 1).collect(),
+                negate: false,
+            };
+            fractional_factorial(k, &[generator])?
+        };
+        Ok(d.with_center_points(self.cfg.center_points.max(1)))
+    }
+
+    /// Runs the refinement to completion against an evaluator.
+    ///
+    /// The loop never submits a batch the evaluator cannot afford: when
+    /// the next design's fresh cost exceeds
+    /// [`SequentialEvaluator::remaining_budget`], it stops gracefully
+    /// with [`Decision::BudgetExhausted`].
+    ///
+    /// # Errors
+    ///
+    /// [`SequentialError::Eval`] on evaluator failures,
+    /// [`SequentialError::Doe`] on design/fit failures.
+    pub fn run<E: SequentialEvaluator>(
+        &self,
+        ev: &mut E,
+    ) -> std::result::Result<RefinementReport, SequentialError<E::Error>> {
+        let cfg = &self.cfg;
+        let k = cfg.k;
+        let sign = match cfg.goal {
+            Goal::Maximize => 1.0,
+            Goal::Minimize => -1.0,
+        };
+        let mid = 0.5 * (cfg.domain.0 + cfg.domain.1);
+        let mut region = Region::new(vec![mid; k], cfg.initial_half_width, cfg.domain)?;
+        // Best *evaluated* point and its signed value.
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut records: Vec<IterationRecord> = Vec::new();
+        let mut converged = false;
+
+        let screen_local = self.screening_local()?;
+        let n_center = cfg.center_points.max(1);
+
+        for iteration in 0..cfg.max_iterations {
+            let center0 = region.center().to_vec();
+            let half0 = region.half_width();
+            let mut n_points = 0usize;
+            let mut n_fresh = 0usize;
+
+            // --- Stage A: first-order screen in the current region ---
+            let pts_a: Vec<Vec<f64>> = screen_local
+                .points()
+                .iter()
+                .map(|l| region.to_global(l))
+                .collect();
+            let cost_a = ev.fresh_cost(&pts_a);
+            if cost_a > ev.remaining_budget() {
+                records.push(Self::stub_record(
+                    iteration,
+                    &center0,
+                    half0,
+                    Decision::BudgetExhausted,
+                    &best,
+                    sign,
+                ));
+                break;
+            }
+            n_points += pts_a.len();
+            n_fresh += cost_a;
+            let ys_a: Vec<f64> = ev
+                .eval_batch(&pts_a)
+                .map_err(SequentialError::Eval)?
+                .iter()
+                .map(|y| sign * y)
+                .collect();
+            Self::track_best(&mut best, &pts_a, &ys_a);
+
+            // Curvature check: centre replicates vs factorial mean.
+            let n_fact = pts_a.len() - n_center;
+            let fact_mean = ys_a[..n_fact].iter().sum::<f64>() / n_fact as f64;
+            let center_mean = ys_a[n_fact..].iter().sum::<f64>() / n_center as f64;
+            let lin = fit(&ModelSpec::linear(k)?, screen_local.points(), &ys_a)?;
+            let effect_scale = lin.coefficients()[1..]
+                .iter()
+                .fold(0.0f64, |m, c| m.max(c.abs()));
+            let curvature = (fact_mean - center_mean).abs();
+            let curvature_ratio = curvature / effect_scale.max(1e-12);
+
+            let mut r_squared = lin.r_squared();
+            let mut predicted_r_squared = lin.predicted_r_squared();
+            let mut second_order = false;
+
+            let decision: Decision;
+            if effect_scale <= 1e-12 && curvature <= 1e-12 {
+                // Surface is flat at this resolution: zoom in around
+                // the best point seen.
+                region = Self::shrink_at_best(&region, cfg.shrink, &best);
+                decision = Decision::Shrink;
+            } else if curvature_ratio <= cfg.curvature_threshold {
+                // First-order dominated: path of steepest ascent along
+                // the fitted gradient (signed objective rises fastest
+                // this way in local units; the region scaling is
+                // isotropic, so the global direction is the same).
+                let grad: Vec<f64> = lin.coefficients()[1..].to_vec();
+                let walk = self.ascend(ev, &mut region, &grad, center_mean, &mut best)?;
+                n_points += walk.n_points;
+                n_fresh += walk.n_fresh;
+                decision = walk.decision;
+            } else {
+                // --- Stage B: curvature present. Augment the screen
+                // with its fold-over (a no-op ask for k ≤ 4, where the
+                // cube is already complete — the cache absorbs it) and
+                // the axial points, then fit the full quadratic. ---
+                second_order = true;
+                let folded = if k > 4 {
+                    augment_foldover(
+                        &Design::new(k, pts_a.clone(), "screen")?,
+                        &center0,
+                        cfg.domain,
+                    )?
+                } else {
+                    Design::new(k, pts_a.clone(), "screen")?
+                };
+                let ccd = augment_axial(&folded, &center0, half0, cfg.domain)?;
+                let pts_b: Vec<Vec<f64>> = ccd.points().to_vec();
+                let cost_b = ev.fresh_cost(&pts_b);
+                if cost_b > ev.remaining_budget() {
+                    records.push(IterationRecord {
+                        iteration,
+                        center: center0,
+                        half_width: half0,
+                        n_points,
+                        n_fresh,
+                        second_order,
+                        r_squared,
+                        predicted_r_squared,
+                        curvature_ratio,
+                        decision: Decision::BudgetExhausted,
+                        best_value: best.as_ref().map_or(f64::NAN, |(_, s)| sign * s),
+                    });
+                    break;
+                }
+                n_points += pts_b.len();
+                n_fresh += cost_b;
+                let ys_b: Vec<f64> = ev
+                    .eval_batch(&pts_b)
+                    .map_err(SequentialError::Eval)?
+                    .iter()
+                    .map(|y| sign * y)
+                    .collect();
+                Self::track_best(&mut best, &pts_b, &ys_b);
+
+                // Fit on local coordinates for conditioning.
+                let local_b: Vec<Vec<f64>> = pts_b
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .zip(center0.iter())
+                            .map(|(x, c)| (x - c) / half0)
+                            .collect()
+                    })
+                    .collect();
+                let quad = fit(&ModelSpec::quadratic(k)?, &local_b, &ys_b)?;
+                r_squared = quad.r_squared();
+                predicted_r_squared = quad.predicted_r_squared();
+
+                if predicted_r_squared < cfg.min_predicted_r2 {
+                    // Diagnostics gate: the surface does not generalise
+                    // at this scale — zoom in around the best point.
+                    region = Self::shrink_at_best(&region, cfg.shrink, &best);
+                    decision = Decision::Shrink;
+                } else {
+                    let rs = ResponseSurface::from_fitted(&quad)?;
+                    let want = StationaryKind::Maximum; // signed objective
+                    let stationary = rs
+                        .stationary_point()
+                        .filter(|s| s.iter().all(|v| v.abs() <= 2.0))
+                        .filter(|_| rs.kind(1e-9) == want)
+                        .map(|s| s.to_vec());
+                    match stationary {
+                        Some(s_local) => {
+                            let s_global = region.clamp_to_domain(&region.to_global(&s_local));
+                            region = region.shrunk(cfg.shrink).recentered(&s_global);
+                            decision = Decision::Recenter;
+                        }
+                        None => {
+                            // Saddle or rising ridge: follow the
+                            // analytic gradient at the centre instead.
+                            let grad = rs.gradient(&vec![0.0; k]);
+                            let walk =
+                                self.ascend(ev, &mut region, &grad, center_mean, &mut best)?;
+                            n_points += walk.n_points;
+                            n_fresh += walk.n_fresh;
+                            decision = walk.decision;
+                        }
+                    }
+                }
+            }
+
+            // Progress guard: a clamped ascent (or any decision) that
+            // left the region exactly where it was would re-run the
+            // same (fully cached) design forever — zoom in around the
+            // best point instead so the budget keeps buying resolution.
+            if region.center() == center0.as_slice() && region.half_width() == half0 {
+                region = Self::shrink_at_best(&region, cfg.shrink, &best);
+            }
+
+            let best_value = best.as_ref().map_or(f64::NAN, |(_, s)| sign * s);
+            records.push(IterationRecord {
+                iteration,
+                center: center0,
+                half_width: half0,
+                n_points,
+                n_fresh,
+                second_order,
+                r_squared,
+                predicted_r_squared,
+                curvature_ratio,
+                decision,
+                best_value,
+            });
+
+            if region.half_width() < cfg.min_half_width {
+                converged = true;
+                records.push(Self::stub_record(
+                    iteration + 1,
+                    region.center(),
+                    region.half_width(),
+                    Decision::Converged,
+                    &best,
+                    sign,
+                ));
+                break;
+            }
+        }
+
+        let (best_point, best_signed) = best.ok_or_else(|| {
+            SequentialError::Doe(DoeError::invalid(
+                "budget too small for even one screening design",
+            ))
+        })?;
+        Ok(RefinementReport {
+            iterations: records,
+            best_point,
+            best_value: sign * best_signed,
+            converged,
+        })
+    }
+
+    /// A record for iterations that stopped before fitting anything.
+    fn stub_record(
+        iteration: usize,
+        center: &[f64],
+        half_width: f64,
+        decision: Decision,
+        best: &Option<(Vec<f64>, f64)>,
+        sign: f64,
+    ) -> IterationRecord {
+        IterationRecord {
+            iteration,
+            center: center.to_vec(),
+            half_width,
+            n_points: 0,
+            n_fresh: 0,
+            second_order: false,
+            r_squared: f64::NAN,
+            predicted_r_squared: f64::NAN,
+            curvature_ratio: f64::NAN,
+            decision,
+            best_value: best.as_ref().map_or(f64::NAN, |(_, s)| sign * s),
+        }
+    }
+
+    /// Shrinks the region and re-centres it on the best evaluated point
+    /// (the Box–Wilson follow-up to a stalled ascent: the next design
+    /// is run *around the stalled point*, not the old centre).
+    fn shrink_at_best(region: &Region, shrink: f64, best: &Option<(Vec<f64>, f64)>) -> Region {
+        let shrunk = region.shrunk(shrink);
+        match best {
+            Some((anchor, _)) => shrunk.recentered(anchor),
+            None => shrunk,
+        }
+    }
+
+    fn track_best(best: &mut Option<(Vec<f64>, f64)>, pts: &[Vec<f64>], signed_ys: &[f64]) {
+        for (p, &s) in pts.iter().zip(signed_ys.iter()) {
+            let better = match best {
+                None => s.is_finite(),
+                Some((_, b)) => s.is_finite() && s > *b,
+            };
+            if better {
+                *best = Some((p.clone(), s));
+            }
+        }
+    }
+
+    /// Steepest-ascent walk: steps of one half-width along `grad` from
+    /// the region centre, clamped to the domain, while the signed
+    /// objective keeps improving. Re-centres the region on the last
+    /// accepted step; shrinks if no step was accepted.
+    fn ascend<E: SequentialEvaluator>(
+        &self,
+        ev: &mut E,
+        region: &mut Region,
+        grad: &[f64],
+        center_signed: f64,
+        best: &mut Option<(Vec<f64>, f64)>,
+    ) -> std::result::Result<AscentOutcome, SequentialError<E::Error>> {
+        let cfg = &self.cfg;
+        let mut out = AscentOutcome {
+            decision: Decision::Shrink,
+            n_points: 0,
+            n_fresh: 0,
+        };
+        let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if !(gnorm > 1e-12) {
+            *region = Self::shrink_at_best(region, cfg.shrink, best);
+            return Ok(out);
+        }
+        let dir: Vec<f64> = grad.iter().map(|g| g / gnorm).collect();
+        let c0 = region.center().to_vec();
+        let h = region.half_width();
+        let mut prev = center_signed;
+        let mut steps = 0usize;
+        let mut last_accepted: Option<Vec<f64>> = None;
+        for t in 1..=cfg.max_ascent_steps {
+            let cand: Vec<f64> = region.clamp_to_domain(
+                &c0.iter()
+                    .zip(dir.iter())
+                    .map(|(c, d)| c + t as f64 * h * d)
+                    .collect::<Vec<f64>>(),
+            );
+            if last_accepted.as_deref() == Some(cand.as_slice()) {
+                break; // clamped against the domain edge: no progress
+            }
+            let fresh = ev.fresh_cost(std::slice::from_ref(&cand));
+            if fresh > ev.remaining_budget() {
+                break; // walk what we can afford; the loop stops later
+            }
+            out.n_points += 1;
+            out.n_fresh += fresh;
+            let y = ev
+                .eval_batch(std::slice::from_ref(&cand))
+                .map_err(SequentialError::Eval)?[0];
+            let s = match cfg.goal {
+                Goal::Maximize => y,
+                Goal::Minimize => -y,
+            };
+            Self::track_best(best, std::slice::from_ref(&cand), &[s]);
+            if s > prev {
+                prev = s;
+                steps = t;
+                last_accepted = Some(cand);
+            } else {
+                break;
+            }
+        }
+        match last_accepted {
+            Some(cand) => {
+                *region = region.recentered(&cand);
+                out.decision = Decision::Ascend { steps };
+            }
+            None => *region = Self::shrink_at_best(region, cfg.shrink, best),
+        }
+        Ok(out)
+    }
+}
+
+/// Internal result of a steepest-ascent walk.
+struct AscentOutcome {
+    decision: Decision,
+    n_points: usize,
+    n_fresh: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::fractional::fold_over;
+
+    #[test]
+    fn region_validation_and_mapping() {
+        assert!(Region::new(vec![], 0.5, (-1.0, 1.0)).is_err());
+        assert!(Region::new(vec![0.0], 0.0, (-1.0, 1.0)).is_err());
+        assert!(Region::new(vec![0.0], 1.5, (-1.0, 1.0)).is_err());
+        assert!(Region::new(vec![f64::NAN], 0.5, (-1.0, 1.0)).is_err());
+        assert!(Region::new(vec![0.0], 0.5, (1.0, -1.0)).is_err());
+        let r = Region::new(vec![0.2, -0.1], 0.3, (-1.0, 1.0)).unwrap();
+        assert_eq!(r.k(), 2);
+        assert_eq!(r.to_global(&[0.0, 0.0]), vec![0.2, -0.1]);
+        assert_eq!(r.to_global(&[1.0, -1.0]), vec![0.5, -0.4]);
+        // Recentre clamps so the box fits.
+        let moved = r.recentered(&[0.95, 0.0]);
+        assert!((moved.center()[0] - 0.7).abs() < 1e-12);
+        // Shrink keeps the centre when it still fits.
+        let s = moved.shrunk(0.5);
+        assert_eq!(s.half_width(), 0.15);
+        assert!((s.center()[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axial_augmentation_counts_and_clamps() {
+        let cube = full_factorial_2k(3).unwrap();
+        let d = augment_axial(&cube, &[0.0; 3], 0.8, (-1.0, 1.0)).unwrap();
+        assert_eq!(d.n_runs(), 8 + 6);
+        for p in &d.points()[8..] {
+            assert_eq!(p.iter().filter(|v| v.abs() > 1e-12).count(), 1);
+        }
+        // Dimension mismatch and bad distance rejected.
+        assert!(augment_axial(&cube, &[0.0; 2], 0.5, (-1.0, 1.0)).is_err());
+        assert!(augment_axial(&cube, &[0.0; 3], 0.0, (-1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn foldover_augmentation_mirrors_and_matches_classical() {
+        // Centred at the origin, the general fold-over equals the
+        // classical sign-reversal one. With the odd-length defining
+        // word (I = ABCDE) the mirror is the complementary half, so the
+        // folded design is the full factorial.
+        let half = fractional_factorial(
+            5,
+            &[Generator {
+                factor: 4,
+                word: vec![0, 1, 2, 3],
+                negate: false,
+            }],
+        )
+        .unwrap();
+        let a = augment_foldover(&half, &[0.0; 5], (-1.0, 1.0)).unwrap();
+        let b = fold_over(&half).unwrap();
+        assert_eq!(a.points(), b.points());
+        let mut keys: Vec<Vec<i64>> = a.points().iter().map(|p| canonical_key(p)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 32);
+        assert!(augment_foldover(&half, &[0.0; 3], (-1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn refines_to_an_interior_maximum() {
+        let truth = |x: &[f64]| 10.0 - (x[0] - 0.4).powi(2) - 3.0 * (x[1] + 0.2).powi(2);
+        let mut ev = FnEvaluator::new(truth);
+        let report = RefinementLoop::new(RefinementConfig::new(Goal::Maximize, 2))
+            .unwrap()
+            .run(&mut ev)
+            .unwrap();
+        assert!((report.best_point[0] - 0.4).abs() < 0.05, "{report:?}");
+        assert!((report.best_point[1] + 0.2).abs() < 0.05, "{report:?}");
+        assert!(report.converged);
+        assert!(ev.cache_hits() > 0);
+        // The audit covers every iteration and values only improve.
+        let mut prev = f64::NEG_INFINITY;
+        for rec in &report.iterations {
+            if rec.best_value.is_finite() {
+                assert!(rec.best_value >= prev - 1e-12);
+                prev = rec.best_value;
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_flips_the_goal() {
+        let truth = |x: &[f64]| (x[0] + 0.3).powi(2) + (x[1] - 0.5).powi(2);
+        let mut ev = FnEvaluator::new(truth);
+        let report = RefinementLoop::new(RefinementConfig::new(Goal::Minimize, 2))
+            .unwrap()
+            .run(&mut ev)
+            .unwrap();
+        assert!((report.best_point[0] + 0.3).abs() < 0.05, "{report:?}");
+        assert!((report.best_point[1] - 0.5).abs() < 0.05, "{report:?}");
+        assert!(report.best_value < 0.01);
+    }
+
+    #[test]
+    fn ascends_a_monotone_surface_to_the_boundary() {
+        // Pure plane: always first-order dominated, optimum at the
+        // (+1, -1) corner.
+        let truth = |x: &[f64]| 1.0 + 2.0 * x[0] - x[1];
+        let mut ev = FnEvaluator::new(truth);
+        let report = RefinementLoop::new(RefinementConfig::new(Goal::Maximize, 2))
+            .unwrap()
+            .run(&mut ev)
+            .unwrap();
+        assert!(report.best_point[0] > 0.9, "{:?}", report.best_point);
+        assert!(report.best_point[1] < -0.6, "{:?}", report.best_point);
+        assert!(report
+            .iterations
+            .iter()
+            .any(|r| matches!(r.decision, Decision::Ascend { .. })));
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_stops_gracefully() {
+        for budget in [0usize, 3, 5, 9, 14, 30] {
+            let mut ev =
+                FnEvaluator::new(|x: &[f64]| -(x[0] * x[0]) - x[1] * x[1]).with_budget(budget);
+            let result = RefinementLoop::new(RefinementConfig::new(Goal::Maximize, 2))
+                .unwrap()
+                .run(&mut ev);
+            assert!(ev.fresh_evals() <= budget, "budget {budget} exceeded");
+            match result {
+                Ok(report) => {
+                    assert!(
+                        report
+                            .iterations
+                            .iter()
+                            .all(|r| !matches!(r.decision, Decision::BudgetExhausted))
+                            || report.iterations.last().is_some()
+                    );
+                }
+                Err(e) => {
+                    // Only the cannot-even-screen case errors.
+                    assert!(budget < 5, "unexpected error at budget {budget}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn five_factor_path_uses_fraction_and_foldover() {
+        // k = 5 with curvature: the screen is a half fraction, the
+        // second-order stage folds it over and adds axial points.
+        let truth = |x: &[f64]| {
+            10.0 - x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i as f64 + 1.0) * (v - 0.1) * (v - 0.1))
+                .sum::<f64>()
+        };
+        let mut ev = FnEvaluator::new(truth);
+        let mut cfg = RefinementConfig::new(Goal::Maximize, 5);
+        cfg.max_iterations = 6;
+        let report = RefinementLoop::new(cfg).unwrap().run(&mut ev).unwrap();
+        for (i, v) in report.best_point.iter().enumerate() {
+            assert!((v - 0.1).abs() < 0.2, "factor {i}: {v}");
+        }
+        assert!(report.iterations.iter().any(|r| r.second_order));
+        assert!(ev.cache_hits() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut ev = FnEvaluator::new(|x: &[f64]| {
+                2.0 + x[0] - 0.7 * (x[0] * x[0]) + 0.4 * x[1] - x[1] * x[1]
+            });
+            RefinementLoop::new(RefinementConfig::new(Goal::Maximize, 2))
+                .unwrap()
+                .run(&mut ev)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_point, b.best_point);
+        assert_eq!(a.best_value.to_bits(), b.best_value.to_bits());
+        // Records can carry NaN stats (unfitted iterations), so compare
+        // the Debug rendering, which is NaN-stable.
+        assert_eq!(format!("{:?}", a.iterations), format!("{:?}", b.iterations));
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = RefinementConfig::new(Goal::Maximize, 2);
+        assert!(RefinementLoop::new(ok.clone()).is_ok());
+        for tweak in [
+            |c: &mut RefinementConfig| c.k = 0,
+            |c: &mut RefinementConfig| c.domain = (1.0, -1.0),
+            |c: &mut RefinementConfig| c.initial_half_width = 0.0,
+            |c: &mut RefinementConfig| c.initial_half_width = 5.0,
+            |c: &mut RefinementConfig| c.min_half_width = 0.0,
+            |c: &mut RefinementConfig| c.min_half_width = 1.5,
+            |c: &mut RefinementConfig| c.shrink = 1.0,
+            |c: &mut RefinementConfig| c.max_iterations = 0,
+            |c: &mut RefinementConfig| c.curvature_threshold = -1.0,
+        ] {
+            let mut bad = ok.clone();
+            tweak(&mut bad);
+            assert!(RefinementLoop::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn decision_labels_are_stable() {
+        assert_eq!(Decision::Ascend { steps: 3 }.label(), "ascend(3)");
+        assert_eq!(Decision::Recenter.label(), "recenter");
+        assert_eq!(Decision::Shrink.label(), "shrink");
+        assert_eq!(Decision::Converged.label(), "converged");
+        assert_eq!(Decision::BudgetExhausted.label(), "budget-exhausted");
+        assert_eq!(format!("{}", Decision::Recenter), "recenter");
+    }
+
+    #[test]
+    fn sequential_error_display_and_source() {
+        let e: SequentialError<DoeError> = SequentialError::Eval(DoeError::RankDeficient);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        let d: SequentialError<DoeError> = DoeError::RankDeficient.into();
+        assert!(matches!(d, SequentialError::Doe(_)));
+    }
+}

@@ -34,6 +34,14 @@
 
 #![warn(missing_docs)]
 
+/// Doctest anchor for `docs/METHODOLOGY.md`: every rust block of the
+/// methodology walkthrough is compiled (and, unless marked `no_run`,
+/// executed) as part of this crate's test suite, so the documented
+/// examples can never drift from the real APIs.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/METHODOLOGY.md")]
+pub struct MethodologyDoctests;
+
 pub use ehsim_circuit as circuit;
 pub use ehsim_core as core;
 pub use ehsim_doe as doe;
