@@ -11,7 +11,16 @@
 //!    path (bit-identical results, validate-once + Thevenin
 //!    memoization), and the prepared warm-started path
 //!    (`SolverMode::Warm`).
-//! 2. **Campaign wall-clock** of a 16-point factorial over the
+//! 2. **Batched campaign throughput** (`batch_ticks_per_sec`): 64
+//!    campaign-style design points run through the SoA batch kernel at
+//!    widths 1/4/16/64, in both `SolverMode::Exact` and
+//!    `SolverMode::Warm`, versus three per-sim baselines on the *same*
+//!    workload: the pre-refactor reference path, the per-sim exact
+//!    campaign shape (one `SystemSimulator` per job — what the
+//!    dispatcher's fallback runs), and the per-sim warm shape. Every
+//!    batch pass must reproduce its same-mode per-sim bits — asserted
+//!    via a shared checksum.
+//! 3. **Campaign wall-clock** of a 16-point factorial over the
 //!    stationary scenario under the deterministic self-scheduling
 //!    queue, at fixed thread counts (1/2/4/8).
 //!
@@ -26,10 +35,16 @@ use ehsim_core::experiment::{Campaign, StandardFactors};
 use ehsim_core::indicators::Indicator;
 use ehsim_core::scenario::Scenario;
 use ehsim_doe::design::factorial::full_factorial_2k;
-use ehsim_node::{NodeConfig, PreparedSimulator, SolverMode, SystemSimulator};
+use ehsim_node::{BatchSimulator, NodeConfig, PreparedSimulator, SolverMode, SystemSimulator};
 use ehsim_vibration::Sine;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Lane widths of the batched-kernel series.
+const BATCH_WIDTHS: [usize; 4] = [1, 4, 16, 64];
+
+/// Design points in the batched-kernel series — one full maximal batch.
+const BATCH_CONFIGS: usize = 64;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -135,7 +150,152 @@ fn run(
         println!("{:<28} {:>14.0} {:>9.2}x", name, tps, tps / tps_ref);
     }
 
-    // --- 2. campaign wall-clock scaling -----------------------------
+    // --- 2. batched SoA kernel vs the per-sim campaign shape --------
+    // 64 design points spread across the standard design box — the
+    // homogeneous job group a campaign hands the dispatcher. Three
+    // per-sim baselines on the same workload: the pre-refactor
+    // reference path (the 1.00x anchor), the pre-dispatch exact
+    // campaign shape (construct one simulator per job), and the warm
+    // shape. The batch series re-chunks the same configs at each width
+    // in both solver modes; each pass must reproduce its same-mode
+    // per-sim bits — asserted via the checksum.
+    let factors = StandardFactors::default();
+    let span = (BATCH_CONFIGS - 1) as f64;
+    let batch_cfgs: Vec<NodeConfig> = (0..BATCH_CONFIGS)
+        .map(|i| {
+            let f = i as f64 / span;
+            factors.config_for(&[
+                0.05 + f * 0.45,
+                2.0 + (((i * 7) % BATCH_CONFIGS) as f64 / span) * 28.0,
+                0.25 + f * 3.75,
+                -10.0 + (((i * 13) % BATCH_CONFIGS) as f64 / span) * 14.0,
+            ])
+        })
+        .collect();
+    let batch_tick_s = factors.base.tick_s;
+    let batch_ticks_per_cfg = (sim_duration_s / batch_tick_s).round() as u64;
+    let batch_total_ticks = (BATCH_CONFIGS as u64 * batch_ticks_per_cfg) as f64;
+    let reps_batch = (reps / 4).max(2);
+
+    // Warm-up + bit-identity oracle, both modes: the maximal batch,
+    // lane for lane against its same-mode per-sim run.
+    for mode in [SolverMode::Exact, SolverMode::Warm] {
+        let batch_prepared: Vec<PreparedSimulator> = batch_cfgs
+            .iter()
+            .map(|c| PreparedSimulator::with_solver(c.clone(), mode).expect("valid"))
+            .collect();
+        let lane_metrics = BatchSimulator::new(batch_prepared.clone())
+            .expect("homogeneous batch")
+            .run(&src, sim_duration_s)
+            .expect("batch run");
+        for (i, (p, m)) in batch_prepared.iter().zip(&lane_metrics).enumerate() {
+            let solo = p.run(&src, sim_duration_s).expect("per-sim run");
+            assert_eq!(
+                solo.harvested_energy_j.to_bits(),
+                m.harvested_energy_j.to_bits(),
+                "{mode:?} lane {i} must be bit-identical to its per-sim run"
+            );
+            assert_eq!(solo.packets_delivered, m.packets_delivered);
+            assert_eq!(solo.final_v_store.to_bits(), m.final_v_store.to_bits());
+        }
+    }
+
+    let (t_pref, _c_pref) = time_reps(reps_batch, || {
+        let mut acc = 0.0;
+        for cfg in &batch_cfgs {
+            acc += SystemSimulator::new(cfg.clone())
+                .expect("valid config")
+                .run_reference(&src, sim_duration_s)
+                .expect("reference run")
+                .harvested_energy_j;
+        }
+        acc
+    });
+    let tps_pref = reps_batch as f64 * batch_total_ticks / t_pref;
+    let (t_psim, c_psim) = time_reps(reps_batch, || {
+        let mut acc = 0.0;
+        for cfg in &batch_cfgs {
+            acc += SystemSimulator::new(cfg.clone())
+                .expect("valid config")
+                .run(&src, sim_duration_s)
+                .expect("per-sim run")
+                .harvested_energy_j;
+        }
+        acc
+    });
+    let tps_psim = reps_batch as f64 * batch_total_ticks / t_psim;
+    let (t_pwarm, c_pwarm) = time_reps(reps_batch, || {
+        let mut acc = 0.0;
+        for cfg in &batch_cfgs {
+            acc += PreparedSimulator::with_solver(cfg.clone(), SolverMode::Warm)
+                .expect("valid config")
+                .run(&src, sim_duration_s)
+                .expect("per-sim run")
+                .harvested_energy_j;
+        }
+        acc
+    });
+    let tps_pwarm = reps_batch as f64 * batch_total_ticks / t_pwarm;
+
+    println!(
+        "\nbatched kernel — {BATCH_CONFIGS} campaign configs, \
+         {batch_ticks_per_cfg} ticks each x {reps_batch} reps, \
+         bits equal per solver mode"
+    );
+    println!(
+        "{:<28} {:>14} {:>9} {:>9}",
+        "implementation", "ticks/sec", "vs ref", "vs mode"
+    );
+    println!("{}", "-".repeat(64));
+    for (name, tps, base) in [
+        ("per-sim reference", tps_pref, tps_pref),
+        ("per-sim exact", tps_psim, tps_psim),
+        ("per-sim warm-started", tps_pwarm, tps_pwarm),
+    ] {
+        println!(
+            "{:<28} {:>14.0} {:>8.2}x {:>8.2}x",
+            name,
+            tps,
+            tps / tps_pref,
+            tps / base
+        );
+    }
+    // (width, mode, ticks/sec, speedup vs same-mode per-sim, vs reference)
+    let mut batch_series: Vec<(usize, &str, f64, f64, f64)> = Vec::new();
+    for (mode, mode_name, tps_mode, c_mode) in [
+        (SolverMode::Exact, "exact", tps_psim, c_psim),
+        (SolverMode::Warm, "warm", tps_pwarm, c_pwarm),
+    ] {
+        for width in BATCH_WIDTHS {
+            let (t, c) = time_reps(reps_batch, || {
+                let mut acc = 0.0;
+                for chunk in batch_cfgs.chunks(width) {
+                    let batch = BatchSimulator::from_configs(chunk.to_vec(), mode)
+                        .expect("homogeneous batch");
+                    for m in batch.run(&src, sim_duration_s).expect("batch run") {
+                        acc += m.harvested_energy_j;
+                    }
+                }
+                acc
+            });
+            assert_eq!(
+                c.to_bits(),
+                c_mode.to_bits(),
+                "width-{width} {mode_name} batch must reproduce the per-sim bits"
+            );
+            let tps = reps_batch as f64 * batch_total_ticks / t;
+            println!(
+                "{:<28} {:>14.0} {:>8.2}x {:>8.2}x",
+                format!("batch / {mode_name} width {width}"),
+                tps,
+                tps / tps_pref,
+                tps / tps_mode
+            );
+            batch_series.push((width, mode_name, tps, tps / tps_mode, tps / tps_pref));
+        }
+    }
+
+    // --- 3. campaign wall-clock scaling -----------------------------
     let campaign = Campaign::standard(
         StandardFactors::default(),
         Scenario::stationary_machine(campaign_duration_s),
@@ -164,10 +324,10 @@ fn run(
         scaling.push((threads, res.sim_count, wall_ms));
     }
 
-    // --- 3. machine-readable artefact -------------------------------
+    // --- 4. machine-readable artefact -------------------------------
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     json.push_str("  \"generated_by\": \"e10_hotpath\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"ticks_microbench\": {\n");
@@ -195,6 +355,39 @@ fn run(
         json_num(tps_warm / tps_ref)
     ));
     json.push_str("  },\n");
+    json.push_str("  \"batch_microbench\": {\n");
+    json.push_str("    \"scenario\": \"stationary-64Hz\",\n");
+    json.push_str(&format!("    \"configs\": {BATCH_CONFIGS},\n"));
+    json.push_str(&format!(
+        "    \"sim_ticks_per_config\": {batch_ticks_per_cfg},\n"
+    ));
+    json.push_str(&format!("    \"reps\": {reps_batch},\n"));
+    json.push_str(&format!(
+        "    \"per_sim_reference_ticks_per_sec\": {},\n",
+        json_num(tps_pref)
+    ));
+    json.push_str(&format!(
+        "    \"per_sim_exact_ticks_per_sec\": {},\n",
+        json_num(tps_psim)
+    ));
+    json.push_str(&format!(
+        "    \"per_sim_warm_ticks_per_sec\": {},\n",
+        json_num(tps_pwarm)
+    ));
+    json.push_str("    \"batch_ticks_per_sec\": [\n");
+    for (i, (width, mode, tps, vs_mode, vs_ref)) in batch_series.iter().enumerate() {
+        let sep = if i + 1 == batch_series.len() { "" } else { "," };
+        json.push_str(&format!(
+            "      {{\"width\": {width}, \"mode\": \"{mode}\", \
+             \"ticks_per_sec\": {}, \"speedup_vs_per_sim\": {}, \
+             \"speedup_vs_reference\": {}}}{sep}\n",
+            json_num(*tps),
+            json_num(*vs_mode),
+            json_num(*vs_ref)
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     json.push_str("  \"campaign_scaling\": [\n");
     for (i, (threads, jobs, wall_ms)) in scaling.iter().enumerate() {
         let sep = if i + 1 == scaling.len() { "" } else { "," };
@@ -209,9 +402,20 @@ fn run(
     let path = out_dir.join("BENCH_hotpath.json");
     std::fs::write(&path, &json).expect("json writes");
     println!("\nwrote {}", path.display());
+    let (hl_width, _, _, hl_vs_mode, hl_vs_ref) = *batch_series
+        .iter()
+        .filter(|(_, mode, ..)| *mode == "warm")
+        .max_by(|a, b| a.4.total_cmp(&b.4))
+        .expect("non-empty series");
+    let (xl_width, _, _, _, xl_vs_ref) = *batch_series
+        .iter()
+        .filter(|(_, mode, ..)| *mode == "exact")
+        .max_by(|a, b| a.4.total_cmp(&b.4))
+        .expect("non-empty series");
     println!(
-        "headline: warm-started hot path at {:.2}x the pre-refactor baseline",
-        tps_warm / tps_ref
+        "headline: width-{hl_width} warm batch kernel at {hl_vs_ref:.2}x the per-sim \
+         reference baseline ({hl_vs_mode:.2}x the per-sim warm shape); \
+         width-{xl_width} exact batch at {xl_vs_ref:.2}x reference, equal bits"
     );
 }
 
@@ -327,6 +531,14 @@ mod smoke {
             "\"prepared_exact_ticks_per_sec\"",
             "\"prepared_warm_ticks_per_sec\"",
             "\"speedup_warm_vs_baseline\"",
+            "\"batch_microbench\"",
+            "\"per_sim_reference_ticks_per_sec\"",
+            "\"per_sim_exact_ticks_per_sec\"",
+            "\"per_sim_warm_ticks_per_sec\"",
+            "\"batch_ticks_per_sec\"",
+            "\"mode\": \"warm\"",
+            "\"speedup_vs_per_sim\"",
+            "\"speedup_vs_reference\"",
             "\"campaign_scaling\"",
             "\"wall_ms\"",
         ] {

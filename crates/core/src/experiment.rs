@@ -9,7 +9,9 @@ use crate::space::{DesignSpace, Factor};
 use crate::{CoreError, Result};
 use ehsim_doe::Design;
 use ehsim_node::energy_policy::{EnergyAware, Threshold};
-use ehsim_node::{DutyCyclePolicy, NodeConfig, PolicyKind, SystemSimulator};
+use ehsim_node::{
+    BatchSimulator, DutyCyclePolicy, NodeConfig, PolicyKind, PreparedSimulator, SystemSimulator,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -414,6 +416,14 @@ impl Campaign {
 
     /// Runs every design point, using up to `threads` worker threads.
     ///
+    /// Homogeneous designs — every point prepares successfully and
+    /// shares one tick program — are dispatched to the SoA batch
+    /// kernel ([`BatchSimulator`]), which is bit-identical to the
+    /// per-sim path lane for lane; heterogeneous designs fall back to
+    /// one [`SystemSimulator`] per point. Either way the responses,
+    /// their order, and the error semantics are the same for any
+    /// thread count.
+    ///
     /// # Example
     ///
     /// ```
@@ -451,7 +461,17 @@ impl Campaign {
         let start = Instant::now();
         let points: Vec<Vec<f64>> = design.points().to_vec();
         let n = points.len();
-        let responses = run_jobs(n, threads, |j| self.evaluate_coded(&points[j]))?;
+        let responses = match run_design_batched(
+            &self.space,
+            &self.configure,
+            &self.indicators,
+            &[&self.scenario],
+            &points,
+            threads,
+        ) {
+            Some(batched) => batched?,
+            None => run_jobs(n, threads, |j| self.evaluate_coded(&points[j]))?,
+        };
         let physical: Vec<Vec<f64>> = points.iter().map(|p| self.space.decode(p)).collect();
         Ok(CampaignResult {
             coded: points,
@@ -480,11 +500,11 @@ impl Campaign {
 /// order, so every job below the first failing index has been claimed
 /// before the failure is observed and completes; remaining unclaimed
 /// jobs are abandoned once a failure is flagged.)
-fn run_jobs(
+fn run_jobs<T: Send>(
     n_jobs: usize,
     threads: usize,
-    job: impl Fn(usize) -> Result<Vec<f64>> + Sync,
-) -> Result<Vec<Vec<f64>>> {
+    job: impl Fn(usize) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -501,8 +521,7 @@ fn run_jobs(
     // One slot per job; a worker is the only writer of the slots it
     // claimed, so every lock is uncontended and the output ordering is
     // fixed by construction.
-    let slots: Vec<Mutex<Option<Result<Vec<f64>>>>> =
-        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -534,6 +553,104 @@ fn run_jobs(
         }
     }
     Ok(out)
+}
+
+/// Upper bound on the lane width of one batched-dispatch chunk. Wide
+/// enough to keep the lock-step PPU rounds full of independent chains,
+/// small enough that a chunk's SoA state stays cache-resident and the
+/// chunk count still load-balances across the worker queue.
+const MAX_BATCH_WIDTH: usize = 64;
+
+/// Attempts to run the flattened `(design point × scenario)` job list
+/// through the SoA batch kernel ([`BatchSimulator`]) instead of one
+/// [`SystemSimulator`] per job.
+///
+/// Dispatch rules — the group must be *homogeneous* (one tick program):
+///
+/// * every point's configuration must prepare successfully and share
+///   the same `tick_s` (compared bitwise); a custom [`Configure`] that
+///   varies the tick per point falls back to the per-sim path, as does
+///   any preparation failure (the fallback then reproduces the exact
+///   per-sim error at the right job index);
+/// * with a multi-scenario ensemble, the point count must reach the
+///   thread count — below that, per-sim scheduling over the flattened
+///   jobs exposes more parallelism than point-chunked batches would.
+///
+/// Returns `None` to request the per-sim fallback. On the batched path
+/// the responses are **bit-identical** to the per-sim path (the kernel's
+/// lane-for-lane bit-exactness contract), job order is preserved, and a
+/// mid-run failure surfaces the error of the smallest failing job
+/// index: chunks are contiguous point ranges run through the same
+/// deterministic queue, and within a chunk lanes are scanned in
+/// point-major, scenario-minor order — exactly the flattened job order.
+fn run_design_batched(
+    space: &DesignSpace,
+    configure: &Configure,
+    indicators: &[Indicator],
+    scenarios: &[&Scenario],
+    points: &[Vec<f64>],
+    threads: usize,
+) -> Option<Result<Vec<Vec<f64>>>> {
+    let n_points = points.len();
+    let n_scen = scenarios.len();
+    if n_points == 0 || n_scen == 0 {
+        return Some(Ok(Vec::new()));
+    }
+    if n_scen > 1 && n_points < threads {
+        return None;
+    }
+    let cfgs: Vec<NodeConfig> = points
+        .iter()
+        .map(|p| (configure)(&space.decode(p)))
+        .collect();
+    let prepared: Vec<PreparedSimulator> = match cfgs
+        .iter()
+        .map(|cfg| PreparedSimulator::new(cfg.clone()))
+        .collect()
+    {
+        Ok(v) => v,
+        Err(_) => return None,
+    };
+    let tick0 = prepared[0].config().tick_s.to_bits();
+    if prepared
+        .iter()
+        .any(|p| p.config().tick_s.to_bits() != tick0)
+    {
+        return None;
+    }
+
+    // Contiguous point chunks, one batch per chunk; chunk order is
+    // point order, so the queue's smallest-failing-job contract
+    // composes across chunks.
+    let width = n_points
+        .div_ceil(threads.clamp(1, n_points))
+        .clamp(1, MAX_BATCH_WIDTH);
+    let n_chunks = n_points.div_ceil(width);
+    let per_chunk = run_jobs(n_chunks, threads, |ci| {
+        let lo = ci * width;
+        let hi = (lo + width).min(n_points);
+        let batch = BatchSimulator::new(prepared[lo..hi].to_vec())?;
+        let per_scenario: Vec<Vec<ehsim_node::Result<_>>> = scenarios
+            .iter()
+            .map(|sc| batch.run_lanes(sc.source().as_ref(), sc.duration_s()))
+            .collect::<ehsim_node::Result<_>>()?;
+        let mut cells: Vec<Vec<f64>> = Vec::with_capacity((hi - lo) * n_scen);
+        for lane in 0..(hi - lo) {
+            for lanes in &per_scenario {
+                match &lanes[lane] {
+                    Ok(metrics) => cells.push(
+                        indicators
+                            .iter()
+                            .map(|ind| ind.extract(metrics, &cfgs[lo + lane]))
+                            .collect(),
+                    ),
+                    Err(e) => return Err(e.clone().into()),
+                }
+            }
+        }
+        Ok(cells)
+    });
+    Some(per_chunk.map(|chunks| chunks.into_iter().flatten().collect()))
 }
 
 impl std::fmt::Debug for Campaign {
@@ -725,6 +842,12 @@ impl EnsembleCampaign {
     /// job-indexed slots, so results are bit-identical for any thread
     /// count.
     ///
+    /// When the design is homogeneous (one tick program) and at least
+    /// as many points as threads, the flattened jobs are dispatched to
+    /// the SoA batch kernel ([`BatchSimulator`]) in contiguous point
+    /// chunks — bit-identical to the per-sim path lane for lane;
+    /// otherwise every job runs its own [`SystemSimulator`].
+    ///
     /// # Errors
     ///
     /// [`CoreError::InvalidArgument`] on factor-count mismatch;
@@ -743,15 +866,26 @@ impl EnsembleCampaign {
         let n_scen = self.ensemble.len();
         let n_jobs = n_points * n_scen;
         // Job j simulates point j / n_scen against scenario j % n_scen.
-        let responses = run_jobs(n_jobs, threads, |j| {
-            simulate_point(
-                &self.space,
-                &self.configure,
-                &self.indicators,
-                self.ensemble.scenario(j % n_scen),
-                &points[j / n_scen],
-            )
-        })?;
+        let scenarios: Vec<&Scenario> = (0..n_scen).map(|s| self.ensemble.scenario(s)).collect();
+        let responses = match run_design_batched(
+            &self.space,
+            &self.configure,
+            &self.indicators,
+            &scenarios,
+            &points,
+            threads,
+        ) {
+            Some(batched) => batched?,
+            None => run_jobs(n_jobs, threads, |j| {
+                simulate_point(
+                    &self.space,
+                    &self.configure,
+                    &self.indicators,
+                    self.ensemble.scenario(j % n_scen),
+                    &points[j / n_scen],
+                )
+            })?,
+        };
         let wall = start.elapsed();
         let physical: Vec<Vec<f64>> = points.iter().map(|p| self.space.decode(p)).collect();
         let weights = self.ensemble.weights();

@@ -37,15 +37,17 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidArgument`] for a non-positive duration.
+    /// [`CoreError::InvalidArgument`] for a duration that is not
+    /// positive and finite (the historical guard admitted
+    /// `f64::INFINITY`, which would hang the simulator's tick loop).
     pub fn new(
         source: Arc<dyn VibrationSource>,
         duration_s: f64,
         label: impl Into<String>,
     ) -> Result<Self> {
-        if !(duration_s > 0.0) {
+        if !(duration_s > 0.0) || !duration_s.is_finite() {
             return Err(CoreError::invalid(format!(
-                "duration must be positive, got {duration_s}"
+                "duration must be positive and finite, got {duration_s}"
             )));
         }
         Ok(Scenario {
@@ -311,7 +313,11 @@ mod tests {
     #[test]
     fn validation() {
         let src = Arc::new(Sine::new(1.0, 50.0).unwrap());
-        assert!(Scenario::new(src, 0.0, "x").is_err());
+        assert!(Scenario::new(src.clone(), 0.0, "x").is_err());
+        // Regression: infinite and NaN durations must be rejected here,
+        // not handed to the simulator's tick loop.
+        assert!(Scenario::new(src.clone(), f64::INFINITY, "x").is_err());
+        assert!(Scenario::new(src, f64::NAN, "x").is_err());
     }
 
     #[test]

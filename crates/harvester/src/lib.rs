@@ -327,9 +327,18 @@ impl Harvester {
         freq_hz: f64,
         accel_amp: f64,
     ) -> Result<(f64, Complex)> {
-        if !(freq_hz > 0.0) || !(accel_amp >= 0.0) {
+        // Finiteness matters as much as sign here: a hostile source can
+        // emit an infinite frequency or amplitude, and `>` alone would
+        // wave it through into the Thevenin equivalent (and from there
+        // into the simulator's memo key and warm-start seed).
+        if !(freq_hz > 0.0 && freq_hz.is_finite()) || !(accel_amp >= 0.0 && accel_amp.is_finite()) {
             return Err(HarvesterError::invalid(format!(
-                "need freq > 0 and accel >= 0 (got {freq_hz}, {accel_amp})"
+                "need finite freq > 0 and finite accel >= 0 (got {freq_hz}, {accel_amp})"
+            )));
+        }
+        if !p.is_finite() {
+            return Err(HarvesterError::invalid(format!(
+                "tuning position must be finite, got {p}"
             )));
         }
         let w = 2.0 * PI * freq_hz;
@@ -370,14 +379,14 @@ impl Harvester {
         r_load: f64,
     ) -> Result<SteadyState> {
         self.validate()?;
-        if !(r_load > 0.0) {
+        if !(r_load > 0.0 && r_load.is_finite()) {
             return Err(HarvesterError::invalid(format!(
-                "load resistance must be positive, got {r_load}"
+                "load resistance must be positive and finite, got {r_load}"
             )));
         }
-        if !(freq_hz > 0.0) || !(accel_amp >= 0.0) {
+        if !(freq_hz > 0.0 && freq_hz.is_finite()) || !(accel_amp >= 0.0 && accel_amp.is_finite()) {
             return Err(HarvesterError::invalid(format!(
-                "need freq > 0 and accel >= 0 (got {freq_hz}, {accel_amp})"
+                "need finite freq > 0 and finite accel >= 0 (got {freq_hz}, {accel_amp})"
             )));
         }
         let w = 2.0 * PI * freq_hz;
@@ -672,6 +681,31 @@ mod tests {
         let h3 = Harvester::default_tunable();
         assert!(h3.steady_state(0.5, -1.0, 0.5, 1e3).is_err());
         assert!(h3.steady_state(0.5, 60.0, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn thevenin_rejects_non_finite_inputs() {
+        // Regression: a hostile vibration source can hand the envelope
+        // path infinite or NaN values; they must error instead of
+        // propagating into the Thevenin equivalent.
+        let h = Harvester::default_tunable();
+        let prepared = h.prepared().unwrap();
+        for (p, f, a) in [
+            (0.5, f64::INFINITY, 0.5),
+            (0.5, f64::NAN, 0.5),
+            (0.5, 60.0, f64::INFINITY),
+            (0.5, 60.0, f64::NAN),
+            (f64::NAN, 60.0, 0.5),
+            (f64::INFINITY, 60.0, 0.5),
+        ] {
+            assert!(h.thevenin(p, f, a).is_err(), "thevenin({p}, {f}, {a})");
+            assert!(
+                prepared.thevenin(p, f, a).is_err(),
+                "prepared.thevenin({p}, {f}, {a})"
+            );
+        }
+        assert!(h.steady_state(0.5, 60.0, 0.5, f64::INFINITY).is_err());
+        assert!(h.steady_state(0.5, f64::INFINITY, 0.5, 1e3).is_err());
     }
 
     #[test]

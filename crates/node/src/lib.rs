@@ -32,15 +32,18 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod mcu;
 pub mod policy;
 pub mod sim;
 pub mod tuning;
 
+pub use batch::BatchSimulator;
 pub use mcu::{McuModel, RadioModel, TaskModel};
 pub use policy::DutyCyclePolicy;
 pub use sim::{
-    NodeMetrics, PreparedSimulator, SolverMode, SystemSimulator, SystemTrace, MIN_TASK_PERIOD_S,
+    NodeMetrics, PreparedSimulator, SolverMode, SystemSimulator, SystemTrace, MAX_TICKS,
+    MIN_TASK_PERIOD_S,
 };
 pub use tuning::TuningController;
 

@@ -68,6 +68,37 @@ use ehsim_vibration::VibrationSource;
 /// makes the per-tick firing bound derivable instead of a magic cap.
 pub const MIN_TASK_PERIOD_S: f64 = 1e-3;
 
+/// Upper bound on the number of ticks a single run may simulate
+/// (2^53, the largest f64-exact integer). `duration_s / tick_s` above
+/// this is rejected instead of silently saturating the `as usize`
+/// cast at `usize::MAX` and turning the tick loop into an effectively
+/// unbounded hang.
+pub const MAX_TICKS: f64 = 9_007_199_254_740_992.0;
+
+/// Validates a run duration against a tick length and returns the tick
+/// count: `round(duration_s / dt)`, floored at one tick.
+///
+/// Shared by [`PreparedSimulator`], [`SystemSimulator::run_reference`]
+/// and the batched kernel so every entry point applies the identical
+/// guard: the duration must be positive **and finite** (the historical
+/// `!(duration_s > 0.0)` guard admitted `f64::INFINITY`), and the
+/// rounded tick count must not exceed [`MAX_TICKS`].
+pub(crate) fn tick_count(duration_s: f64, dt: f64) -> Result<usize> {
+    if !(duration_s > 0.0) || !duration_s.is_finite() {
+        return Err(NodeError::invalid(format!(
+            "duration must be positive and finite, got {duration_s}"
+        )));
+    }
+    let n = (duration_s / dt).round().max(1.0);
+    if n > MAX_TICKS {
+        return Err(NodeError::invalid(format!(
+            "duration of {duration_s} s at a {dt} s tick needs {n:.3e} ticks, \
+             above the {MAX_TICKS:.3e}-tick bound"
+        )));
+    }
+    Ok(n as usize)
+}
+
 /// Aggregated performance indicators of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeMetrics {
@@ -167,22 +198,22 @@ struct ActuatorMove {
 /// ensemble) without re-paying either cost.
 #[derive(Debug, Clone)]
 pub struct PreparedSimulator {
-    cfg: NodeConfig,
-    harv: PreparedHarvester,
-    ppu: PreparedPpu,
-    mode: SolverMode,
+    pub(crate) cfg: NodeConfig,
+    pub(crate) harv: PreparedHarvester,
+    pub(crate) ppu: PreparedPpu,
+    pub(crate) mode: SolverMode,
     /// Task cycle energy referred to the storage side of the regulator
     /// (J): `cycle_energy_j / regulator.efficiency`.
-    e_cycle_in: f64,
+    pub(crate) e_cycle_in: f64,
     /// Regulator-referred sleep draw (W).
-    p_sleep_in: f64,
+    pub(crate) p_sleep_in: f64,
     /// Regulator-referred tuning measurement energy (J).
-    e_measure_in: f64,
+    pub(crate) e_measure_in: f64,
     /// Regulator-referred actuator energy per tick while moving (J).
-    e_act_tick: f64,
+    pub(crate) e_act_tick: f64,
     /// dt-derived bound on task firings per tick (see
     /// [`MIN_TASK_PERIOD_S`]).
-    max_fires_per_tick: u64,
+    pub(crate) max_fires_per_tick: u64,
 }
 
 impl PreparedSimulator {
@@ -243,9 +274,18 @@ impl PreparedSimulator {
 
     /// Runs for `duration_s` seconds and returns the metrics.
     ///
+    /// The run simulates `round(duration_s / tick_s)` ticks (at least
+    /// one): a requested duration within half a tick of a whole tick
+    /// count is realised exactly, and anything else is silently rounded
+    /// by up to half a tick. [`NodeMetrics::duration_s`] always reports
+    /// the realised duration `n_ticks * tick_s`, so rate-style
+    /// indicators are normalised by what was actually simulated.
+    ///
     /// # Errors
     ///
-    /// [`NodeError::InvalidParameter`] for a non-positive duration, or
+    /// [`NodeError::InvalidParameter`] for a duration that is not
+    /// positive and finite or that needs more than
+    /// [`MAX_TICKS`] ticks, or
     /// [`NodeError::Model`] if a sub-model fails mid-run or the task
     /// schedule saturates its per-tick firing bound.
     pub fn run(&self, source: &dyn VibrationSource, duration_s: f64) -> Result<NodeMetrics> {
@@ -278,14 +318,9 @@ impl PreparedSimulator {
         duration_s: f64,
         trace_stride: Option<usize>,
     ) -> Result<(NodeMetrics, Option<SystemTrace>)> {
-        if !(duration_s > 0.0) {
-            return Err(NodeError::invalid(format!(
-                "duration must be positive, got {duration_s}"
-            )));
-        }
         let cfg = &self.cfg;
         let dt = cfg.tick_s;
-        let n_ticks = (duration_s / dt).round().max(1.0) as usize;
+        let n_ticks = tick_count(duration_s, dt)?;
         let warm = self.mode == SolverMode::Warm;
 
         let mut v = cfg.v_store0;
@@ -533,7 +568,7 @@ impl PreparedSimulator {
     }
 }
 
-fn task_saturation_error(dt: f64, bound: u64) -> NodeError {
+pub(crate) fn task_saturation_error(dt: f64, bound: u64) -> NodeError {
     NodeError::Model(format!(
         "task schedule saturated: more than {bound} task firings queued in one \
          {dt} s tick (period floor {MIN_TASK_PERIOD_S} s); the duty-cycle \
@@ -621,14 +656,9 @@ impl SystemSimulator {
         source: &dyn VibrationSource,
         duration_s: f64,
     ) -> Result<NodeMetrics> {
-        if !(duration_s > 0.0) {
-            return Err(NodeError::invalid(format!(
-                "duration must be positive, got {duration_s}"
-            )));
-        }
         let cfg = self.config();
         let dt = cfg.tick_s;
-        let n_ticks = (duration_s / dt).round().max(1.0) as usize;
+        let n_ticks = tick_count(duration_s, dt)?;
         let e_cycle = cfg.task.cycle_energy_j(&cfg.mcu, &cfg.radio);
         let reg = &cfg.regulator;
         let max_fires = (dt / MIN_TASK_PERIOD_S).ceil() as u64 + 1;
@@ -1066,6 +1096,57 @@ mod tests {
         assert!(sim.run(&src, 0.0).is_err());
         assert!(sim.run_reference(&src, 0.0).is_err());
         assert!(sim.run_with_trace(&src, 10.0, 0).is_err());
+    }
+
+    #[test]
+    fn non_finite_and_overflowing_durations_rejected() {
+        // Regression: the old `!(duration_s > 0.0)` guard admitted
+        // +INFINITY, whose tick count saturates `as usize` at
+        // usize::MAX and hangs the tick loop for ~centuries. Every
+        // entry point must reject it, and NaN, and any finite duration
+        // whose tick count exceeds MAX_TICKS.
+        let cfg = NodeConfig::default_node();
+        let src = resonant_sine(&cfg, 0.8);
+        let sim = SystemSimulator::new(cfg).unwrap();
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, -1.0] {
+            assert!(sim.run(&src, bad).is_err(), "run({bad})");
+            assert!(
+                sim.run_reference(&src, bad).is_err(),
+                "run_reference({bad})"
+            );
+            assert!(
+                sim.run_with_trace(&src, bad, 7).is_err(),
+                "run_with_trace({bad})"
+            );
+        }
+        // 1e300 s at a 1 s tick is finite but needs ~1e300 ticks.
+        let huge = 1e300;
+        let err = sim.run(&src, huge).unwrap_err().to_string();
+        assert!(err.contains("tick"), "unexpected message: {err}");
+        assert!(sim.run_reference(&src, huge).is_err());
+        // The bound itself is fine to sit just under (no run — just the
+        // tick_count contract).
+        assert_eq!(tick_count(8.0, 2.0).unwrap(), 4);
+        assert!(tick_count(MAX_TICKS * 4.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn duration_rounds_to_nearest_whole_tick() {
+        // Documented half-tick behaviour: round(duration / dt) ticks,
+        // floored at one, with the realised duration reported back.
+        let mut cfg = NodeConfig::default_node();
+        cfg.tick_s = 0.1;
+        let src = resonant_sine(&cfg, 0.8);
+        let sim = SystemSimulator::new(cfg).unwrap();
+        // 10.04 s at dt = 0.1 → 100 ticks (truncated by 0.04 s).
+        let m = sim.run(&src, 10.04).unwrap();
+        assert_eq!(m.duration_s.to_bits(), (100.0f64 * 0.1).to_bits());
+        // 10.06 s → 101 ticks (extended by 0.04 s).
+        let m = sim.run(&src, 10.06).unwrap();
+        assert_eq!(m.duration_s.to_bits(), (101.0f64 * 0.1).to_bits());
+        // Sub-tick durations are floored at one tick.
+        let m = sim.run(&src, 1e-6).unwrap();
+        assert_eq!(m.duration_s.to_bits(), 0.1f64.to_bits());
     }
 
     // ---- hot-path refactor equivalence & bugfix coverage ----

@@ -1,0 +1,341 @@
+//! Batched-kernel equivalence suite: the SoA tick kernel must be
+//! bit-identical, lane for lane, to the per-sim oracle
+//! ([`PreparedSimulator::run`]) — across batch widths, duty-cycle
+//! policies, energy policies, solver modes and workloads — and must
+//! capture per-lane mid-run errors with the per-sim error text and the
+//! smallest-failing-lane-index contract.
+
+use ehsim_node::energy_policy::{EnergyAware, PolicyKind, Threshold};
+use ehsim_node::{
+    BatchSimulator, DutyCyclePolicy, NodeConfig, NodeMetrics, PreparedSimulator, SolverMode,
+};
+use ehsim_vibration::{DriftSchedule, Envelope, Sine, VibrationSource};
+use proptest::prelude::*;
+
+fn assert_metrics_bitwise_eq(a: &NodeMetrics, b: &NodeMetrics, what: &str) {
+    assert_eq!(a.packets_delivered, b.packets_delivered, "{what}");
+    assert_eq!(a.brownout_count, b.brownout_count, "{what}");
+    assert_eq!(a.retune_count, b.retune_count, "{what}");
+    assert_eq!(a.measurement_count, b.measurement_count, "{what}");
+    for (x, y, f) in [
+        (a.duration_s, b.duration_s, "duration"),
+        (a.uptime_fraction, b.uptime_fraction, "uptime"),
+        (a.tuning_energy_j, b.tuning_energy_j, "tuning_energy"),
+        (a.harvested_energy_j, b.harvested_energy_j, "harvested"),
+        (a.consumed_energy_j, b.consumed_energy_j, "consumed"),
+        (a.min_v_store, b.min_v_store, "min_v"),
+        (a.final_v_store, b.final_v_store, "final_v"),
+        (a.avg_harvest_power_w, b.avg_harvest_power_w, "avg_harvest"),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {f}: {x} vs {y}");
+    }
+    assert_eq!(a.time_to_first_packet_s, b.time_to_first_packet_s, "{what}");
+}
+
+fn resonant_sine(cfg: &NodeConfig, amp: f64) -> Sine {
+    let f = cfg.harvester.resonant_frequency(cfg.initial_position);
+    Sine::new(amp, f).expect("valid source")
+}
+
+/// The fixture matrix: every duty-cycle policy family × every energy
+/// policy family × {stationary, weak, cold-start, drifting} workloads.
+fn fixture_cases() -> Vec<(NodeConfig, Box<dyn VibrationSource>)> {
+    let duty_policies = [
+        DutyCyclePolicy::Fixed,
+        DutyCyclePolicy::StorageLinear { max_stretch: 6.0 },
+        DutyCyclePolicy::default(),
+    ];
+    let energy_policies = [
+        PolicyKind::Static,
+        PolicyKind::Threshold(Threshold {
+            v_low: 2.8,
+            v_high: 3.2,
+            throttle_scale: 8.0,
+            skip_while_throttled: true,
+        }),
+        PolicyKind::EnergyAware(EnergyAware::default()),
+    ];
+    let mut cases: Vec<(NodeConfig, Box<dyn VibrationSource>)> = Vec::new();
+    for (di, duty) in duty_policies.into_iter().enumerate() {
+        for (ei, energy) in energy_policies.into_iter().enumerate() {
+            let mut base = NodeConfig::default_node();
+            base.policy = duty;
+            base.energy_policy = energy;
+            // Rotate workloads through the policy grid so every policy
+            // family sees more than one of them without exploding the
+            // case count.
+            match (di + ei) % 3 {
+                0 => {
+                    let src = resonant_sine(&base, 0.9);
+                    cases.push((base, Box::new(src)));
+                }
+                1 => {
+                    let mut weak = base;
+                    weak.storage.capacitance = 0.02;
+                    let src = resonant_sine(&weak, 0.6);
+                    cases.push((weak, Box::new(src)));
+                }
+                _ => {
+                    let mut drift = base;
+                    drift.initial_position = drift.harvester.position_for_frequency(60.0);
+                    cases.push((
+                        drift,
+                        Box::new(
+                            DriftSchedule::new(vec![(0.0, 60.0), (500.0, 72.0)], 0.8).unwrap(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // A cold-start lane on top of the grid.
+    let mut cold = NodeConfig::default_node();
+    cold.v_store0 = 0.0;
+    cold.storage.capacitance = 2e-3;
+    let src = resonant_sine(&cold, 1.0);
+    cases.push((cold, Box::new(src)));
+    cases
+}
+
+fn run_fixture_widths(mode: SolverMode, duration_s: f64) {
+    let cases = fixture_cases();
+    for width in [1usize, 3, 8, 64] {
+        let lanes: Vec<PreparedSimulator> = (0..width)
+            .map(|j| {
+                PreparedSimulator::with_solver(cases[j % cases.len()].0.clone(), mode).unwrap()
+            })
+            .collect();
+        let sources: Vec<&dyn VibrationSource> = (0..width)
+            .map(|j| cases[j % cases.len()].1.as_ref())
+            .collect();
+        let batch = BatchSimulator::new(lanes.clone()).unwrap();
+        assert_eq!(batch.width(), width);
+        assert_eq!(batch.solver_mode(), mode);
+        let results = batch.run_lanes_with_sources(&sources, duration_s).unwrap();
+        for (j, result) in results.iter().enumerate() {
+            let oracle = lanes[j].run(sources[j], duration_s).unwrap();
+            let got = result.as_ref().expect("lane must succeed");
+            assert_metrics_bitwise_eq(got, &oracle, &format!("{mode:?} width {width} lane {j}"));
+        }
+    }
+}
+
+#[test]
+fn exact_lanes_bit_identical_to_per_sim_oracle() {
+    run_fixture_widths(SolverMode::Exact, 600.0);
+}
+
+#[test]
+fn warm_lanes_bit_identical_to_per_sim_warm() {
+    // Warm mode seeds each solve from the previous tick; the batch
+    // kernel carries the seed per lane and must still match the
+    // per-sim warm path bit for bit.
+    run_fixture_widths(SolverMode::Warm, 600.0);
+}
+
+#[test]
+fn shared_source_matches_per_sim_runs() {
+    // The campaign shape: many configurations, one scenario source.
+    let base = NodeConfig::default_node();
+    let src = resonant_sine(&base, 0.85);
+    let cfgs: Vec<NodeConfig> = (0..16)
+        .map(|i| {
+            let mut c = base.clone();
+            c.storage.capacitance = 0.05 + 0.03 * i as f64;
+            c.task.period_s = 4.0 + i as f64;
+            c
+        })
+        .collect();
+    let batch = BatchSimulator::from_configs(cfgs.clone(), SolverMode::Exact).unwrap();
+    let metrics = batch.run(&src, 900.0).unwrap();
+    assert_eq!(metrics.len(), 16);
+    for (i, (cfg, got)) in cfgs.into_iter().zip(&metrics).enumerate() {
+        let oracle = PreparedSimulator::new(cfg)
+            .unwrap()
+            .run(&src, 900.0)
+            .unwrap();
+        assert_metrics_bitwise_eq(got, &oracle, &format!("shared-source lane {i}"));
+    }
+}
+
+#[test]
+fn construction_rejects_empty_and_heterogeneous_batches() {
+    assert!(BatchSimulator::new(Vec::new()).is_err());
+    let a = NodeConfig::default_node();
+    let mut b = NodeConfig::default_node();
+    b.tick_s = a.tick_s * 2.0;
+    let lanes = vec![
+        PreparedSimulator::new(a.clone()).unwrap(),
+        PreparedSimulator::new(b).unwrap(),
+    ];
+    assert!(
+        BatchSimulator::new(lanes).is_err(),
+        "mixed tick_s must be rejected"
+    );
+    let lanes = vec![
+        PreparedSimulator::with_solver(a.clone(), SolverMode::Exact).unwrap(),
+        PreparedSimulator::with_solver(a, SolverMode::Warm).unwrap(),
+    ];
+    assert!(
+        BatchSimulator::new(lanes).is_err(),
+        "mixed solver modes must be rejected"
+    );
+}
+
+#[test]
+fn invalid_durations_rejected_wholesale() {
+    let cfg = NodeConfig::default_node();
+    let src = resonant_sine(&cfg, 0.9);
+    let batch = BatchSimulator::from_configs(vec![cfg], SolverMode::Exact).unwrap();
+    for bad in [0.0, -1.0, f64::INFINITY, f64::NAN, 1e300] {
+        assert!(batch.run(&src, bad).is_err(), "duration {bad}");
+        assert!(batch.run_lanes(&src, bad).is_err(), "duration {bad}");
+    }
+}
+
+/// A source that behaves like `inner` until `t_poison`, then emits a
+/// non-finite envelope frequency — the hostile-source scenario the
+/// validation sweep guards against, and the only practical way to make
+/// a healthy lane fail mid-run.
+struct PoisonAfter {
+    inner: Sine,
+    t_poison: f64,
+}
+
+impl VibrationSource for PoisonAfter {
+    fn acceleration(&self, t: f64) -> f64 {
+        self.inner.acceleration(t)
+    }
+    fn envelope(&self, t: f64) -> Envelope {
+        let mut env = self.inner.envelope(t);
+        if t >= self.t_poison {
+            env.freq_hz = f64::INFINITY;
+        }
+        env
+    }
+}
+
+#[test]
+fn per_lane_errors_captured_with_smallest_failing_index() {
+    let cfg = NodeConfig::default_node();
+    let clean = resonant_sine(&cfg, 0.9);
+    let f = cfg.harvester.resonant_frequency(cfg.initial_position);
+    // Lanes 1 and 3 are poisoned mid-run (lane 3 earlier than lane 1);
+    // lanes 0, 2, 4 stay healthy.
+    let poisoned_late = PoisonAfter {
+        inner: Sine::new(0.9, f).unwrap(),
+        t_poison: 200.0,
+    };
+    let poisoned_early = PoisonAfter {
+        inner: Sine::new(0.9, f).unwrap(),
+        t_poison: 50.0,
+    };
+    let sources: Vec<&dyn VibrationSource> =
+        vec![&clean, &poisoned_late, &clean, &poisoned_early, &clean];
+    let lanes: Vec<PreparedSimulator> = (0..5)
+        .map(|_| PreparedSimulator::new(cfg.clone()).unwrap())
+        .collect();
+    let batch = BatchSimulator::new(lanes.clone()).unwrap();
+    let results = batch.run_lanes_with_sources(&sources, 400.0).unwrap();
+
+    for (i, result) in results.iter().enumerate() {
+        let oracle = lanes[i].run(sources[i], 400.0);
+        match (result, oracle) {
+            (Ok(got), Ok(want)) => {
+                assert_metrics_bitwise_eq(got, &want, &format!("healthy lane {i}"))
+            }
+            (Err(got), Err(want)) => {
+                assert_eq!(
+                    got.to_string(),
+                    want.to_string(),
+                    "lane {i} must fail with the per-sim error"
+                );
+            }
+            (got, want) => panic!("lane {i}: batch {got:?} vs per-sim {want:?}"),
+        }
+    }
+    assert!(results[1].is_err() && results[3].is_err());
+
+    // The fail-fast entry point reports the smallest failing lane
+    // index — lane 1, even though lane 3 failed at an earlier tick.
+    let err = batch
+        .run_lanes_with_sources(&sources, 400.0)
+        .unwrap()
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap_err();
+    let lane1_err = lanes[1].run(sources[1], 400.0).unwrap_err();
+    assert_eq!(err.to_string(), lane1_err.to_string());
+}
+
+#[test]
+fn shared_poison_source_fails_every_lane_and_run_reports_lane_zero() {
+    let cfg = NodeConfig::default_node();
+    let f = cfg.harvester.resonant_frequency(cfg.initial_position);
+    let poison = PoisonAfter {
+        inner: Sine::new(0.9, f).unwrap(),
+        t_poison: 30.0,
+    };
+    let lanes: Vec<PreparedSimulator> = (0..3)
+        .map(|_| PreparedSimulator::new(cfg.clone()).unwrap())
+        .collect();
+    let batch = BatchSimulator::new(lanes.clone()).unwrap();
+    let results = batch.run_lanes(&poison, 120.0).unwrap();
+    assert!(results.iter().all(Result::is_err));
+    let run_err = batch.run(&poison, 120.0).unwrap_err();
+    let oracle_err = lanes[0].run(&poison, 120.0).unwrap_err();
+    assert_eq!(run_err.to_string(), oracle_err.to_string());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomised widths and configuration spreads: every lane of a
+    /// batch must reproduce its per-sim run bit for bit.
+    #[test]
+    fn random_batches_bit_identical_to_per_sim(
+        width in 1usize..6,
+        cap in 0.01f64..0.4,
+        period in 1.0f64..15.0,
+        amp in 0.5f64..1.0,
+        duty_sel in 0usize..3,
+        energy_sel in 0usize..3,
+        warm_sel in 0usize..2,
+    ) {
+        let mut base = NodeConfig::default_node();
+        base.policy = match duty_sel {
+            0 => DutyCyclePolicy::Fixed,
+            1 => DutyCyclePolicy::StorageLinear { max_stretch: 8.0 },
+            _ => DutyCyclePolicy::default(),
+        };
+        base.energy_policy = match energy_sel {
+            0 => PolicyKind::Static,
+            1 => PolicyKind::Threshold(Threshold {
+                v_low: 2.7,
+                v_high: 3.1,
+                throttle_scale: 6.0,
+                skip_while_throttled: false,
+            }),
+            _ => PolicyKind::EnergyAware(EnergyAware::default()),
+        };
+        let src = resonant_sine(&base, amp);
+        let cfgs: Vec<NodeConfig> = (0..width)
+            .map(|i| {
+                let mut c = base.clone();
+                c.storage.capacitance = cap * (1.0 + 0.3 * i as f64);
+                c.task.period_s = period + i as f64;
+                c
+            })
+            .collect();
+        let mode = if warm_sel == 1 { SolverMode::Warm } else { SolverMode::Exact };
+        let batch = BatchSimulator::from_configs(cfgs.clone(), mode).unwrap();
+        let metrics = batch.run(&src, 240.0).unwrap();
+        for (i, cfg) in cfgs.into_iter().enumerate() {
+            let oracle = PreparedSimulator::with_solver(cfg, mode)
+                .unwrap()
+                .run(&src, 240.0)
+                .unwrap();
+            assert_metrics_bitwise_eq(&metrics[i], &oracle, &format!("prop lane {i}"));
+        }
+    }
+}

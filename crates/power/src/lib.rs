@@ -25,7 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod frontend;
+
+pub use batch::BatchPpuSolver;
 
 use ehsim_circuit::{DiodeModel, Netlist, NodeId};
 use ehsim_numeric::complex::Complex;
@@ -228,9 +231,17 @@ impl PreparedPpu {
         v_store: f64,
         seed: Option<f64>,
     ) -> Result<PpuOperatingPoint> {
-        if !(freq_hz > 0.0) || !(v_oc >= 0.0) || !(v_store >= 0.0) {
+        // Finiteness is part of the contract: an infinite frequency
+        // (from a hostile vibration source) or an infinite open-circuit
+        // amplitude must error here rather than seed the fixed-point
+        // iteration (and, downstream, the simulator's warm-start memo)
+        // with NaN.
+        if !(freq_hz > 0.0 && freq_hz.is_finite())
+            || !(v_oc >= 0.0 && v_oc.is_finite())
+            || !(v_store >= 0.0 && v_store.is_finite())
+        {
             return Err(PowerError::invalid(format!(
-                "need freq > 0, v_oc >= 0, v_store >= 0 (got {freq_hz}, {v_oc}, {v_store})"
+                "need finite freq > 0, v_oc >= 0, v_store >= 0 (got {freq_hz}, {v_oc}, {v_store})"
             )));
         }
         let n2 = self.n2;
@@ -701,6 +712,32 @@ mod tests {
             v_end > 0.8 * ideal && v_end <= ideal + 0.1,
             "v_end = {v_end}, ideal = {ideal}"
         );
+    }
+
+    #[test]
+    fn operating_point_rejects_non_finite_inputs() {
+        // Regression: infinite envelope values reaching the solve (via
+        // a hostile vibration source) must error instead of iterating
+        // on NaN and poisoning the warm-start seed.
+        let p = Multiplier::default().prepared().unwrap();
+        let z = Complex::real(2e3);
+        for (v_oc, f, v_st) in [
+            (f64::INFINITY, 60.0, 1.0),
+            (f64::NAN, 60.0, 1.0),
+            (1.5, f64::INFINITY, 1.0),
+            (1.5, f64::NAN, 1.0),
+            (1.5, 60.0, f64::INFINITY),
+            (1.5, 60.0, f64::NAN),
+        ] {
+            assert!(
+                p.operating_point(v_oc, z, f, v_st).is_err(),
+                "operating_point({v_oc}, {f}, {v_st})"
+            );
+            assert!(
+                p.operating_point_from(1.0, v_oc, z, f, v_st).is_err(),
+                "operating_point_from({v_oc}, {f}, {v_st})"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,6 @@ use ehsim::core::indicators::Indicator;
 use ehsim::core::scenario::{Scenario, ScenarioEnsemble};
 use ehsim::doe::design::factorial::full_factorial_2k;
 use ehsim::doe::Design;
-use ehsim::node::NodeConfig;
 use std::sync::Arc;
 
 fn campaign(duration_s: f64) -> Campaign {
