@@ -17,6 +17,7 @@
 //! | `e10_hotpath` | `BENCH_hotpath.json` — simulator ticks/sec (reference vs prepared vs warm-started) and campaign wall-clock vs thread count |
 //! | `e11_policies` | Table E11 — DoE-optimised static tuning vs adaptive energy-management policies |
 //! | `e12_sequential` | Table E12 + `BENCH_sequential.json` — one-shot CCD vs budget-matched sequential RSM refinement |
+//! | `e13_fleet` | Table E13 — shared vs per-cluster harvester tuning for a 1k-node fleet's delivered-packet throughput |
 //!
 //! Criterion benches (`benches/`) time the same kernels statistically.
 
@@ -29,6 +30,8 @@ use ehsim_core::experiment::{
 use ehsim_core::indicators::Indicator;
 use ehsim_core::scenario::{Scenario, ScenarioEnsemble};
 use ehsim_harvester::Harvester;
+use ehsim_net::{Placement, Point, Topology};
+use ehsim_node::NodeConfig;
 use ehsim_power::frontend::build_frontend;
 use ehsim_power::Multiplier;
 use ehsim_vibration::Sine;
@@ -139,6 +142,57 @@ pub fn e12_campaign(duration_s: f64) -> EnsembleCampaign {
     .expect("e12 campaign is valid")
 }
 
+/// Number of min-hop ring clusters in the e13 per-cluster tuning arm.
+pub const E13_N_RINGS: usize = 3;
+
+/// Placement, sink position, and radio range of the e13 fleet at a
+/// given scale: constant-density (0.025 nodes/m²) seeded-uniform
+/// placement in a side × side square with the mains-powered sink at
+/// the centre and a 12 m radio range (≈ 11 expected neighbours per
+/// node — connected, but multi-hop from the second shell outward).
+/// Holding the density rather than the area fixed keeps hop depth and
+/// relay load comparable between the smoke-scale and full-scale
+/// fleets.
+pub fn e13_placement(n: usize) -> (Vec<Point>, Point, f64) {
+    let side_m = (n as f64 / 0.025).sqrt();
+    let positions = Placement::UniformRandom {
+        n,
+        width_m: side_m,
+        height_m: side_m,
+        seed: 0xE13,
+    }
+    .positions()
+    .expect("e13 placement is valid");
+    (positions, Point::new(side_m / 2.0, side_m / 2.0), 12.0)
+}
+
+/// The e13 node baseline: the default node pre-tuned to the factory
+/// floor's 64 Hz backbone on a 0.5 s tick — every candidate tuning
+/// shares the tick, so e13 fleets stay homogeneous and ride the batch
+/// kernel's contiguous-chunk fast path.
+pub fn e13_base_config() -> NodeConfig {
+    let mut cfg = NodeConfig::default_node();
+    cfg.tick_s = 0.5;
+    cfg.initial_position = cfg.harvester.position_for_frequency(64.0);
+    cfg
+}
+
+/// Min-hop ring clusters for the e13 per-cluster arm: ring 0 holds the
+/// sink-adjacent relays that carry the whole fleet's traffic, ring 1
+/// the two-hop shell, ring 2 everything deeper (plus any stranded
+/// node). The assignment is purely a function of the topology —
+/// positions, sink, range — so every candidate tuning of either arm
+/// shares the same clusters.
+pub fn e13_rings(topology: &Topology) -> Vec<usize> {
+    let routes = topology.min_hop_routes();
+    (0..topology.n_nodes())
+        .map(|i| match routes.hop_count(i) {
+            Some(hops) => (hops - 1).min(E13_N_RINGS - 1),
+            None => E13_N_RINGS - 1,
+        })
+        .collect()
+}
+
 /// The circuit-level front-end netlist used by the engine experiments,
 /// with the name of the storage-voltage signal.
 pub fn frontend_netlist() -> (Netlist, String) {
@@ -178,6 +232,26 @@ mod tests {
         let c = e12_campaign(120.0);
         assert_eq!(c.space().k(), 5);
         assert_eq!(c.indicators().len(), 2);
+    }
+
+    #[test]
+    fn e13_fixtures_build() {
+        let (positions, sink, range_m) = e13_placement(48);
+        assert_eq!(positions.len(), 48);
+        let side_m = (48.0f64 / 0.025).sqrt();
+        assert!(positions
+            .iter()
+            .all(|p| (0.0..=side_m).contains(&p.x) && (0.0..=side_m).contains(&p.y)));
+        let topology = Topology::new(positions, sink, range_m).expect("valid topology");
+        let rings = e13_rings(&topology);
+        assert_eq!(rings.len(), 48);
+        assert!(rings.iter().all(|&r| r < E13_N_RINGS));
+        // The centred sink must have at least one one-hop neighbour at
+        // this density, and deeper rings must exist.
+        assert!(rings.contains(&0));
+        assert!(rings.contains(&(E13_N_RINGS - 1)));
+        let cfg = e13_base_config();
+        assert_eq!(cfg.tick_s, 0.5);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Fleet-level DoE campaigns: network indicators as RSM responses.
+//!
+//! The single-node [`crate::experiment::Campaign`] maps a coded design
+//! point to one [`ehsim_node::NodeConfig`] and simulates one node; a
+//! [`FleetCampaign`] maps a coded point to a whole
+//! [`ehsim_net::FleetSpec`] — typically sweeping a shared tuning, or a
+//! per-cluster tuning vector, across hundreds or thousands of nodes —
+//! and extracts [`FleetIndicator`]s from the resulting
+//! [`FleetMetrics`]. The point-to-spec mapping is an arbitrary
+//! closure, so design factors can drive anything the spec expresses:
+//! node configs (per cluster or fleet-wide), the radio model, the
+//! routing policy, the topology itself.
+//!
+//! Parallelism lives *inside* each fleet run (the fleet simulator's
+//! deterministic node-phase scheduler), so design points are evaluated
+//! sequentially; with fleets of hundreds of nodes per point, the node
+//! phase saturates the machine and a second scheduling layer would buy
+//! nothing. Responses are bit-identical for any thread count — the
+//! fleet layer's determinism contract carries through unchanged.
+
+use crate::space::DesignSpace;
+use crate::{CampaignResult, CoreError, Result};
+use ehsim_doe::{fit, Design, FittedModel, ModelSpec};
+use ehsim_net::{FleetMetrics, FleetSimulator, FleetSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A scalar fleet-level performance indicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FleetIndicator {
+    /// Packets delivered *to the sink*, per hour, summed over the
+    /// fleet — the network-level service metric (origination net of
+    /// relay losses).
+    DeliveredPerHour,
+    /// Delivered / originated packets.
+    DeliveryFraction,
+    /// Mean relay energy per forwarded packet-hop (µJ).
+    HopRelayEnergyUj,
+    /// Earliest relay-exhaustion time as a fraction of the run
+    /// (1 = no node died relaying).
+    FirstDeathFraction,
+    /// Population spread (std dev) of end-of-run residual energy
+    /// headroom across the fleet (mJ) — the energy-balance imbalance
+    /// the per-cluster tuning arm tries to shrink.
+    ResidualSpreadMj,
+    /// Worst per-node brown-out margin `min_v_store − v_off` (V); the
+    /// fleet-wide feasibility floor.
+    MinBrownoutMarginV,
+    /// Mean per-node uptime fraction.
+    MeanUptimeFraction,
+}
+
+impl FleetIndicator {
+    /// All fleet indicators, in canonical order.
+    pub fn all() -> Vec<FleetIndicator> {
+        vec![
+            FleetIndicator::DeliveredPerHour,
+            FleetIndicator::DeliveryFraction,
+            FleetIndicator::HopRelayEnergyUj,
+            FleetIndicator::FirstDeathFraction,
+            FleetIndicator::ResidualSpreadMj,
+            FleetIndicator::MinBrownoutMarginV,
+            FleetIndicator::MeanUptimeFraction,
+        ]
+    }
+
+    /// Canonical short name (CSV headers, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetIndicator::DeliveredPerHour => "delivered_per_hour",
+            FleetIndicator::DeliveryFraction => "delivery_fraction",
+            FleetIndicator::HopRelayEnergyUj => "hop_relay_energy_uj",
+            FleetIndicator::FirstDeathFraction => "first_death_fraction",
+            FleetIndicator::ResidualSpreadMj => "residual_spread_mj",
+            FleetIndicator::MinBrownoutMarginV => "min_brownout_margin_v",
+            FleetIndicator::MeanUptimeFraction => "mean_uptime_fraction",
+        }
+    }
+
+    /// Extracts the indicator value from a fleet run's metrics.
+    pub fn extract(&self, m: &FleetMetrics) -> f64 {
+        match self {
+            FleetIndicator::DeliveredPerHour => m.packets_delivered * 3600.0 / m.duration_s,
+            FleetIndicator::DeliveryFraction => m.delivery_fraction,
+            FleetIndicator::HopRelayEnergyUj => m.mean_hop_relay_energy_j * 1e6,
+            FleetIndicator::FirstDeathFraction => m.first_death_s / m.duration_s,
+            FleetIndicator::ResidualSpreadMj => m.residual_spread_j * 1e3,
+            FleetIndicator::MinBrownoutMarginV => m.min_brownout_margin_v,
+            FleetIndicator::MeanUptimeFraction => m.mean_uptime_fraction,
+        }
+    }
+}
+
+impl std::fmt::Display for FleetIndicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps a coded design point to the fleet it describes.
+pub type ConfigureFleet = Arc<dyn Fn(&[f64]) -> FleetSpec + Send + Sync>;
+
+/// A fleet-level simulation campaign: design space + point-to-fleet
+/// mapping + fleet indicators.
+#[derive(Clone)]
+pub struct FleetCampaign {
+    space: DesignSpace,
+    configure: ConfigureFleet,
+    indicators: Vec<FleetIndicator>,
+    threads: usize,
+}
+
+impl FleetCampaign {
+    /// Creates a fleet campaign. `configure` receives **coded** design
+    /// points (the space's `decode` is available for physical
+    /// factors).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] if no indicators are given.
+    pub fn new(
+        space: DesignSpace,
+        configure: ConfigureFleet,
+        indicators: Vec<FleetIndicator>,
+    ) -> Result<Self> {
+        if indicators.is_empty() {
+            return Err(CoreError::invalid("at least one fleet indicator required"));
+        }
+        Ok(FleetCampaign {
+            space,
+            configure,
+            indicators,
+            threads: 1,
+        })
+    }
+
+    /// Sets the node-phase worker-thread count used *inside* each
+    /// fleet run (responses are bit-identical for any value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The fleet indicators, in response-column order.
+    pub fn indicators(&self) -> &[FleetIndicator] {
+        &self.indicators
+    }
+
+    /// Builds (and validates) the fleet at a coded point without
+    /// running it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet validation errors ([`CoreError::Fleet`]).
+    pub fn fleet_at(&self, coded: &[f64]) -> Result<FleetSimulator> {
+        Ok(FleetSimulator::new((self.configure)(coded))?)
+    }
+
+    /// Runs one fleet at a coded point and returns the indicator
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on factor-count mismatch;
+    /// [`CoreError::Fleet`] on fleet validation or simulation
+    /// failure (smallest failing node).
+    pub fn evaluate_coded(&self, coded: &[f64]) -> Result<Vec<f64>> {
+        if coded.len() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "point has {} factors, space has {}",
+                coded.len(),
+                self.space.k()
+            )));
+        }
+        let outcome = self.fleet_at(coded)?.run(self.threads)?;
+        Ok(self
+            .indicators
+            .iter()
+            .map(|ind| ind.extract(&outcome.metrics))
+            .collect())
+    }
+
+    /// Runs every design point (sequentially — see the module docs for
+    /// why the parallelism lives inside each fleet run).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on factor-count mismatch;
+    /// propagates the first fleet failure.
+    pub fn run_design(&self, design: &Design) -> Result<CampaignResult> {
+        if design.k() != self.space.k() {
+            return Err(CoreError::invalid(format!(
+                "design has {} factors, space has {}",
+                design.k(),
+                self.space.k()
+            )));
+        }
+        let start = Instant::now();
+        let points: Vec<Vec<f64>> = design.points().to_vec();
+        let mut responses = Vec::with_capacity(points.len());
+        for p in &points {
+            responses.push(self.evaluate_coded(p)?);
+        }
+        let physical: Vec<Vec<f64>> = points.iter().map(|p| self.space.decode(p)).collect();
+        let sim_count = points.len();
+        Ok(CampaignResult {
+            coded: points,
+            physical,
+            responses,
+            sim_count,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Fits one quadratic RSM per indicator from a campaign result.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Doe`] if the design cannot support a quadratic
+    /// model (too few distinct points).
+    pub fn fit_quadratic(&self, result: &CampaignResult) -> Result<Vec<FittedModel>> {
+        let spec = ModelSpec::quadratic(self.space.k())?;
+        self.indicators
+            .iter()
+            .enumerate()
+            .map(|(idx, _)| {
+                fit(&spec, &result.coded, &result.response_column(idx)).map_err(CoreError::from)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{DesignSpace, Factor};
+    use ehsim_doe::design::factorial::full_factorial_2k;
+    use ehsim_net::{FleetSpec, Placement, Point};
+    use ehsim_node::NodeConfig;
+
+    fn tiny_campaign() -> FleetCampaign {
+        let space = DesignSpace::new(vec![
+            Factor::new("c_store_f", 0.05, 0.2).unwrap(),
+            Factor::new("task_period_s", 2.0, 12.0).unwrap(),
+        ])
+        .unwrap();
+        let sp = space.clone();
+        let configure: ConfigureFleet = Arc::new(move |coded: &[f64]| {
+            let phys = sp.decode(coded);
+            let mut cfg = NodeConfig::default_node();
+            cfg.tick_s = 0.5;
+            cfg.storage.capacitance = phys[0];
+            cfg.task.period_s = phys[1];
+            let positions = Placement::UniformRandom {
+                n: 8,
+                width_m: 50.0,
+                height_m: 50.0,
+                seed: 3,
+            }
+            .positions()
+            .expect("valid placement");
+            FleetSpec::homogeneous(cfg, positions, Point::new(25.0, 25.0), 22.0, 20.0)
+        });
+        FleetCampaign::new(
+            space,
+            configure,
+            vec![
+                FleetIndicator::DeliveredPerHour,
+                FleetIndicator::MinBrownoutMarginV,
+            ],
+        )
+        .unwrap()
+        .with_threads(2)
+    }
+
+    #[test]
+    fn fleet_campaign_runs_a_design_and_fits() {
+        let campaign = tiny_campaign();
+        let design = full_factorial_2k(2).unwrap();
+        let result = campaign.run_design(&design).unwrap();
+        assert_eq!(result.sim_count, 4);
+        assert_eq!(result.responses[0].len(), 2);
+        // 2^2 cannot support a quadratic in 2 factors (6 terms) — the
+        // fit must error, not panic.
+        assert!(campaign.fit_quadratic(&result).is_err());
+    }
+
+    #[test]
+    fn responses_are_thread_count_invariant() {
+        let campaign = tiny_campaign();
+        let a = campaign.evaluate_coded(&[0.0, 0.0]).unwrap();
+        let b = tiny_campaign()
+            .with_threads(8)
+            .evaluate_coded(&[0.0, 0.0])
+            .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn indicator_names_are_stable() {
+        let names: Vec<&str> = FleetIndicator::all().iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), 7);
+        assert!(names.contains(&"delivered_per_hour"));
+        assert!(names.contains(&"residual_spread_mj"));
+    }
+}

@@ -62,6 +62,7 @@
 pub mod baselines;
 pub mod experiment;
 pub mod explorer;
+pub mod fleet;
 pub mod flow;
 pub mod indicators;
 pub mod report;
@@ -74,6 +75,7 @@ pub mod tradeoff;
 pub use experiment::{
     Campaign, CampaignResult, EnsembleCampaign, EnsembleCampaignResult, StandardFactors,
 };
+pub use fleet::{FleetCampaign, FleetIndicator};
 pub use flow::{DesignChoice, DoeFlow, EnsembleSurrogateSet, SurrogateSet};
 pub use indicators::Indicator;
 pub use scenario::{Scenario, ScenarioEnsemble};
@@ -93,6 +95,8 @@ pub enum CoreError {
     },
     /// The underlying node simulator failed.
     Simulation(ehsim_node::NodeError),
+    /// The fleet/network layer failed.
+    Fleet(ehsim_net::NetError),
     /// The DoE machinery failed.
     Doe(ehsim_doe::DoeError),
     /// Writing a report file failed.
@@ -112,6 +116,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
             CoreError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Fleet(e) => write!(f, "fleet failure: {e}"),
             CoreError::Doe(e) => write!(f, "doe failure: {e}"),
             CoreError::Io(e) => write!(f, "io failure: {e}"),
         }
@@ -122,6 +127,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Simulation(e) => Some(e),
+            CoreError::Fleet(e) => Some(e),
             CoreError::Doe(e) => Some(e),
             CoreError::Io(e) => Some(e),
             _ => None,
@@ -132,6 +138,12 @@ impl Error for CoreError {
 impl From<ehsim_node::NodeError> for CoreError {
     fn from(e: ehsim_node::NodeError) -> Self {
         CoreError::Simulation(e)
+    }
+}
+
+impl From<ehsim_net::NetError> for CoreError {
+    fn from(e: ehsim_net::NetError) -> Self {
+        CoreError::Fleet(e)
     }
 }
 

@@ -1,0 +1,717 @@
+//! The fleet simulator: thousands of node simulations composed with a
+//! radio/routing layer under one deterministic scheduler.
+//!
+//! # Two-phase execution
+//!
+//! A [`FleetSimulator::run`] is two strictly separated phases:
+//!
+//! 1. **Node phase** — every node's `ehsim-node` simulation runs
+//!    against its own vibration stream (seeds split from the fleet
+//!    seed via [`crate::node_seed`]). Homogeneous fleets (all lanes
+//!    sharing the tick length, bit for bit) auto-dispatch to
+//!    contiguous [`BatchSimulator`] chunks of at most
+//!    [`MAX_BATCH_WIDTH`] lanes; heterogeneous (mixed-tick) fleets
+//!    fall back to per-sim jobs. Both paths run on the same
+//!    deterministic self-scheduling queue, and the batch kernel is
+//!    bit-identical lane-for-lane to the per-sim path, so **the node
+//!    metrics do not depend on the dispatch strategy or the thread
+//!    count**. Per-node failures are captured individually
+//!    ([`FleetSimulator::run_nodes`]); the aggregate entry points
+//!    surface the **smallest failing node index** as a typed
+//!    [`NetError::Node`].
+//!
+//! 2. **Network phase** — a sequential, node-index-ordered energy
+//!    accounting pass over the phase-1 metrics. Packets originate at
+//!    each node (`packets_delivered` of the node simulation — the
+//!    node's own radio cost is already inside its energy trace) and
+//!    flow to the sink along the routing tree. Each relay pays
+//!    [`RadioEnergyModel::hop_energy_j`] per forwarded packet out of
+//!    its **energy headroom** — the stored energy above its brown-out
+//!    threshold at end of run (zero if the node browned out during the
+//!    run). A relay whose total demand exceeds its headroom forwards
+//!    only the fraction it can afford (a deterministic fluid
+//!    approximation: each packet stream is scaled by the product of
+//!    its relays' forwarding fractions), and its extrapolated
+//!    exhaustion time feeds the fleet's first-node-death indicator.
+//!
+//! Phase 2 is plain sequential float arithmetic in a fixed order, so
+//! the full [`FleetMetrics`] record inherits phase 1's bit-exactness
+//! contract: identical [`FleetSpec`]s give bit-identical metrics for
+//! any thread count and dispatch.
+
+use crate::sched::run_jobs;
+use crate::topology::{Routes, Topology};
+use crate::{NetError, Point, RadioEnergyModel, Result};
+use ehsim_node::{BatchSimulator, NodeConfig, NodeMetrics, PreparedSimulator, SolverMode};
+use ehsim_vibration::{FilteredNoise, VibrationSource};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+
+/// Upper bound on the lane width of one batched-dispatch chunk —
+/// mirrors the campaign scheduler's bound (wide enough to fill the
+/// lock-step PPU rounds, small enough to stay cache-resident).
+pub const MAX_BATCH_WIDTH: usize = 64;
+
+/// How packets are routed to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Fewest hops ([`Topology::min_hop_routes`]); oblivious to node
+    /// energy state — routes may pass through browned-out relays,
+    /// whose zero headroom then drops the traffic.
+    MinHop,
+    /// Cheapest total per-packet relay energy, never relaying through
+    /// a browned-out node ([`Topology::energy_aware_routes`]).
+    EnergyAware,
+}
+
+/// One node of the fleet: its simulator configuration and position.
+#[derive(Debug, Clone)]
+pub struct FleetNode {
+    /// Node-simulator configuration.
+    pub config: NodeConfig,
+    /// Position (m).
+    pub position: Point,
+}
+
+/// A deterministic per-node vibration-environment factory: given a
+/// node's stream seed (from [`crate::node_seed`]), produces that
+/// node's [`VibrationSource`]. Cloning shares the factory.
+#[derive(Clone)]
+pub struct FleetEnvironment {
+    label: String,
+    make: Arc<dyn Fn(u64) -> Arc<dyn VibrationSource> + Send + Sync>,
+}
+
+impl FleetEnvironment {
+    /// Wraps a seed-to-source factory under a display label.
+    pub fn new(
+        label: impl Into<String>,
+        make: impl Fn(u64) -> Arc<dyn VibrationSource> + Send + Sync + 'static,
+    ) -> Self {
+        FleetEnvironment {
+            label: label.into(),
+            make: Arc::new(make),
+        }
+    }
+
+    /// The canonical fleet environment: every node bolted to a
+    /// different spot of the same nominal-64 Hz machinery floor. The
+    /// stream seed drives the *spatial* variation — each mounting
+    /// point sees its own dominant frequency (61–67 Hz) and vibration
+    /// level (0.65–0.95 m/s² RMS) plus its own noise realisation — so
+    /// two nodes of one fleet never share an excitation trajectory,
+    /// and a node's harvester tuning actually has per-node work to do.
+    pub fn factory_floor() -> Self {
+        FleetEnvironment::new("factory-floor-64Hz", |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let resonance_hz = 64.0 + 6.0 * (rng.random::<f64>() - 0.5);
+            let rms = 0.65 + 0.3 * rng.random::<f64>();
+            Arc::new(
+                FilteredNoise::new(resonance_hz, 8.0, (40.0, 90.0), rms, 24, seed)
+                    .expect("drawn filtered-noise spec stays in the valid range"),
+            )
+        })
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Instantiates the source for one node's stream seed.
+    pub fn source_for(&self, seed: u64) -> Arc<dyn VibrationSource> {
+        (self.make)(seed)
+    }
+}
+
+impl fmt::Debug for FleetEnvironment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetEnvironment")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Complete, declarative description of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// The nodes (configs + positions).
+    pub nodes: Vec<FleetNode>,
+    /// Sink position (m); the sink is mains-powered.
+    pub sink: Point,
+    /// Radio range linking vertices into the topology (m).
+    pub range_m: f64,
+    /// Per-bit radio energy model for relay traffic.
+    pub radio: RadioEnergyModel,
+    /// Application packet size on the air (bits).
+    pub payload_bits: u64,
+    /// Routing policy.
+    pub routing: RoutingPolicy,
+    /// Fleet master seed; per-node vibration streams are split from it
+    /// via [`crate::node_seed`].
+    pub fleet_seed: u64,
+    /// Per-node vibration-environment factory.
+    pub environment: FleetEnvironment,
+    /// PPU solver mode for every node simulation.
+    pub solver: SolverMode,
+    /// Simulated duration (s).
+    pub duration_s: f64,
+}
+
+impl FleetSpec {
+    /// A homogeneous fleet: one config replicated over `positions`.
+    pub fn homogeneous(
+        config: NodeConfig,
+        positions: Vec<Point>,
+        sink: Point,
+        range_m: f64,
+        duration_s: f64,
+    ) -> Self {
+        FleetSpec {
+            nodes: positions
+                .into_iter()
+                .map(|position| FleetNode {
+                    config: config.clone(),
+                    position,
+                })
+                .collect(),
+            sink,
+            range_m,
+            radio: RadioEnergyModel::typical(),
+            payload_bits: 1024,
+            routing: RoutingPolicy::EnergyAware,
+            fleet_seed: 0x5EED_F1EE,
+            environment: FleetEnvironment::factory_floor(),
+            solver: SolverMode::Exact,
+            duration_s,
+        }
+    }
+}
+
+/// Node-phase dispatch strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Batched chunks when the fleet is homogeneous, per-sim
+    /// otherwise (the default).
+    Auto,
+    /// Force batched chunks; errors on a heterogeneous fleet.
+    Batched,
+    /// Force one job per node (the differential-testing oracle path).
+    PerSim,
+}
+
+/// Network-layer per-node account after a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeNetStats {
+    /// Packets the node's own simulation delivered into the network.
+    pub originated: f64,
+    /// Packets from this node that reached the sink (fluid count).
+    pub delivered: f64,
+    /// Route length in hops, `None` if the sink is unreachable.
+    pub hops_to_sink: Option<usize>,
+    /// Relay energy demanded of this node by others' traffic (J).
+    pub relay_demand_j: f64,
+    /// Relay energy actually spent (after forwarding scaling) (J).
+    pub relay_spent_j: f64,
+    /// Energy headroom above brown-out at end of run (J); zero if the
+    /// node browned out during the run.
+    pub headroom_j: f64,
+    /// Headroom left after relay spending (J).
+    pub residual_j: f64,
+    /// Whether the node browned out during its own simulation.
+    pub browned_out: bool,
+    /// Whether relay demand exhausted the node's headroom.
+    pub dead: bool,
+    /// Extrapolated relay-exhaustion time (s), when `dead`.
+    pub death_s: Option<f64>,
+}
+
+/// Fleet-level indicators of one run — the DoE response record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Simulated duration (s).
+    pub duration_s: f64,
+    /// Fleet size.
+    pub n_nodes: usize,
+    /// Total packets originated by node simulations.
+    pub packets_originated: f64,
+    /// Total packets that reached the sink (fluid count).
+    pub packets_delivered: f64,
+    /// `packets_delivered / packets_originated` (1 when nothing was
+    /// originated).
+    pub delivery_fraction: f64,
+    /// Total relay energy spent fleet-wide (J).
+    pub relay_energy_j: f64,
+    /// Mean relay energy per forwarded packet-hop (J).
+    pub mean_hop_relay_energy_j: f64,
+    /// Earliest relay-exhaustion time (s); `duration_s` if no node
+    /// died relaying.
+    pub first_death_s: f64,
+    /// Nodes whose relay demand exhausted their headroom.
+    pub dead_nodes: u32,
+    /// Nodes that browned out during their own simulation.
+    pub browned_out_nodes: u32,
+    /// Nodes with no route to the sink.
+    pub unreachable_nodes: u32,
+    /// Mean end-of-run residual headroom (J).
+    pub residual_mean_j: f64,
+    /// Population standard deviation of residual headroom (J) — the
+    /// energy-balance spread across the fleet.
+    pub residual_spread_j: f64,
+    /// Worst per-node brown-out margin `min_v_store − v_off` (V).
+    pub min_brownout_margin_v: f64,
+    /// Mean per-node uptime fraction.
+    pub mean_uptime_fraction: f64,
+}
+
+/// Everything a fleet run produces: raw node metrics, the network
+/// accounts, and the fleet-level indicator record.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Phase-1 node-simulation metrics, node-indexed.
+    pub per_node: Vec<NodeMetrics>,
+    /// Phase-2 network accounts, node-indexed.
+    pub net: Vec<NodeNetStats>,
+    /// Fleet-level indicators.
+    pub metrics: FleetMetrics,
+}
+
+/// Prepared, validated fleet: every node's simulator constructed once,
+/// vibration streams split, topology built.
+pub struct FleetSimulator {
+    spec: FleetSpec,
+    prepared: Vec<PreparedSimulator>,
+    sources: Vec<Arc<dyn VibrationSource>>,
+    topology: Topology,
+    homogeneous: bool,
+}
+
+impl FleetSimulator {
+    /// Validates the spec, prepares every node simulator, derives
+    /// per-node vibration streams and builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] for an empty fleet, a
+    /// non-positive payload or an invalid duration/topology;
+    /// [`NetError::Node`] (smallest failing index) if a node config
+    /// fails preparation.
+    pub fn new(spec: FleetSpec) -> Result<Self> {
+        if spec.nodes.is_empty() {
+            return Err(NetError::invalid("fleet needs at least one node"));
+        }
+        if spec.payload_bits == 0 {
+            return Err(NetError::invalid("payload must be at least one bit"));
+        }
+        if !(spec.duration_s > 0.0) || !spec.duration_s.is_finite() {
+            return Err(NetError::invalid(format!(
+                "duration must be positive and finite, got {}",
+                spec.duration_s
+            )));
+        }
+        let mut prepared = Vec::with_capacity(spec.nodes.len());
+        for (i, node) in spec.nodes.iter().enumerate() {
+            match PreparedSimulator::with_solver(node.config.clone(), spec.solver) {
+                Ok(p) => prepared.push(p),
+                Err(source) => return Err(NetError::Node { node: i, source }),
+            }
+        }
+        let sources: Vec<Arc<dyn VibrationSource>> = (0..spec.nodes.len())
+            .map(|i| {
+                spec.environment
+                    .source_for(crate::node_seed(spec.fleet_seed, i))
+            })
+            .collect();
+        let positions: Vec<Point> = spec.nodes.iter().map(|n| n.position).collect();
+        let topology = Topology::new(positions, spec.sink, spec.range_m)?;
+        let homogeneous = prepared
+            .windows(2)
+            .all(|w| w[0].config().tick_s.to_bits() == w[1].config().tick_s.to_bits());
+        Ok(FleetSimulator {
+            spec,
+            prepared,
+            sources,
+            topology,
+            homogeneous,
+        })
+    }
+
+    /// The spec this simulator was built from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// The static topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Fleet size.
+    pub fn node_count(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Whether every lane shares the tick length (bitwise) — the
+    /// batched-dispatch eligibility test.
+    pub fn is_homogeneous(&self) -> bool {
+        self.homogeneous
+    }
+
+    /// The prepared per-node simulators (oracle access for the
+    /// differential suite).
+    pub fn prepared(&self) -> &[PreparedSimulator] {
+        &self.prepared
+    }
+
+    /// The per-node vibration sources, node-indexed (oracle access
+    /// for the differential suite).
+    pub fn sources(&self) -> &[Arc<dyn VibrationSource>] {
+        &self.sources
+    }
+
+    /// Runs phase 1 only, returning each node's own `Result` — lane
+    /// failures do not disturb other nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] if `dispatch` is
+    /// [`Dispatch::Batched`] on a heterogeneous fleet.
+    pub fn run_nodes(
+        &self,
+        threads: usize,
+        dispatch: Dispatch,
+    ) -> Result<Vec<ehsim_node::Result<NodeMetrics>>> {
+        let batched = match dispatch {
+            Dispatch::Auto => self.homogeneous,
+            Dispatch::PerSim => false,
+            Dispatch::Batched => {
+                if !self.homogeneous {
+                    return Err(NetError::invalid(
+                        "batched dispatch requires a homogeneous (shared-tick) fleet",
+                    ));
+                }
+                true
+            }
+        };
+        let n = self.prepared.len();
+        let duration_s = self.spec.duration_s;
+        if batched {
+            // Contiguous chunks, one batch kernel per chunk. The chunk
+            // width depends only on (n, threads) and results are
+            // collected in chunk order, so the flattened output is
+            // invariant to scheduling.
+            let width = n.div_ceil(threads.clamp(1, n)).clamp(1, MAX_BATCH_WIDTH);
+            let n_chunks = n.div_ceil(width);
+            let chunks = run_jobs(n_chunks, threads, |c| {
+                let lo = c * width;
+                let hi = ((c + 1) * width).min(n);
+                let batch = BatchSimulator::new(self.prepared[lo..hi].to_vec())
+                    .map_err(|source| NetError::Node { node: lo, source })?;
+                let srcs: Vec<&dyn VibrationSource> =
+                    self.sources[lo..hi].iter().map(|s| s.as_ref()).collect();
+                batch
+                    .run_lanes_with_sources(&srcs, duration_s)
+                    .map_err(|source| NetError::Node { node: lo, source })
+            })?;
+            Ok(chunks.into_iter().flatten().collect())
+        } else {
+            run_jobs(n, threads, |i| {
+                Ok(self.prepared[i].run(self.sources[i].as_ref(), duration_s))
+            })
+        }
+    }
+
+    /// Runs the fleet with auto dispatch.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Node`] with the **smallest failing node index** if
+    /// any node simulation fails.
+    pub fn run(&self, threads: usize) -> Result<FleetOutcome> {
+        self.run_with_dispatch(threads, Dispatch::Auto)
+    }
+
+    /// Runs the fleet with an explicit dispatch strategy.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetSimulator::run`], plus
+    /// [`NetError::InvalidParameter`] for a forced-batched dispatch of
+    /// a heterogeneous fleet.
+    pub fn run_with_dispatch(&self, threads: usize, dispatch: Dispatch) -> Result<FleetOutcome> {
+        let lanes = self.run_nodes(threads, dispatch)?;
+        let mut per_node = Vec::with_capacity(lanes.len());
+        for (i, lane) in lanes.into_iter().enumerate() {
+            match lane {
+                Ok(m) => per_node.push(m),
+                Err(source) => return Err(NetError::Node { node: i, source }),
+            }
+        }
+        let (net, metrics) = self.network_accounting(&per_node)?;
+        Ok(FleetOutcome {
+            per_node,
+            net,
+            metrics,
+        })
+    }
+
+    /// Phase 2: the sequential network-energy accounting pass.
+    fn network_accounting(
+        &self,
+        per_node: &[NodeMetrics],
+    ) -> Result<(Vec<NodeNetStats>, FleetMetrics)> {
+        let n = per_node.len();
+        let sink = self.topology.sink_index();
+        let duration_s = self.spec.duration_s;
+        let radio = &self.spec.radio;
+        let bits = self.spec.payload_bits;
+
+        let browned_out: Vec<bool> = per_node.iter().map(|m| m.brownout_count > 0).collect();
+        let routes: Routes = match self.spec.routing {
+            RoutingPolicy::MinHop => self.topology.min_hop_routes(),
+            RoutingPolicy::EnergyAware => {
+                self.topology
+                    .energy_aware_routes(radio, bits, &browned_out)?
+            }
+        };
+
+        // Headroom: stored energy above the brown-out threshold at end
+        // of run; a node that browned out has, by definition, no relay
+        // budget to spare.
+        let headroom: Vec<f64> = (0..n)
+            .map(|i| {
+                if browned_out[i] {
+                    0.0
+                } else {
+                    let cfg = self.prepared[i].config();
+                    (cfg.storage.energy_j(per_node[i].final_v_store)
+                        - cfg.storage.energy_j(cfg.thresholds.v_off))
+                    .max(0.0)
+                }
+            })
+            .collect();
+
+        let originated: Vec<f64> = per_node
+            .iter()
+            .map(|m| m.packets_delivered as f64)
+            .collect();
+        let paths: Vec<Option<Vec<usize>>> = (0..n).map(|i| routes.path(i).ok()).collect();
+        let vpos = |v: usize| {
+            if v == sink {
+                self.topology.sink()
+            } else {
+                self.topology.position(v)
+            }
+        };
+        // Per-packet forwarding energy of relay `path[j]` on a path:
+        // receive, then transmit to `path[j + 1]`.
+        let hop_energy = |path: &[usize], j: usize| {
+            let d = vpos(path[j]).distance_m(&vpos(path[j + 1]));
+            radio.hop_energy_j(bits, d)
+        };
+
+        // Pass 1 — relay demand at full (unscaled) traffic.
+        let mut demand = vec![0.0f64; n];
+        for i in 0..n {
+            let Some(path) = &paths[i] else { continue };
+            for j in 1..path.len() - 1 {
+                demand[path[j]] += originated[i] * hop_energy(path, j);
+            }
+        }
+
+        // Forwarding fraction: what share of its demanded traffic each
+        // relay can actually afford.
+        let scale: Vec<f64> = (0..n)
+            .map(|u| {
+                if demand[u] > headroom[u] && demand[u] > 0.0 {
+                    headroom[u] / demand[u]
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        // Pass 2 — fluid flow: each stream attenuates through its
+        // relays' forwarding fractions; relays pay rx on what arrives
+        // and tx on what they forward.
+        let mut spent = vec![0.0f64; n];
+        let mut delivered = vec![0.0f64; n];
+        let mut relay_hops = 0.0f64;
+        for i in 0..n {
+            let Some(path) = &paths[i] else { continue };
+            let mut flow = originated[i];
+            for j in 1..path.len() - 1 {
+                let u = path[j];
+                let d = vpos(u).distance_m(&vpos(path[j + 1]));
+                let arriving = flow;
+                flow *= scale[u];
+                spent[u] += arriving * radio.rx_energy_j(bits) + flow * radio.tx_energy_j(bits, d);
+                relay_hops += arriving;
+            }
+            delivered[i] = flow;
+        }
+
+        // Relay death: extrapolated exhaustion time of over-demanded
+        // relays that had survived their own duty cycle.
+        let mut first_death_s = duration_s;
+        let mut dead_nodes = 0u32;
+        let death_s: Vec<Option<f64>> = (0..n)
+            .map(|u| {
+                if !browned_out[u] && demand[u] > headroom[u] {
+                    dead_nodes += 1;
+                    let t = duration_s * headroom[u] / demand[u];
+                    if t < first_death_s {
+                        first_death_s = t;
+                    }
+                    Some(t)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let residual: Vec<f64> = (0..n).map(|u| (headroom[u] - spent[u]).max(0.0)).collect();
+        let residual_mean = residual.iter().sum::<f64>() / n as f64;
+        let residual_spread = (residual
+            .iter()
+            .map(|r| (r - residual_mean) * (r - residual_mean))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+
+        let packets_originated: f64 = originated.iter().sum();
+        let packets_delivered: f64 = delivered.iter().sum();
+        let relay_energy_j: f64 = spent.iter().sum();
+        let min_brownout_margin_v = (0..n)
+            .map(|i| per_node[i].min_v_store - self.prepared[i].config().thresholds.v_off)
+            .fold(f64::INFINITY, f64::min);
+        let mean_uptime_fraction =
+            per_node.iter().map(|m| m.uptime_fraction).sum::<f64>() / n as f64;
+
+        let net: Vec<NodeNetStats> = (0..n)
+            .map(|i| NodeNetStats {
+                originated: originated[i],
+                delivered: delivered[i],
+                hops_to_sink: paths[i].as_ref().map(|p| p.len() - 1),
+                relay_demand_j: demand[i],
+                relay_spent_j: spent[i],
+                headroom_j: headroom[i],
+                residual_j: residual[i],
+                browned_out: browned_out[i],
+                dead: death_s[i].is_some(),
+                death_s: death_s[i],
+            })
+            .collect();
+
+        let metrics = FleetMetrics {
+            duration_s,
+            n_nodes: n,
+            packets_originated,
+            packets_delivered,
+            delivery_fraction: if packets_originated > 0.0 {
+                packets_delivered / packets_originated
+            } else {
+                1.0
+            },
+            relay_energy_j,
+            mean_hop_relay_energy_j: if relay_hops > 0.0 {
+                relay_energy_j / relay_hops
+            } else {
+                0.0
+            },
+            first_death_s,
+            dead_nodes,
+            browned_out_nodes: browned_out.iter().filter(|&&b| b).count() as u32,
+            unreachable_nodes: paths.iter().filter(|p| p.is_none()).count() as u32,
+            residual_mean_j: residual_mean,
+            residual_spread_j: residual_spread,
+            min_brownout_margin_v,
+            mean_uptime_fraction,
+        };
+        Ok((net, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Placement;
+
+    fn tiny_spec(n: usize, duration_s: f64) -> FleetSpec {
+        let positions = Placement::UniformRandom {
+            n,
+            width_m: 60.0,
+            height_m: 60.0,
+            seed: 11,
+        }
+        .positions()
+        .unwrap();
+        let mut cfg = NodeConfig::default_node();
+        cfg.tick_s = 0.5;
+        FleetSpec::homogeneous(cfg, positions, Point::new(30.0, 30.0), 25.0, duration_s)
+    }
+
+    #[test]
+    fn fleet_runs_and_accounts() {
+        let fleet = FleetSimulator::new(tiny_spec(12, 30.0)).unwrap();
+        assert!(fleet.is_homogeneous());
+        let out = fleet.run(2).unwrap();
+        assert_eq!(out.per_node.len(), 12);
+        assert_eq!(out.net.len(), 12);
+        let m = &out.metrics;
+        assert!(m.packets_delivered <= m.packets_originated);
+        assert!((0.0..=1.0).contains(&m.delivery_fraction));
+        assert!(m.first_death_s <= m.duration_s);
+        assert!(m.relay_energy_j >= 0.0);
+    }
+
+    #[test]
+    fn thread_count_and_dispatch_do_not_change_bits() {
+        let fleet = FleetSimulator::new(tiny_spec(10, 30.0)).unwrap();
+        let base = fleet.run_with_dispatch(1, Dispatch::PerSim).unwrap();
+        for (threads, dispatch) in [
+            (1, Dispatch::Batched),
+            (4, Dispatch::Batched),
+            (4, Dispatch::PerSim),
+        ] {
+            let out = fleet.run_with_dispatch(threads, dispatch).unwrap();
+            assert_eq!(
+                base.metrics.packets_delivered.to_bits(),
+                out.metrics.packets_delivered.to_bits()
+            );
+            assert_eq!(
+                base.metrics.residual_spread_j.to_bits(),
+                out.metrics.residual_spread_j.to_bits()
+            );
+            for (a, b) in base.per_node.iter().zip(&out.per_node) {
+                assert_eq!(a.final_v_store.to_bits(), b.final_v_store.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn forced_batched_rejects_mixed_ticks() {
+        let mut spec = tiny_spec(4, 10.0);
+        spec.nodes[2].config.tick_s = 0.25;
+        let fleet = FleetSimulator::new(spec).unwrap();
+        assert!(!fleet.is_homogeneous());
+        assert!(fleet.run_with_dispatch(2, Dispatch::Batched).is_err());
+        // Auto falls back per-sim and still runs.
+        assert!(fleet.run(2).is_ok());
+    }
+
+    #[test]
+    fn empty_fleet_and_zero_payload_rejected() {
+        let mut spec = tiny_spec(3, 10.0);
+        spec.payload_bits = 0;
+        assert!(FleetSimulator::new(spec).is_err());
+        let mut spec = tiny_spec(3, 10.0);
+        spec.nodes.clear();
+        assert!(FleetSimulator::new(spec).is_err());
+        let mut spec = tiny_spec(3, 10.0);
+        spec.duration_s = f64::INFINITY;
+        assert!(FleetSimulator::new(spec).is_err());
+    }
+}

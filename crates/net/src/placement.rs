@@ -1,0 +1,218 @@
+//! Deterministic node placement.
+//!
+//! Two layouts: a regular grid (row-major, spacing-parameterised) and a
+//! seeded uniform-random scatter over a rectangle. Both are pure
+//! functions of their parameters — the random layout draws from
+//! [`rand::rngs::StdRng`] seeded with the given seed, so a placement is
+//! bit-reproducible across runs, platforms and thread counts.
+
+use crate::{NetError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A node position in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Easting (m).
+    pub x: f64,
+    /// Northing (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` metres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` (m).
+    pub fn distance_m(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A deterministic node layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// `rows × cols` nodes on a regular grid, node `(r, c)` at
+    /// `(c·spacing, r·spacing)`, row-major node order.
+    Grid {
+        /// Number of grid rows.
+        rows: usize,
+        /// Number of grid columns.
+        cols: usize,
+        /// Distance between adjacent grid points (m).
+        spacing_m: f64,
+    },
+    /// `n` nodes i.i.d. uniform over `[0, width] × [0, height]`,
+    /// drawn from a seeded [`StdRng`] (x then y per node).
+    UniformRandom {
+        /// Number of nodes.
+        n: usize,
+        /// Rectangle width (m).
+        width_m: f64,
+        /// Rectangle height (m).
+        height_m: f64,
+        /// PRNG seed; equal seeds give bit-identical layouts.
+        seed: u64,
+    },
+}
+
+impl Placement {
+    /// Materialises the layout.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] for zero node counts or
+    /// non-positive / non-finite dimensions.
+    pub fn positions(&self) -> Result<Vec<Point>> {
+        match *self {
+            Placement::Grid {
+                rows,
+                cols,
+                spacing_m,
+            } => {
+                if rows == 0 || cols == 0 {
+                    return Err(NetError::invalid(format!(
+                        "grid must be non-empty, got {rows}x{cols}"
+                    )));
+                }
+                if !(spacing_m > 0.0) || !spacing_m.is_finite() {
+                    return Err(NetError::invalid(format!(
+                        "grid spacing must be positive and finite, got {spacing_m}"
+                    )));
+                }
+                let mut pts = Vec::with_capacity(rows * cols);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        pts.push(Point::new(c as f64 * spacing_m, r as f64 * spacing_m));
+                    }
+                }
+                Ok(pts)
+            }
+            Placement::UniformRandom {
+                n,
+                width_m,
+                height_m,
+                seed,
+            } => {
+                if n == 0 {
+                    return Err(NetError::invalid("placement needs at least one node"));
+                }
+                if !(width_m > 0.0)
+                    || !width_m.is_finite()
+                    || !(height_m > 0.0)
+                    || !height_m.is_finite()
+                {
+                    return Err(NetError::invalid(format!(
+                        "placement rectangle must be positive and finite, got \
+                         {width_m}x{height_m}"
+                    )));
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                Ok((0..n)
+                    .map(|_| {
+                        let x = width_m * rng.random::<f64>();
+                        let y = height_m * rng.random::<f64>();
+                        Point::new(x, y)
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Number of nodes the layout will produce.
+    pub fn len(&self) -> usize {
+        match *self {
+            Placement::Grid { rows, cols, .. } => rows * cols,
+            Placement::UniformRandom { n, .. } => n,
+        }
+    }
+
+    /// Whether the layout is empty (always invalid to materialise).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major() {
+        let pts = Placement::Grid {
+            rows: 2,
+            cols: 3,
+            spacing_m: 10.0,
+        }
+        .positions()
+        .unwrap();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+        assert_eq!(pts[2], Point::new(20.0, 0.0));
+        assert_eq!(pts[3], Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn uniform_is_seed_reproducible_and_in_bounds() {
+        let layout = Placement::UniformRandom {
+            n: 64,
+            width_m: 100.0,
+            height_m: 50.0,
+            seed: 9,
+        };
+        let a = layout.positions().unwrap();
+        let b = layout.positions().unwrap();
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+            assert!((0.0..=100.0).contains(&p.x) && (0.0..=50.0).contains(&p.y));
+        }
+        let c = Placement::UniformRandom {
+            n: 64,
+            width_m: 100.0,
+            height_m: 50.0,
+            seed: 10,
+        }
+        .positions()
+        .unwrap();
+        assert!(a.iter().zip(&c).any(|(p, q)| p != q));
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        assert!(Placement::Grid {
+            rows: 0,
+            cols: 3,
+            spacing_m: 1.0
+        }
+        .positions()
+        .is_err());
+        assert!(Placement::Grid {
+            rows: 2,
+            cols: 2,
+            spacing_m: 0.0
+        }
+        .positions()
+        .is_err());
+        assert!(Placement::UniformRandom {
+            n: 0,
+            width_m: 1.0,
+            height_m: 1.0,
+            seed: 0
+        }
+        .positions()
+        .is_err());
+        assert!(Placement::UniformRandom {
+            n: 3,
+            width_m: f64::INFINITY,
+            height_m: 1.0,
+            seed: 0
+        }
+        .positions()
+        .is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! First-order per-bit radio energy model.
+//!
+//! The standard WSN link model (Heinzelman et al.; Zungeru et al.,
+//! arXiv:1208.4439): transmitting `b` bits over distance `d` costs
+//!
+//! ```text
+//! E_tx(b, d) = b · (E_elec + ε_amp · d^τ)
+//! E_rx(b)    = b · E_elec
+//! ```
+//!
+//! where `E_elec` is the per-bit electronics energy, `ε_amp` the
+//! amplifier coefficient and `τ` the path-loss exponent (τ = 2
+//! free-space, τ = 4 multipath ground reflection). The exponent is a
+//! model parameter: two models calibrated to the same energy at a
+//! crossover distance `d₀` (`ε₄ = ε₂/d₀²`) make the τ = 4 model
+//! cheaper below `d₀` and costlier above it — the dual-slope
+//! behaviour the property suite pins.
+
+use crate::{NetError, Result};
+
+/// Lowest admissible path-loss exponent (free-space lower bound).
+pub const MIN_PATH_LOSS_EXP: f64 = 1.0;
+/// Highest admissible path-loss exponent (dense-clutter upper bound).
+pub const MAX_PATH_LOSS_EXP: f64 = 6.0;
+
+/// Per-bit transmit/receive energy model, configurable path-loss
+/// exponent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioEnergyModel {
+    e_elec_j_per_bit: f64,
+    eps_amp: f64,
+    path_loss_exp: f64,
+}
+
+impl RadioEnergyModel {
+    /// Creates a model from the per-bit electronics energy (J/bit),
+    /// the amplifier coefficient (J/bit/m^τ) and the path-loss
+    /// exponent τ.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] for non-positive / non-finite
+    /// energies or τ outside `[1, 6]`.
+    pub fn new(e_elec_j_per_bit: f64, eps_amp: f64, path_loss_exp: f64) -> Result<Self> {
+        if !(e_elec_j_per_bit > 0.0) || !e_elec_j_per_bit.is_finite() {
+            return Err(NetError::invalid(format!(
+                "E_elec must be positive and finite, got {e_elec_j_per_bit}"
+            )));
+        }
+        if !(eps_amp > 0.0) || !eps_amp.is_finite() {
+            return Err(NetError::invalid(format!(
+                "amplifier coefficient must be positive and finite, got {eps_amp}"
+            )));
+        }
+        if !(MIN_PATH_LOSS_EXP..=MAX_PATH_LOSS_EXP).contains(&path_loss_exp) {
+            return Err(NetError::invalid(format!(
+                "path-loss exponent must be in [{MIN_PATH_LOSS_EXP}, {MAX_PATH_LOSS_EXP}], \
+                 got {path_loss_exp}"
+            )));
+        }
+        Ok(RadioEnergyModel {
+            e_elec_j_per_bit,
+            eps_amp,
+            path_loss_exp,
+        })
+    }
+
+    /// The canonical free-space parameterisation: 50 nJ/bit
+    /// electronics, 100 pJ/bit/m² amplifier, τ = 2.
+    pub fn typical() -> Self {
+        RadioEnergyModel {
+            e_elec_j_per_bit: 50e-9,
+            eps_amp: 100e-12,
+            path_loss_exp: 2.0,
+        }
+    }
+
+    /// Per-bit electronics energy (J/bit).
+    pub fn e_elec_j_per_bit(&self) -> f64 {
+        self.e_elec_j_per_bit
+    }
+
+    /// Amplifier coefficient (J/bit/m^τ).
+    pub fn eps_amp(&self) -> f64 {
+        self.eps_amp
+    }
+
+    /// Path-loss exponent τ.
+    pub fn path_loss_exp(&self) -> f64 {
+        self.path_loss_exp
+    }
+
+    /// Energy to transmit `bits` over `distance_m` (J).
+    pub fn tx_energy_j(&self, bits: u64, distance_m: f64) -> f64 {
+        bits as f64 * (self.e_elec_j_per_bit + self.eps_amp * distance_m.powf(self.path_loss_exp))
+    }
+
+    /// Energy to receive `bits` (J); distance-independent.
+    pub fn rx_energy_j(&self, bits: u64) -> f64 {
+        bits as f64 * self.e_elec_j_per_bit
+    }
+
+    /// Energy a relay spends moving `bits` one hop of `distance_m`:
+    /// receive them, then retransmit (J).
+    pub fn hop_energy_j(&self, bits: u64, distance_m: f64) -> f64 {
+        self.rx_energy_j(bits) + self.tx_energy_j(bits, distance_m)
+    }
+}
+
+/// A validated directed link between two distinct nodes.
+///
+/// Construction is where the zero-distance self-send class of bugs is
+/// rejected: a link from a node to itself, or over a zero /
+/// non-finite distance, can never exist, so no downstream energy
+/// computation ever sees `d = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Transmitting node index.
+    pub from: usize,
+    /// Receiving node index.
+    pub to: usize,
+    /// Link length (m).
+    pub distance_m: f64,
+}
+
+impl Link {
+    /// Creates a link, rejecting self-sends and degenerate distances.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] if `from == to` (self-send) or
+    /// `distance_m` is zero, negative or non-finite (two coincident
+    /// radios are indistinguishable from a self-send).
+    pub fn new(from: usize, to: usize, distance_m: f64) -> Result<Self> {
+        if from == to {
+            return Err(NetError::invalid(format!(
+                "self-send link {from} -> {to} rejected"
+            )));
+        }
+        if !(distance_m > 0.0) || !distance_m.is_finite() {
+            return Err(NetError::invalid(format!(
+                "link {from} -> {to} needs a positive finite distance, got {distance_m}"
+            )));
+        }
+        Ok(Link {
+            from,
+            to,
+            distance_m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_model_orders_tx_above_rx() {
+        let m = RadioEnergyModel::typical();
+        assert!(m.tx_energy_j(1000, 30.0) > m.rx_energy_j(1000));
+        assert_eq!(
+            m.hop_energy_j(1000, 30.0),
+            m.rx_energy_j(1000) + m.tx_energy_j(1000, 30.0)
+        );
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(RadioEnergyModel::new(0.0, 1e-12, 2.0).is_err());
+        assert!(RadioEnergyModel::new(50e-9, -1.0, 2.0).is_err());
+        assert!(RadioEnergyModel::new(50e-9, 1e-12, 0.5).is_err());
+        assert!(RadioEnergyModel::new(50e-9, 1e-12, 7.0).is_err());
+        assert!(RadioEnergyModel::new(50e-9, 1e-12, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn link_rejects_self_send_and_zero_distance() {
+        assert!(Link::new(3, 3, 1.0).is_err());
+        assert!(Link::new(0, 1, 0.0).is_err());
+        assert!(Link::new(0, 1, -2.0).is_err());
+        assert!(Link::new(0, 1, f64::NAN).is_err());
+        assert!(Link::new(0, 1, 5.0).is_ok());
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic self-scheduling job queue.
+//!
+//! The same construction as `ehsim-core`'s campaign scheduler (which
+//! sits *above* this crate and therefore cannot be borrowed from):
+//! workers claim job indices from one atomic counter, each worker is
+//! the sole writer of the slots it claimed, and results are collected
+//! in job order — so the output, bit for bit, is independent of the
+//! thread count and of which worker ran which job. On error the
+//! **smallest failing job index** wins, matching the sequential path.
+
+use crate::Result;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub(crate) fn run_jobs<T: Send>(
+    n_jobs: usize,
+    threads: usize,
+    job: impl Fn(usize) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
+    let threads = threads.clamp(1, n_jobs.max(1));
+    if threads == 1 {
+        // Sequential reference path: strict job order, first error wins.
+        let mut out = Vec::with_capacity(n_jobs);
+        for j in 0..n_jobs {
+            out.push(job(j)?);
+        }
+        return Ok(out);
+    }
+
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= n_jobs {
+                    break;
+                }
+                let r = job(j);
+                if r.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[j].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n_jobs);
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Slots are claimed as a contiguous prefix, so an
+            // unclaimed slot can only sit behind a failing one.
+            None => unreachable!("unclaimed job slot implies an earlier error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetError;
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let job = |j: usize| Ok((j as f64).sqrt());
+        let seq = run_jobs(97, 1, job).unwrap();
+        for threads in [2, 3, 8] {
+            let par = run_jobs(97, threads, job).unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_failing_job_wins_sequentially() {
+        let job = |j: usize| {
+            if j % 7 == 3 {
+                Err(NetError::invalid(format!("job {j}")))
+            } else {
+                Ok(j)
+            }
+        };
+        match run_jobs(40, 1, job) {
+            Err(NetError::InvalidParameter { message }) => assert_eq!(message, "job 3"),
+            other => panic!("expected job-3 failure, got {other:?}"),
+        }
+    }
+}

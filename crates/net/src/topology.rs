@@ -1,0 +1,327 @@
+//! Static connectivity and routing.
+//!
+//! A [`Topology`] is `n` sensor nodes plus one mains-powered sink,
+//! with a bidirectional link between every pair within the radio
+//! range. Routing produces a [`Routes`] table — one next-hop per node,
+//! forming a tree rooted at the sink — under one of two metrics:
+//!
+//! * **Min-hop** ([`Topology::min_hop_routes`]): breadth-first search
+//!   from the sink; every route has the provably minimum hop count
+//!   (BFS on unit weights *is* Dijkstra), parents tie-broken
+//!   deterministically toward the smallest node index.
+//! * **Energy-aware** ([`Topology::energy_aware_routes`]): Dijkstra
+//!   from the sink with the per-packet hop energy
+//!   ([`RadioEnergyModel::hop_energy_j`]) as the edge weight, and
+//!   *excluded relays*: a node marked blocked (e.g. browned out) may
+//!   still originate packets but is never used as an intermediate.
+//!
+//! Both routers are total: a node with no path simply has no next hop,
+//! and asking for its path returns the typed
+//! [`NetError::UnreachableSink`] — never a hang, never a panic.
+
+use crate::placement::Point;
+use crate::radio::{Link, RadioEnergyModel};
+use crate::{NetError, Result};
+
+/// Static fleet connectivity: node positions, one sink, and the link
+/// set induced by a radio range.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Point>,
+    sink: Point,
+    range_m: f64,
+    /// Adjacency over `n + 1` vertices (vertex `n` is the sink), each
+    /// list sorted by neighbour index — the determinism anchor for
+    /// both routers.
+    adj: Vec<Vec<Link>>,
+}
+
+impl Topology {
+    /// Builds the topology over `positions` with the sink at `sink`,
+    /// linking every vertex pair within `range_m`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] for an empty fleet, a
+    /// non-positive / non-finite range, or two coincident vertices
+    /// (a zero-distance link is a self-send; see [`Link::new`]).
+    pub fn new(positions: Vec<Point>, sink: Point, range_m: f64) -> Result<Self> {
+        if positions.is_empty() {
+            return Err(NetError::invalid("topology needs at least one node"));
+        }
+        if !(range_m > 0.0) || !range_m.is_finite() {
+            return Err(NetError::invalid(format!(
+                "radio range must be positive and finite, got {range_m}"
+            )));
+        }
+        let n = positions.len();
+        let vertex = |i: usize| if i == n { sink } else { positions[i] };
+        let mut adj: Vec<Vec<Link>> = vec![Vec::new(); n + 1];
+        for a in 0..=n {
+            for b in (a + 1)..=n {
+                let d = vertex(a).distance_m(&vertex(b));
+                if !(d > 0.0) || !d.is_finite() {
+                    return Err(NetError::invalid(format!(
+                        "vertices {a} and {b} are coincident (d = {d}); a zero-distance \
+                         link is a self-send"
+                    )));
+                }
+                if d <= range_m {
+                    adj[a].push(Link::new(a, b, d)?);
+                    adj[b].push(Link::new(b, a, d)?);
+                }
+            }
+        }
+        // Pairs are visited in ascending (a, b), so each list is
+        // already sorted by neighbour index; assert the invariant.
+        debug_assert!(adj.iter().all(|l| l.windows(2).all(|w| w[0].to < w[1].to)));
+        Ok(Topology {
+            positions,
+            sink,
+            range_m,
+            adj,
+        })
+    }
+
+    /// Number of sensor nodes (the sink is not counted).
+    pub fn n_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The sink's vertex index (`n_nodes()`).
+    pub fn sink_index(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of node `i`.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// The sink position.
+    pub fn sink(&self) -> Point {
+        self.sink
+    }
+
+    /// The radio range (m).
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Links incident to vertex `i` (sorted by neighbour index).
+    pub fn neighbors(&self, i: usize) -> &[Link] {
+        &self.adj[i]
+    }
+
+    /// Minimum-hop routing: BFS from the sink over the (symmetric)
+    /// link set, neighbours expanded in ascending index so the parent
+    /// choice — and therefore every path — is deterministic.
+    pub fn min_hop_routes(&self) -> Routes {
+        let n = self.n_nodes();
+        let sink = self.sink_index();
+        let mut next_hop: Vec<Option<usize>> = vec![None; n + 1];
+        let mut hops: Vec<Option<usize>> = vec![None; n + 1];
+        hops[sink] = Some(0);
+        let mut queue = std::collections::VecDeque::from([sink]);
+        while let Some(v) = queue.pop_front() {
+            let h = hops[v].expect("queued vertex has a hop count");
+            for link in &self.adj[v] {
+                let u = link.to;
+                if hops[u].is_none() {
+                    hops[u] = Some(h + 1);
+                    next_hop[u] = Some(v);
+                    queue.push_back(u);
+                }
+            }
+        }
+        Routes {
+            sink,
+            cost: hops.iter().map(|h| h.map(|c| c as f64)).collect(),
+            next_hop,
+        }
+    }
+
+    /// Energy-aware routing: Dijkstra from the sink with the
+    /// per-packet relay hop energy `E_rx + E_tx(d)` as the edge
+    /// weight (receiving at the sink is free — it is mains-powered).
+    ///
+    /// `relay_blocked[i] = true` removes node `i` from every *relay*
+    /// position: it may still originate packets (its own cost is
+    /// computed) but no other node's route passes through it.
+    /// Ties are broken toward the smallest vertex index, so the route
+    /// tree is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidParameter`] if `relay_blocked.len()` differs
+    /// from the node count.
+    pub fn energy_aware_routes(
+        &self,
+        radio: &RadioEnergyModel,
+        payload_bits: u64,
+        relay_blocked: &[bool],
+    ) -> Result<Routes> {
+        let n = self.n_nodes();
+        if relay_blocked.len() != n {
+            return Err(NetError::invalid(format!(
+                "got {} relay-blocked flags for {n} nodes",
+                relay_blocked.len()
+            )));
+        }
+        let sink = self.sink_index();
+        let mut dist: Vec<f64> = vec![f64::INFINITY; n + 1];
+        let mut next_hop: Vec<Option<usize>> = vec![None; n + 1];
+        let mut settled = vec![false; n + 1];
+        dist[sink] = 0.0;
+        // O(V²) selection keeps the float comparisons explicit and the
+        // tie-break (smallest index) obvious; fleets are ≤ a few
+        // thousand vertices, so this is never the bottleneck.
+        loop {
+            let mut v: Option<usize> = None;
+            for (i, &d) in dist.iter().enumerate() {
+                if !settled[i] && d.is_finite() && v.map_or(true, |b| d < dist[b]) {
+                    v = Some(i);
+                }
+            }
+            let Some(v) = v else { break };
+            settled[v] = true;
+            // A blocked vertex is settled (its own route cost is
+            // final) but never relaxes its neighbours — nothing routes
+            // *through* it.
+            if v != sink && relay_blocked[v] {
+                continue;
+            }
+            for link in &self.adj[v] {
+                let u = link.to;
+                if settled[u] {
+                    continue;
+                }
+                // Cost for u to hand a packet to v: u transmits over
+                // the link; v receives unless it is the sink.
+                let rx = if v == sink {
+                    0.0
+                } else {
+                    radio.rx_energy_j(payload_bits)
+                };
+                let cand = dist[v] + radio.tx_energy_j(payload_bits, link.distance_m) + rx;
+                if cand < dist[u] {
+                    dist[u] = cand;
+                    next_hop[u] = Some(v);
+                }
+            }
+        }
+        Ok(Routes {
+            sink,
+            cost: dist.iter().map(|&d| d.is_finite().then_some(d)).collect(),
+            next_hop,
+        })
+    }
+}
+
+/// A routing table: the next hop toward the sink for every node, plus
+/// the route cost under the metric that built it (hop count for
+/// min-hop, joules per packet for energy-aware).
+#[derive(Debug, Clone)]
+pub struct Routes {
+    sink: usize,
+    next_hop: Vec<Option<usize>>,
+    cost: Vec<Option<f64>>,
+}
+
+impl Routes {
+    /// The sink's vertex index.
+    pub fn sink_index(&self) -> usize {
+        self.sink
+    }
+
+    /// Next hop of node `i`, or `None` if the sink is unreachable.
+    pub fn next_hop(&self, i: usize) -> Option<usize> {
+        self.next_hop[i]
+    }
+
+    /// Whether node `i` can reach the sink.
+    pub fn is_reachable(&self, i: usize) -> bool {
+        i == self.sink || self.next_hop[i].is_some()
+    }
+
+    /// Route cost of node `i` under the builder's metric, or `None`
+    /// if unreachable.
+    pub fn cost(&self, i: usize) -> Option<f64> {
+        self.cost[i]
+    }
+
+    /// The full path `[i, …, sink]` of node `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnreachableSink`] if node `i` has no route — a
+    /// typed error, never a hang (the next-hop table is a tree by
+    /// construction, and the walk is additionally bounded by the
+    /// vertex count).
+    pub fn path(&self, i: usize) -> Result<Vec<usize>> {
+        let mut path = vec![i];
+        let mut v = i;
+        while v != self.sink {
+            match self.next_hop[v] {
+                Some(next) => {
+                    path.push(next);
+                    v = next;
+                }
+                None => return Err(NetError::UnreachableSink { node: i }),
+            }
+            if path.len() > self.next_hop.len() {
+                // Unreachable with a well-formed table; a defensive
+                // bound so a corrupted table can never loop.
+                return Err(NetError::UnreachableSink { node: i });
+            }
+        }
+        Ok(path)
+    }
+
+    /// Hop count of node `i`'s route, or `None` if unreachable.
+    pub fn hop_count(&self, i: usize) -> Option<usize> {
+        self.path(i).ok().map(|p| p.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Topology {
+        // Nodes at x = s, 2s, …, ns; sink at the origin.
+        let pts = (1..=n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::new(pts, Point::new(0.0, 0.0), spacing * 1.01).unwrap()
+    }
+
+    #[test]
+    fn line_topology_routes_through_chain() {
+        let t = line(4, 10.0);
+        let r = t.min_hop_routes();
+        assert_eq!(r.path(3).unwrap(), vec![3, 2, 1, 0, t.sink_index()]);
+        assert_eq!(r.hop_count(3), Some(4));
+        assert_eq!(r.cost(0), Some(1.0));
+    }
+
+    #[test]
+    fn coincident_vertices_are_rejected() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert!(Topology::new(pts, Point::new(0.0, 0.0), 5.0).is_err());
+    }
+
+    #[test]
+    fn unreachable_is_typed_error() {
+        // Two nodes far apart, only node 0 in sink range.
+        let pts = vec![Point::new(5.0, 0.0), Point::new(100.0, 0.0)];
+        let t = Topology::new(pts, Point::new(0.0, 0.0), 10.0).unwrap();
+        let r = t.min_hop_routes();
+        assert!(r.is_reachable(0));
+        assert!(!r.is_reachable(1));
+        match r.path(1) {
+            Err(NetError::UnreachableSink { node: 1 }) => {}
+            other => panic!("expected UnreachableSink, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Routing tests against hand-built fixtures.
+//!
+//! * Min-hop routes are checked against an independent reference
+//!   Dijkstra (unit edge weights) on every fixture — equal
+//!   reachability and equal hop counts everywhere, and equal paths
+//!   where the shortest path is unique.
+//! * Energy-aware routing never relays through a blocked
+//!   (browned-out) node, even when that forces a strictly costlier
+//!   route, and drops to unreachable when the blocked node was the
+//!   only bridge.
+//! * An unreachable sink surfaces the typed
+//!   [`NetError::UnreachableSink`] — never a hang.
+
+use ehsim_net::{NetError, Point, RadioEnergyModel, Topology};
+
+/// Reference shortest-path: textbook Dijkstra with unit weights over
+/// the topology's link set, smallest-index tie-break. Deliberately a
+/// different implementation shape from the BFS under test.
+fn dijkstra_unit_hops(t: &Topology) -> Vec<Option<usize>> {
+    let n_vertices = t.n_nodes() + 1;
+    let sink = t.sink_index();
+    let mut dist = vec![usize::MAX; n_vertices];
+    let mut settled = vec![false; n_vertices];
+    dist[sink] = 0;
+    loop {
+        let mut v = None;
+        for i in 0..n_vertices {
+            if !settled[i] && dist[i] != usize::MAX && v.map_or(true, |b: usize| dist[i] < dist[b])
+            {
+                v = Some(i);
+            }
+        }
+        let Some(v) = v else { break };
+        settled[v] = true;
+        for link in t.neighbors(v) {
+            if dist[v] + 1 < dist[link.to] {
+                dist[link.to] = dist[v] + 1;
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| (d != usize::MAX).then_some(d))
+        .collect()
+}
+
+/// A 5-node cross: sink at the origin, node 0 adjacent to the sink,
+/// nodes 1–2 one ring out, nodes 3–4 behind them.
+fn cross_fixture() -> Topology {
+    let positions = vec![
+        Point::new(8.0, 0.0),  // 0: one hop
+        Point::new(16.0, 0.0), // 1: two hops via 0
+        Point::new(8.0, 9.0),  // 2: two hops via 0
+        Point::new(24.0, 0.0), // 3: three hops via 1, 0
+        Point::new(16.0, 9.0), // 4: adjacent to 1 and 2
+    ];
+    Topology::new(positions, Point::new(0.0, 0.0), 10.0).expect("valid fixture")
+}
+
+#[test]
+fn min_hop_matches_reference_dijkstra_on_fixtures() {
+    let fixtures: Vec<Topology> = vec![
+        cross_fixture(),
+        // Line: 1 → 2 → 3 → 4 hops.
+        Topology::new(
+            (1..=4).map(|i| Point::new(10.0 * i as f64, 0.0)).collect(),
+            Point::new(0.0, 0.0),
+            10.5,
+        )
+        .expect("valid line"),
+        // Star: everything one hop.
+        Topology::new(
+            vec![
+                Point::new(5.0, 0.0),
+                Point::new(0.0, 5.0),
+                Point::new(-5.0, 0.0),
+                Point::new(0.0, -5.0),
+            ],
+            Point::new(0.0, 0.0),
+            6.0,
+        )
+        .expect("valid star"),
+        // Disconnected tail: node 2 stranded.
+        Topology::new(
+            vec![
+                Point::new(7.0, 0.0),
+                Point::new(14.0, 0.0),
+                Point::new(500.0, 0.0),
+            ],
+            Point::new(0.0, 0.0),
+            8.0,
+        )
+        .expect("valid split"),
+    ];
+    for (f, t) in fixtures.iter().enumerate() {
+        let routes = t.min_hop_routes();
+        let reference = dijkstra_unit_hops(t);
+        for i in 0..t.n_nodes() {
+            assert_eq!(
+                routes.hop_count(i),
+                reference[i],
+                "fixture {f}, node {i}: BFS hop count disagrees with Dijkstra"
+            );
+            assert_eq!(routes.is_reachable(i), reference[i].is_some());
+        }
+    }
+}
+
+#[test]
+fn min_hop_unique_shortest_paths_are_exact() {
+    // On the line fixture every shortest path is unique — check the
+    // full path, not just its length.
+    let t = Topology::new(
+        (1..=3).map(|i| Point::new(10.0 * i as f64, 0.0)).collect(),
+        Point::new(0.0, 0.0),
+        10.5,
+    )
+    .expect("valid line");
+    let routes = t.min_hop_routes();
+    assert_eq!(
+        routes.path(2).expect("reachable"),
+        vec![2, 1, 0, t.sink_index()]
+    );
+    assert_eq!(routes.path(0).expect("reachable"), vec![0, t.sink_index()]);
+}
+
+#[test]
+fn energy_aware_matches_min_hop_cost_structure_unblocked() {
+    // With no blocked nodes and a line topology the energy-aware tree
+    // must be the chain too (any detour costs strictly more energy).
+    let t = Topology::new(
+        (1..=4).map(|i| Point::new(10.0 * i as f64, 0.0)).collect(),
+        Point::new(0.0, 0.0),
+        10.5,
+    )
+    .expect("valid line");
+    let routes = t
+        .energy_aware_routes(&RadioEnergyModel::typical(), 1024, &[false; 4])
+        .expect("routes");
+    assert_eq!(
+        routes.path(3).expect("reachable"),
+        vec![3, 2, 1, 0, t.sink_index()]
+    );
+}
+
+#[test]
+fn energy_aware_never_relays_through_blocked_node() {
+    let t = cross_fixture();
+    let radio = RadioEnergyModel::typical();
+    // Unblocked, node 4 routes via a two-hop relay (1 or 2).
+    let open = t
+        .energy_aware_routes(&radio, 1024, &[false; 5])
+        .expect("routes");
+    let open_path = open.path(4).expect("reachable");
+    assert!(open_path.len() > 2, "fixture should force node 4 to relay");
+    // Block every possible relay of node 4 except the detour 2 → 0.
+    let blocked = [false, true, false, false, false];
+    let routed = t
+        .energy_aware_routes(&radio, 1024, &blocked)
+        .expect("routes");
+    for i in 0..t.n_nodes() {
+        let Ok(path) = routed.path(i) else { continue };
+        for &relay in &path[1..path.len() - 1] {
+            assert!(
+                !blocked[relay],
+                "node {i}'s path {path:?} relays through blocked node {relay}"
+            );
+        }
+    }
+    // Node 1 itself may still originate: it stays reachable (its own
+    // next hop just cannot be another blocked node).
+    assert!(routed.is_reachable(1));
+}
+
+#[test]
+fn blocking_the_only_bridge_strands_the_tail() {
+    // Line sink—0—1: node 0 is the only bridge for node 1.
+    let t = Topology::new(
+        vec![Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+        Point::new(0.0, 0.0),
+        10.5,
+    )
+    .expect("valid line");
+    let radio = RadioEnergyModel::typical();
+    let routes = t
+        .energy_aware_routes(&radio, 1024, &[true, false])
+        .expect("routes");
+    assert!(routes.is_reachable(0), "blocked node still originates");
+    assert!(!routes.is_reachable(1), "tail must be stranded");
+    match routes.path(1) {
+        Err(NetError::UnreachableSink { node: 1 }) => {}
+        other => panic!("expected typed UnreachableSink, got {other:?}"),
+    }
+}
+
+#[test]
+fn unreachable_sink_is_a_typed_error_not_a_hang() {
+    // No node in range of the sink at all.
+    let t = Topology::new(
+        vec![Point::new(100.0, 0.0), Point::new(108.0, 0.0)],
+        Point::new(0.0, 0.0),
+        9.0,
+    )
+    .expect("valid topology");
+    for routes in [
+        t.min_hop_routes(),
+        t.energy_aware_routes(&RadioEnergyModel::typical(), 256, &[false, false])
+            .expect("routes"),
+    ] {
+        for i in 0..2 {
+            assert!(!routes.is_reachable(i));
+            assert!(routes.cost(i).is_none());
+            match routes.path(i) {
+                Err(NetError::UnreachableSink { node }) => assert_eq!(node, i),
+                other => panic!("expected typed UnreachableSink, got {other:?}"),
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`power`] | `ehsim-power` | voltage multiplier, supercapacitor, regulator |
 //! | [`policy`] | `ehsim-policy` | adaptive runtime energy-management policies |
 //! | [`node`] | `ehsim-node` | sensor-node energy model and system simulator |
+//! | [`net`] | `ehsim-net` | fleet layer: placement, radio energy model, routing, fleet simulator |
 //! | [`doe`] | `ehsim-doe` | experimental designs, OLS/ANOVA, RSM, optimisation |
 //! | [`core`] | `ehsim-core` | the DoE-based design flow toolkit, incl. scenario ensembles and robust optimisation |
 //!
@@ -46,6 +47,7 @@ pub use ehsim_circuit as circuit;
 pub use ehsim_core as core;
 pub use ehsim_doe as doe;
 pub use ehsim_harvester as harvester;
+pub use ehsim_net as net;
 pub use ehsim_node as node;
 pub use ehsim_numeric as numeric;
 pub use ehsim_policy as policy;

@@ -1,0 +1,223 @@
+//! Differential suite for the fleet simulator's node-phase dispatch.
+//!
+//! The contract under test: a [`FleetSimulator`] run — whatever the
+//! dispatch strategy (auto, forced-batched, per-sim) and whatever the
+//! scheduler thread count — is **bit-identical, node for node**, to a
+//! sequential oracle loop that prepares and runs each node's
+//! simulation by hand, straight from the spec, with no fleet machinery
+//! involved. This is the network-layer extension of the batch kernel's
+//! lane-for-lane bit-exactness contract, checked across 1/2/8 threads
+//! for both homogeneous (batched-dispatch) and mixed-tick
+//! (per-sim-fallback) fleets, and through to the derived
+//! [`ehsim::net::FleetMetrics`] record.
+
+use ehsim::net::{
+    node_seed, Dispatch, FleetEnvironment, FleetSimulator, FleetSpec, Placement, Point,
+};
+use ehsim::node::{NodeConfig, NodeMetrics, PreparedSimulator};
+
+/// The oracle: one hand-rolled `PreparedSimulator` per node, run
+/// sequentially against the node's split vibration stream — no
+/// `FleetSimulator`, no batch kernel, no scheduler.
+fn oracle_metrics(spec: &FleetSpec) -> Vec<NodeMetrics> {
+    spec.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let sim = PreparedSimulator::with_solver(node.config.clone(), spec.solver)
+                .expect("oracle node prepares");
+            let source = spec.environment.source_for(node_seed(spec.fleet_seed, i));
+            sim.run(source.as_ref(), spec.duration_s)
+                .expect("oracle node runs")
+        })
+        .collect()
+}
+
+fn assert_metrics_bitwise_eq(a: &NodeMetrics, b: &NodeMetrics, node: usize, label: &str) {
+    assert_eq!(
+        a.packets_delivered, b.packets_delivered,
+        "{label}: node {node} packets"
+    );
+    assert_eq!(
+        a.brownout_count, b.brownout_count,
+        "{label}: node {node} brownouts"
+    );
+    assert_eq!(
+        a.retune_count, b.retune_count,
+        "{label}: node {node} retunes"
+    );
+    assert_eq!(
+        a.measurement_count, b.measurement_count,
+        "{label}: node {node} measurements"
+    );
+    for (x, y, field) in [
+        (a.uptime_fraction, b.uptime_fraction, "uptime_fraction"),
+        (a.tuning_energy_j, b.tuning_energy_j, "tuning_energy_j"),
+        (
+            a.harvested_energy_j,
+            b.harvested_energy_j,
+            "harvested_energy_j",
+        ),
+        (
+            a.consumed_energy_j,
+            b.consumed_energy_j,
+            "consumed_energy_j",
+        ),
+        (a.min_v_store, b.min_v_store, "min_v_store"),
+        (a.final_v_store, b.final_v_store, "final_v_store"),
+        (
+            a.avg_harvest_power_w,
+            b.avg_harvest_power_w,
+            "avg_harvest_power_w",
+        ),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: node {node} {field} differs ({x} vs {y})"
+        );
+    }
+}
+
+fn homogeneous_spec(n: usize) -> FleetSpec {
+    let positions = Placement::UniformRandom {
+        n,
+        width_m: 80.0,
+        height_m: 80.0,
+        seed: 17,
+    }
+    .positions()
+    .expect("valid placement");
+    let mut cfg = NodeConfig::default_node();
+    cfg.tick_s = 0.5;
+    let mut spec = FleetSpec::homogeneous(cfg, positions, Point::new(40.0, 40.0), 30.0, 45.0);
+    spec.environment = FleetEnvironment::factory_floor();
+    spec
+}
+
+/// A mixed-tick fleet: same floor, but a third of the nodes run a
+/// finer tick — batched dispatch must refuse it and auto dispatch
+/// must fall back per-sim without changing a bit.
+fn mixed_tick_spec(n: usize) -> FleetSpec {
+    let mut spec = homogeneous_spec(n);
+    for (i, node) in spec.nodes.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            node.config.tick_s = 0.25;
+        }
+    }
+    spec
+}
+
+#[test]
+fn homogeneous_fleet_auto_dispatches_to_batches() {
+    let fleet = FleetSimulator::new(homogeneous_spec(13)).expect("valid fleet");
+    assert!(fleet.is_homogeneous());
+}
+
+#[test]
+fn mixed_tick_fleet_is_heterogeneous() {
+    let fleet = FleetSimulator::new(mixed_tick_spec(13)).expect("valid fleet");
+    assert!(!fleet.is_homogeneous());
+    assert!(fleet.run_with_dispatch(2, Dispatch::Batched).is_err());
+}
+
+#[test]
+fn batched_dispatch_is_bit_identical_to_oracle_across_threads() {
+    let spec = homogeneous_spec(13);
+    let oracle = oracle_metrics(&spec);
+    let fleet = FleetSimulator::new(spec).expect("valid fleet");
+    for threads in [1, 2, 8] {
+        for (dispatch, label) in [
+            (Dispatch::Auto, "auto"),
+            (Dispatch::Batched, "batched"),
+            (Dispatch::PerSim, "per-sim"),
+        ] {
+            let out = fleet
+                .run_with_dispatch(threads, dispatch)
+                .expect("fleet runs");
+            assert_eq!(out.per_node.len(), oracle.len());
+            for (i, (a, b)) in oracle.iter().zip(&out.per_node).enumerate() {
+                assert_metrics_bitwise_eq(a, b, i, &format!("{label}@{threads}t"));
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_tick_fleet_is_bit_identical_to_oracle_across_threads() {
+    let spec = mixed_tick_spec(11);
+    let oracle = oracle_metrics(&spec);
+    let fleet = FleetSimulator::new(spec).expect("valid fleet");
+    for threads in [1, 2, 8] {
+        let out = fleet.run(threads).expect("fleet runs");
+        for (i, (a, b)) in oracle.iter().zip(&out.per_node).enumerate() {
+            assert_metrics_bitwise_eq(a, b, i, &format!("mixed-auto@{threads}t"));
+        }
+    }
+}
+
+#[test]
+fn fleet_metrics_are_invariant_to_threads_and_dispatch() {
+    let fleet = FleetSimulator::new(homogeneous_spec(13)).expect("valid fleet");
+    let base = fleet
+        .run_with_dispatch(1, Dispatch::PerSim)
+        .expect("fleet runs");
+    for threads in [1, 2, 8] {
+        for dispatch in [Dispatch::Auto, Dispatch::Batched, Dispatch::PerSim] {
+            let out = fleet
+                .run_with_dispatch(threads, dispatch)
+                .expect("fleet runs");
+            let (m, n) = (&base.metrics, &out.metrics);
+            for (a, b, field) in [
+                (
+                    m.packets_originated,
+                    n.packets_originated,
+                    "packets_originated",
+                ),
+                (
+                    m.packets_delivered,
+                    n.packets_delivered,
+                    "packets_delivered",
+                ),
+                (m.relay_energy_j, n.relay_energy_j, "relay_energy_j"),
+                (m.first_death_s, n.first_death_s, "first_death_s"),
+                (m.residual_mean_j, n.residual_mean_j, "residual_mean_j"),
+                (
+                    m.residual_spread_j,
+                    n.residual_spread_j,
+                    "residual_spread_j",
+                ),
+                (
+                    m.min_brownout_margin_v,
+                    n.min_brownout_margin_v,
+                    "min_brownout_margin_v",
+                ),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{dispatch:?}@{threads}t: {field} differs ({a} vs {b})"
+                );
+            }
+            for (i, (x, y)) in base.net.iter().zip(&out.net).enumerate() {
+                assert_eq!(x, y, "{dispatch:?}@{threads}t: node {i} net stats differ");
+            }
+        }
+    }
+}
+
+/// Per-node error capture: a fleet with one invalid node reports the
+/// smallest failing node index through the aggregate entry point while
+/// `run_nodes` captures the failure individually.
+#[test]
+fn smallest_failing_node_is_reported() {
+    let mut spec = homogeneous_spec(9);
+    // Zero-capacitance storage fails preparation.
+    spec.nodes[4].config.storage.capacitance = 0.0;
+    spec.nodes[7].config.storage.capacitance = 0.0;
+    match FleetSimulator::new(spec) {
+        Err(ehsim::net::NetError::Node { node, .. }) => assert_eq!(node, 4),
+        Err(other) => panic!("expected smallest-failing-node error, got {other:?}"),
+        Ok(_) => panic!("expected smallest-failing-node error, got a fleet"),
+    }
+}
