@@ -1,0 +1,173 @@
+//! The committed findings baseline: grandfathered debt, metered.
+//!
+//! The baseline maps `(file, rule)` to the number of findings that are
+//! *allowed to exist* — the debt present when the rule was introduced.
+//! The check fails as soon as a file accumulates **more** findings of a
+//! rule than its baseline grants, so new violations cannot hide behind
+//! old ones, while the existing debt stays visible (and its shrinkage
+//! is reported, so the baseline can be ratcheted down).
+//!
+//! The format is a restricted TOML subset — `[[allow]]` tables with
+//! `file`, `rule`, and `count` keys — parsed by hand (no external
+//! dependencies anywhere in this crate).
+
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: allowed finding counts keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    allowed: BTreeMap<(String, RuleId), usize>,
+}
+
+/// A baseline-file syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in the baseline file.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// An empty baseline (every finding is new).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// The allowed count for `(file, rule)` (0 if absent).
+    pub fn allowed(&self, file: &str, rule: RuleId) -> usize {
+        self.allowed
+            .get(&(file.to_string(), rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of `[[allow]]` entries.
+    pub fn len(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// Whether the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.allowed.is_empty()
+    }
+
+    /// Iterates entries in sorted order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, RuleId, usize)> {
+        self.allowed.iter().map(|((f, r), &c)| (f.as_str(), *r, c))
+    }
+
+    /// Builds a baseline from `(file, rule, count)` triples (used by
+    /// `--update-baseline` and by tests).
+    pub fn from_counts(counts: impl IntoIterator<Item = (String, RuleId, usize)>) -> Self {
+        let mut allowed = BTreeMap::new();
+        for (file, rule, count) in counts {
+            if count > 0 {
+                allowed.insert((file, rule), count);
+            }
+        }
+        Baseline { allowed }
+    }
+
+    /// Parses the baseline file format.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError`] on anything outside the restricted subset:
+    /// unknown keys, unknown rules, duplicate entries, values of the
+    /// wrong shape.
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let mut allowed: BTreeMap<(String, RuleId), usize> = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<RuleId>, Option<usize>, usize)> = None;
+        let err = |line: usize, message: &str| BaselineError {
+            line,
+            message: message.to_string(),
+        };
+        let flush = |entry: Option<(Option<String>, Option<RuleId>, Option<usize>, usize)>,
+                     allowed: &mut BTreeMap<(String, RuleId), usize>|
+         -> Result<(), BaselineError> {
+            if let Some((file, rule, count, at)) = entry {
+                let file = file.ok_or_else(|| err(at, "entry missing `file`"))?;
+                let rule = rule.ok_or_else(|| err(at, "entry missing `rule`"))?;
+                let count = count.ok_or_else(|| err(at, "entry missing `count`"))?;
+                if allowed.insert((file.clone(), rule), count).is_some() {
+                    return Err(err(at, &format!("duplicate entry for {file} / {rule}")));
+                }
+            }
+            Ok(())
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(current.take(), &mut allowed)?;
+                current = Some((None, None, None, lineno));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, &format!("unrecognised line: {line}")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(entry) = current.as_mut() else {
+                return Err(err(lineno, "key outside an [[allow]] entry"));
+            };
+            match key {
+                "file" => {
+                    let v = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err(lineno, "`file` must be a quoted string"))?;
+                    entry.0 = Some(v.to_string());
+                }
+                "rule" => {
+                    let v = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err(lineno, "`rule` must be a quoted string"))?;
+                    entry.1 = Some(
+                        RuleId::parse(v)
+                            .ok_or_else(|| err(lineno, &format!("unknown rule `{v}`")))?,
+                    );
+                }
+                "count" => {
+                    entry.2 = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| err(lineno, "`count` must be a non-negative integer"))?,
+                    );
+                }
+                other => return Err(err(lineno, &format!("unknown key `{other}`"))),
+            }
+        }
+        flush(current.take(), &mut allowed)?;
+        Ok(Baseline { allowed })
+    }
+
+    /// Renders the baseline back to its file format (sorted, stable).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ehsim-analyze baseline: grandfathered determinism-lint findings,\n\
+             # metered per (file, rule). The check fails when a file exceeds its\n\
+             # allowance, so new violations cannot hide behind old debt.\n\
+             #\n\
+             # Regenerate (after burning debt down, never to admit new debt):\n\
+             #     cargo run -p ehsim-analyze -- check --update-baseline\n",
+        );
+        for ((file, rule), count) in &self.allowed {
+            out.push_str(&format!(
+                "\n[[allow]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+}

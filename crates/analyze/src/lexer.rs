@@ -1,0 +1,499 @@
+//! A hand-rolled Rust lexer, sufficient for rule scanning.
+//!
+//! The analyzer must never mistake the *mention* of a pattern (in a
+//! comment, a doc example, a string literal) for a *use* of it, so the
+//! lexer's whole job is classification: identifiers, lifetimes,
+//! literals (string / raw string / byte string / char / numeric, with
+//! the float-vs-integer distinction the D5 rule needs), comments
+//! (retained — suppression annotations live there), and punctuation.
+//! It handles the constructs that defeat regex-based scanners: nested
+//! block comments, raw strings with arbitrary `#` fences, lifetimes vs
+//! char literals, and raw identifiers.
+//!
+//! No external dependencies: the container is offline, so `syn` is not
+//! an option, and full parsing is not needed — every determinism rule
+//! is expressible over this token stream.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `as`, `fn`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`), fenced off from char literals.
+    Lifetime,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    IntLit,
+    /// A float literal (`1.0`, `2e-3`, `1f64`).
+    FloatLit,
+    /// A string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br##"…"##`,
+    /// `c"…"`.
+    StrLit,
+    /// A char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// A `//` line comment (text retained for `lint:allow` parsing).
+    LineComment,
+    /// A `/* … */` block comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token: kind, text, and the 1-based position where it starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's source text (including delimiters for literals and
+    /// comment markers for comments).
+    pub text: String,
+    /// 1-based source line of the first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the first character.
+    pub col: usize,
+}
+
+/// A lexing failure (unterminated literal or comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the offending construct starts.
+    pub line: usize,
+    /// 1-based column where the offending construct starts.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token stream.
+///
+/// # Errors
+///
+/// [`LexError`] on an unterminated string, char, raw string, or block
+/// comment — real Rust sources never trigger this, but the analyzer
+/// also scans fixture trees, and a file it cannot classify must fail
+/// loudly rather than silently skip rules.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let kind = if c == '/' && cur.peek_at(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur)?
+        } else if c == '\'' {
+            lex_quote(&mut cur)?
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed_literal(&mut cur)?
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur)?;
+            TokenKind::StrLit
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            text: cur.text_since(start),
+            line,
+            col,
+        });
+    }
+    Ok(out)
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokenKind {
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Result<TokenKind, LexError> {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => {
+                return Err(LexError {
+                    line,
+                    col,
+                    message: "unterminated block comment".into(),
+                });
+            }
+        }
+    }
+    Ok(TokenKind::BlockComment)
+}
+
+/// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+/// (`'a'`, `'\n'`, `'\u{1F600}'`). The discriminator: an escape is
+/// always a char literal; an identifier-like run is a lifetime unless
+/// a single such character is immediately closed by `'`.
+fn lex_quote(cur: &mut Cursor) -> Result<TokenKind, LexError> {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump(); // opening '
+    match cur.peek() {
+        Some('\\') => {
+            lex_char_escape_tail(cur, line, col)?;
+            Ok(TokenKind::CharLit)
+        }
+        Some(c) if is_ident_start(c) && cur.peek_at(1) != Some('\'') => {
+            // Lifetime: consume the identifier run.
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                cur.bump();
+            }
+            Ok(TokenKind::Lifetime)
+        }
+        Some(_) => {
+            cur.bump(); // the character itself
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                Ok(TokenKind::CharLit)
+            } else {
+                Err(LexError {
+                    line,
+                    col,
+                    message: "unterminated char literal".into(),
+                })
+            }
+        }
+        None => Err(LexError {
+            line,
+            col,
+            message: "dangling quote at end of input".into(),
+        }),
+    }
+}
+
+/// Consumes an escape sequence plus the closing `'` of a char literal
+/// (the cursor sits on the backslash).
+fn lex_char_escape_tail(cur: &mut Cursor, line: usize, col: usize) -> Result<(), LexError> {
+    cur.bump(); // backslash
+    match cur.bump() {
+        Some('u') => {
+            // \u{…}: consume through the closing brace.
+            while let Some(c) = cur.peek() {
+                let done = c == '}';
+                cur.bump();
+                if done {
+                    break;
+                }
+            }
+        }
+        Some('x') => {
+            cur.bump();
+            cur.bump();
+        }
+        Some(_) => {}
+        None => {
+            return Err(LexError {
+                line,
+                col,
+                message: "unterminated escape in char literal".into(),
+            });
+        }
+    }
+    if cur.peek() == Some('\'') {
+        cur.bump();
+        Ok(())
+    } else {
+        Err(LexError {
+            line,
+            col,
+            message: "unterminated char literal".into(),
+        })
+    }
+}
+
+/// An identifier — unless it is one of the literal prefixes (`r`, `b`,
+/// `br`, `c`, `cr`) directly fused to a string/char opener, or a raw
+/// identifier (`r#type`).
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor) -> Result<TokenKind, LexError> {
+    let start = cur.pos;
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        cur.bump();
+    }
+    let ident: String = cur.chars[start..cur.pos].iter().collect();
+    match (ident.as_str(), cur.peek()) {
+        ("r" | "br" | "cr", Some('#' | '"')) => {
+            // Raw identifier r#foo: exactly `r` + `#` + ident-start.
+            if ident == "r" && cur.peek() == Some('#') && cur.peek_at(1).is_some_and(is_ident_start)
+            {
+                cur.bump(); // '#'
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                return Ok(TokenKind::Ident);
+            }
+            lex_raw_string(cur)?;
+            Ok(TokenKind::StrLit)
+        }
+        ("b" | "c", Some('"')) => {
+            lex_string(cur)?;
+            Ok(TokenKind::StrLit)
+        }
+        ("b", Some('\'')) => {
+            let (line, col) = (cur.line, cur.col);
+            cur.bump(); // opening '
+            if cur.peek() == Some('\\') {
+                lex_char_escape_tail(cur, line, col)?;
+            } else {
+                cur.bump();
+                if cur.peek() == Some('\'') {
+                    cur.bump();
+                } else {
+                    return Err(LexError {
+                        line,
+                        col,
+                        message: "unterminated byte literal".into(),
+                    });
+                }
+            }
+            Ok(TokenKind::CharLit)
+        }
+        _ => Ok(TokenKind::Ident),
+    }
+}
+
+/// Raw string tail: the cursor sits on the first `#` or `"` after the
+/// `r`/`br`/`cr` prefix. Consumes `#…#"…"#…#` with a matching fence.
+fn lex_raw_string(cur: &mut Cursor) -> Result<(), LexError> {
+    let (line, col) = (cur.line, cur.col);
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some('"') {
+        return Err(LexError {
+            line,
+            col,
+            message: "malformed raw string fence".into(),
+        });
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                // Need `hashes` consecutive '#' to close.
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    return Ok(());
+                }
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line,
+                    col,
+                    message: "unterminated raw string".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Ordinary (possibly byte/C) string: cursor on the opening `"`.
+fn lex_string(cur: &mut Cursor) -> Result<(), LexError> {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump(); // whatever is escaped, including `"` and `\`
+            }
+            Some('"') => return Ok(()),
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line,
+                    col,
+                    message: "unterminated string literal".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Numeric literal. The kind matters to D5: a float is a literal with
+/// a fractional part, a (decimal) exponent, or an `f32`/`f64` suffix.
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    let radix_prefix = cur.peek() == Some('0')
+        && matches!(cur.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return TokenKind::IntLit;
+    }
+    let mut is_float = false;
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part — but not `1..2` (range) and not `1.method()`.
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else if cur.peek() == Some('.')
+        && !cur
+            .peek_at(1)
+            .is_some_and(|c| c == '.' || is_ident_start(c))
+    {
+        // Trailing-dot float `1.`
+        is_float = true;
+        cur.bump();
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let mut k = 1usize;
+        if matches!(cur.peek_at(1), Some('+' | '-')) {
+            k = 2;
+        }
+        if cur.peek_at(k).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            for _ in 0..=k {
+                cur.bump();
+            }
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (u32, i64, f64, usize, …) — fused into the literal.
+    if cur.peek().is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            cur.bump();
+        }
+        let suffix: String = cur.chars[suffix_start..cur.pos].iter().collect();
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+    }
+    if is_float {
+        TokenKind::FloatLit
+    } else {
+        TokenKind::IntLit
+    }
+}

@@ -1,0 +1,44 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `ehsim-analyze` — the workspace determinism lint.
+//!
+//! Every headline result in this workspace rests on a determinism
+//! contract: CSVs byte-identical across invocations and thread counts,
+//! fleet runs bit-equal to sequential oracles, cache replays
+//! bit-identical to fresh simulations. Until now that contract was
+//! enforced only *after the fact*, by differential tests. This crate
+//! enforces it *at the source*: a hand-rolled Rust lexer
+//! ([`lexer`] — no `syn`, the build is offline) feeds a rule engine
+//! ([`rules`]) that walks every non-vendored workspace source file and
+//! flags the patterns that silently break bit-reproducibility:
+//!
+//! | rule | clause |
+//! |------|--------|
+//! | D1 | `HashMap`/`HashSet` in result-affecting library code |
+//! | D2 | `Instant`/`SystemTime` outside bench/reporting code |
+//! | D3 | entropy/environment reads in library code |
+//! | D4 | `unwrap`/`expect`/`panic!` in non-test library code |
+//! | D5 | float→int `as` casts in solver/kernel hot paths |
+//! | D6 | crate root missing `#![forbid(unsafe_code)]` |
+//!
+//! Suppression is explicit and auditable: an inline
+//! `// lint:allow(D2): <reason>` annotation (the reason is mandatory,
+//! and an annotation that stops matching anything fails the check),
+//! plus a committed [`baseline`] (`crates/analyze/baseline.toml`) that
+//! meters grandfathered debt per `(file, rule)` — the check fails on
+//! any *new* violation while existing debt stays visible.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p ehsim-analyze -- check
+//! ```
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, BaselineError};
+pub use engine::{check_tree, Finding, FindingStatus, Report, ScanProblem};
+pub use rules::RuleId;

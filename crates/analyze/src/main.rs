@@ -1,0 +1,135 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! cargo run -p ehsim-analyze -- check [--root DIR] [--baseline FILE]
+//!                                     [--no-baseline] [--update-baseline]
+//!                                     [--verbose]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use ehsim_analyze::baseline::Baseline;
+use ehsim_analyze::engine;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ehsim-analyze check [--root DIR] [--baseline FILE] \
+                     [--no-baseline] [--update-baseline] [--verbose]";
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    no_baseline: bool,
+    update_baseline: bool,
+    verbose: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline_path: None,
+        no_baseline: false,
+        update_baseline: false,
+        verbose: false,
+    };
+    if args.first().map(String::as_str) != Some("check") {
+        return Err(format!("expected the `check` subcommand\n{USAGE}"));
+    }
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or(format!("--root needs a value\n{USAGE}"))?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .ok_or(format!("--baseline needs a value\n{USAGE}"))?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--no-baseline" => opts.no_baseline = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`, falling back
+/// to two levels above this crate's manifest.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let fallback = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    fallback.canonicalize().ok()
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => find_workspace_root().ok_or("cannot locate the workspace root; pass --root")?,
+    };
+    if !root.is_dir() {
+        return Err(format!("root `{}` is not a directory", root.display()));
+    }
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("crates/analyze/baseline.toml"));
+    let baseline = if opts.no_baseline {
+        Baseline::empty()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string())?,
+            Err(_) => {
+                eprintln!(
+                    "note: no baseline at {} — every finding counts as new",
+                    baseline_path.display()
+                );
+                Baseline::empty()
+            }
+        }
+    };
+    let report = engine::check_tree(&root, &baseline).map_err(|e| e.to_string())?;
+    if opts.update_baseline {
+        let updated = Baseline::from_counts(report.unsuppressed_counts());
+        std::fs::write(&baseline_path, updated.render())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} entries)",
+            baseline_path.display(),
+            updated.len()
+        );
+        // A freshly written baseline covers everything by construction,
+        // but scan problems (malformed/unused annotations) still fail.
+        return Ok(report.problems.is_empty());
+    }
+    print!("{}", report.render(opts.verbose));
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("ehsim-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

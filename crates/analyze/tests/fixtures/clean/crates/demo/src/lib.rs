@@ -1,0 +1,30 @@
+//! Fixture: a clean library crate root — ordered collections, typed
+//! errors, no wall-clock, `unsafe` forbidden. Test code may use the
+//! convenient forms freely; the `#[cfg(test)]` span is exempt.
+//! Never compiled — only lexed by the analyzer's end-to-end tests.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Sums the values of a small map.
+pub fn demo() -> u32 {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn exempt_inside_tests() {
+        let started = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

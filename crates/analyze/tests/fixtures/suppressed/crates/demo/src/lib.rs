@@ -1,0 +1,22 @@
+//! Fixture: the same violations, each carrying a justified inline
+//! annotation (both the same-line and the line-above form).
+//! Never compiled — only lexed by the analyzer's end-to-end tests.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap; // lint:allow(D1): fixture exercising same-line suppression
+// lint:allow(D2): fixture exercising line-above suppression
+use std::time::Instant;
+
+pub fn demo() -> u64 {
+    // lint:allow(D1): fixture exercising line-above suppression
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _t = Instant::now(); // lint:allow(D2): fixture exercising same-line suppression
+    // lint:allow(D3): fixture exercising line-above suppression
+    let _rng = rand::thread_rng();
+    let home = std::env::var("HOME"); // lint:allow(D3): fixture exercising same-line suppression
+    // lint:allow(D4): fixture exercising line-above suppression
+    let _ = home.unwrap();
+    m.len() as u64
+}

@@ -1,0 +1,7 @@
+//! Fixture: the D5 cast with a justified line-above annotation.
+//! Never compiled — only lexed by the analyzer's end-to-end tests.
+
+pub fn bucket(x: f64) -> usize {
+    // lint:allow(D5): fixture exercising suppression of the cast below
+    (x * 4.0).floor() as usize
+}

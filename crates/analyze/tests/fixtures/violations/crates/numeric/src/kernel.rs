@@ -1,0 +1,6 @@
+//! Fixture: a kernel-path file with a float->int `as` cast (D5).
+//! Never compiled — only lexed by the analyzer's end-to-end tests.
+
+pub fn bucket(x: f64) -> usize {
+    (x * 4.0).floor() as usize
+}

@@ -1,0 +1,175 @@
+//! Lexer fixture suite: the constructs that make naive regex scanning
+//! of Rust source wrong, each pinned to the exact token stream the
+//! rule engine depends on.
+
+use ehsim_analyze::lexer::{lex, TokenKind};
+
+/// The (kind, text) pairs of a source snippet.
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .expect("fixture lexes")
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+/// Only the identifier texts of a snippet.
+fn idents(src: &str) -> Vec<String> {
+    kinds(src)
+        .into_iter()
+        .filter(|(k, _)| *k == TokenKind::Ident)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+#[test]
+fn line_comments_swallow_code() {
+    let toks = kinds("let x = 1; // HashMap::new()\nlet y;");
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokenKind::LineComment && t.contains("HashMap")));
+    // The HashMap inside the comment must NOT surface as an ident.
+    assert!(!idents("let x = 1; // HashMap::new()").contains(&"HashMap".to_string()));
+}
+
+#[test]
+fn nested_block_comments_terminate_at_matching_depth() {
+    let src = "a /* outer /* inner */ still outer */ b";
+    let toks = kinds(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, "a".into()),
+            (
+                TokenKind::BlockComment,
+                "/* outer /* inner */ still outer */".into()
+            ),
+            (TokenKind::Ident, "b".into()),
+        ]
+    );
+}
+
+#[test]
+fn unterminated_block_comment_is_a_lex_error() {
+    let err = lex("/* never closed").expect_err("must fail");
+    assert_eq!((err.line, err.col), (1, 1));
+}
+
+#[test]
+fn strings_swallow_code_and_escapes() {
+    // The escaped quote must not end the string early.
+    let ids = idents(r#"let s = "HashMap \" Instant"; after"#);
+    assert_eq!(ids, vec!["let", "s", "after"]);
+}
+
+#[test]
+fn raw_strings_with_hash_fences() {
+    // One-hash raw string containing a bare quote.
+    let toks = kinds(r####"let s = r#"contains " quote"#; x"####);
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokenKind::StrLit && t.contains("contains")));
+    assert!(idents(r####"let s = r#"HashMap"#; x"####).contains(&"x".to_string()));
+
+    // Two-hash fence: a `"#` inside does not terminate.
+    let src = r#####"r##"inner "# still inside"## tail"#####;
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokenKind::StrLit);
+    assert!(toks[0].1.contains("still inside"));
+    assert_eq!(toks[1], (TokenKind::Ident, "tail".into()));
+}
+
+#[test]
+fn byte_and_c_strings_are_strings() {
+    for src in ["b\"bytes\"", "br#\"raw bytes\"#", "c\"cstr\""] {
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 1, "{src}");
+        assert_eq!(toks[0].0, TokenKind::StrLit, "{src}");
+    }
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    assert!(toks.iter().all(|(k, _)| *k != TokenKind::CharLit));
+}
+
+#[test]
+fn char_literals_including_escapes_and_bytes() {
+    for src in ["'x'", "'\\n'", "'\\''", "b'q'", "'\\u{1F600}'"] {
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 1, "{src}");
+        assert_eq!(toks[0].0, TokenKind::CharLit, "{src}");
+    }
+    // A char literal holding a quote char must not open a string.
+    let ids = idents("let c = '\"'; after");
+    assert_eq!(ids, vec!["let", "c", "after"]);
+}
+
+#[test]
+fn raw_identifiers_are_idents() {
+    let ids = idents("let r#type = 1; r#fn");
+    assert!(ids.contains(&"r#type".to_string()));
+    assert!(ids.contains(&"r#fn".to_string()));
+}
+
+#[test]
+fn numeric_literals_classify_float_vs_int() {
+    let cases = [
+        ("42", TokenKind::IntLit),
+        ("1_000u64", TokenKind::IntLit),
+        ("0xFF", TokenKind::IntLit),
+        ("0b1010", TokenKind::IntLit),
+        ("0o77", TokenKind::IntLit),
+        ("1.0", TokenKind::FloatLit),
+        ("2e-3", TokenKind::FloatLit),
+        ("1f64", TokenKind::FloatLit),
+        ("3.14_f32", TokenKind::FloatLit),
+    ];
+    for (src, want) in cases {
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 1, "{src} -> {toks:?}");
+        assert_eq!(toks[0].0, want, "{src}");
+    }
+}
+
+#[test]
+fn range_and_field_access_stay_integral() {
+    // `1..2` is two ints and two dots, not a malformed float.
+    let toks = kinds("1..2");
+    assert_eq!(
+        toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![
+            TokenKind::IntLit,
+            TokenKind::Punct,
+            TokenKind::Punct,
+            TokenKind::IntLit
+        ]
+    );
+    // Tuple field access `x.0` keeps the 0 integral.
+    let toks = kinds("x.0");
+    assert_eq!(toks[2].0, TokenKind::IntLit);
+}
+
+#[test]
+fn positions_are_one_based_and_track_lines() {
+    let toks = lex("ab\n  cd").expect("lexes");
+    assert_eq!((toks[0].line, toks[0].col), (1, 1));
+    assert_eq!((toks[1].line, toks[1].col), (2, 3));
+}
+
+#[test]
+fn doc_comments_are_comments() {
+    let toks = kinds("/// outer doc\n//! inner doc\n/** block doc */\nfn f() {}");
+    let comments: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    assert_eq!(comments.len(), 3);
+}

@@ -21,6 +21,7 @@
 //!
 //! Criterion benches (`benches/`) time the same kernels statistically.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ehsim_circuit::Netlist;

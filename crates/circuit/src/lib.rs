@@ -50,6 +50,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ac;
@@ -199,7 +200,7 @@ impl TransientConfig {
         if (raw - rounded).abs() < 1e-9 * raw.max(1.0) {
             rounded as usize
         } else {
-            raw.ceil() as usize
+            raw.ceil() as usize // lint:allow(D5): ceil of a validated finite non-negative count is exact
         }
     }
 }

@@ -13,6 +13,7 @@ use ehsim_node::{
     BatchSimulator, DutyCyclePolicy, NodeConfig, PolicyKind, PreparedSimulator, SystemSimulator,
 };
 use std::sync::Arc;
+// lint:allow(D2): wall-clock feeds reporting-only Duration stats, never response values
 use std::time::{Duration, Instant};
 
 /// The paper-style four-factor design problem over the default node:
@@ -458,7 +459,7 @@ impl Campaign {
                 self.space.k()
             )));
         }
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(D2): campaign wall time is reporting-only, never a response
         let points: Vec<Vec<f64>> = design.points().to_vec();
         let n = points.len();
         let responses = match run_design_batched(
@@ -860,7 +861,7 @@ impl EnsembleCampaign {
                 self.space.k()
             )));
         }
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(D2): campaign wall time is reporting-only, never a response
         let points: Vec<Vec<f64>> = design.points().to_vec();
         let n_points = points.len();
         let n_scen = self.ensemble.len();

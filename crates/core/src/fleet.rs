@@ -23,6 +23,7 @@ use crate::{CampaignResult, CoreError, Result};
 use ehsim_doe::{fit, Design, FittedModel, ModelSpec};
 use ehsim_net::{FleetMetrics, FleetSimulator, FleetSpec};
 use std::sync::Arc;
+// lint:allow(D2): wall-clock feeds the reporting-only `wall` duration, never result bytes
 use std::time::Instant;
 
 /// A scalar fleet-level performance indicator.
@@ -200,7 +201,7 @@ impl FleetCampaign {
                 self.space.k()
             )));
         }
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(D2): fleet wall time is reporting-only, never a response
         let points: Vec<Vec<f64>> = design.points().to_vec();
         let mut responses = Vec::with_capacity(points.len());
         for p in &points {

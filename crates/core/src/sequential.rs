@@ -31,7 +31,7 @@ use ehsim_doe::sequential::{
     SequentialEvaluator,
 };
 use ehsim_doe::Design;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The simulated responses of one design point across a scenario
 /// ensemble, as served by a [`CachedEvaluator`] (from cache or fresh).
@@ -111,7 +111,11 @@ pub struct CachedEvaluator {
     campaign: EnsembleCampaign,
     threads: usize,
     budget: Option<usize>,
-    cache: HashMap<Vec<i64>, EnsembleResponse>,
+    // Audited for determinism rule D1: the cache is keyed-lookup only
+    // (get/insert/contains_key — results leave it in request order,
+    // never in iteration order), but an ordered map makes that property
+    // structural instead of audited.
+    cache: BTreeMap<Vec<i64>, EnsembleResponse>,
     hits: usize,
     fresh: usize,
 }
@@ -123,7 +127,7 @@ impl CachedEvaluator {
             campaign,
             threads: threads.max(1),
             budget: None,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             hits: 0,
             fresh: 0,
         }
@@ -168,7 +172,7 @@ impl CachedEvaluator {
     /// How many *fresh* design-point evaluations a batch would cost
     /// (distinct uncached points; duplicates count once).
     pub fn fresh_cost(&self, points: &[Vec<f64>]) -> usize {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         points
             .iter()
             .map(|p| canonical_key(p))
@@ -195,7 +199,7 @@ impl CachedEvaluator {
         let keys: Vec<Vec<i64>> = points.iter().map(|p| canonical_key(p)).collect();
         let mut miss_keys: Vec<Vec<i64>> = Vec::new();
         let mut miss_points: Vec<Vec<f64>> = Vec::new();
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for (p, key) in points.iter().zip(keys.iter()) {
             if !self.cache.contains_key(key) && seen.insert(key.clone()) {
                 miss_keys.push(key.clone());

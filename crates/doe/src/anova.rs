@@ -5,7 +5,7 @@
 use crate::fit::FittedModel;
 use crate::{DoeError, Result};
 use ehsim_numeric::stats::dist::FisherF;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Overall ANOVA decomposition of a fitted model.
@@ -116,8 +116,11 @@ pub struct LackOfFit {
 ///
 /// Propagates distribution errors (cannot normally occur).
 pub fn lack_of_fit(model: &FittedModel) -> Result<Option<LackOfFit>> {
-    // Group runs by identical coded coordinates.
-    let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    // Group runs by identical coded coordinates. A BTreeMap, not a
+    // HashMap (determinism rule D1): `ss_pe` below is a float sum over
+    // the groups, so the iteration order is part of the result's bits.
+    // Sorted keys make that order a pure function of the design.
+    let mut groups: BTreeMap<Vec<u64>, Vec<usize>> = BTreeMap::new();
     for (i, p) in model.points().iter().enumerate() {
         let key: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
         groups.entry(key).or_default().push(i);
@@ -254,5 +257,69 @@ mod tests {
         let pts = vec![vec![-1.0], vec![1.0]];
         let m = fit(&ModelSpec::linear(1).unwrap(), &pts, &[0.0, 1.0]).unwrap();
         assert!(anova(&m).is_err());
+    }
+
+    /// Regression for the D1 fix (HashMap → BTreeMap grouping): with
+    /// *several* replicated groups, `ss_pe` is a float sum whose bits
+    /// depend on group iteration order. The order is now pinned to
+    /// ascending `to_bits()` keys, so the sum must equal a
+    /// hand-computed accumulation in exactly that order, bit for bit —
+    /// the per-instance-seeded HashMap ordering could produce any of
+    /// the `n!` permutations, and for these responses the permutations
+    /// genuinely differ in the last ulp.
+    #[test]
+    fn pure_error_group_order_is_pinned() {
+        // Three replicated points, ascending coded order -1 < 0 < 1
+        // (for non-negative floats, to_bits order == numeric order;
+        // -1.0 has the sign bit set, so its key sorts *last*).
+        let pts = vec![
+            vec![-1.0],
+            vec![-1.0],
+            vec![0.0],
+            vec![0.0],
+            vec![1.0],
+            vec![1.0],
+            vec![0.5],
+        ];
+        // Wildly different magnitudes so the within-group sums of
+        // squares accumulate differently under reordering.
+        let y = vec![1e8, 1.0 + 1e8, 3.0e-3, 1.0e-3, 7.0, 7.5, 2.0];
+        let m = fit(&ModelSpec::linear(1).unwrap(), &pts, &y).unwrap();
+        let lof = lack_of_fit(&m).unwrap().expect("replicates exist");
+
+        // Hand-compute ss_pe in ascending-key order: 0.0, 0.5
+        // (singleton, no contribution), 1.0, then -1.0.
+        let group_sum = |vals: &[f64]| {
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        };
+        let mut expect_ss_pe = 0.0;
+        expect_ss_pe += group_sum(&[3.0e-3, 1.0e-3]); // key 0.0
+        expect_ss_pe += group_sum(&[7.0, 7.5]); // key 1.0
+        expect_ss_pe += group_sum(&[1e8, 1.0 + 1e8]); // key -1.0 (sign bit)
+        assert_eq!(
+            lof.ss_pe.to_bits(),
+            expect_ss_pe.to_bits(),
+            "ss_pe must accumulate groups in ascending to_bits() key order"
+        );
+
+        // And the opposite accumulation order really does change the
+        // bits for this fixture — i.e. the pinned order is load-bearing,
+        // not vacuous.
+        let mut reversed = 0.0;
+        reversed += group_sum(&[1e8, 1.0 + 1e8]);
+        reversed += group_sum(&[7.0, 7.5]);
+        reversed += group_sum(&[3.0e-3, 1.0e-3]);
+        assert_ne!(
+            reversed.to_bits(),
+            expect_ss_pe.to_bits(),
+            "fixture must be order-sensitive for the regression to bite"
+        );
+
+        // Repeated evaluation is bit-stable (trivially true with a
+        // BTreeMap; the point of the regression).
+        let again = lack_of_fit(&m).unwrap().expect("replicates exist");
+        assert_eq!(lof.ss_pe.to_bits(), again.ss_pe.to_bits());
+        assert_eq!(lof.f.to_bits(), again.f.to_bits());
     }
 }

@@ -52,7 +52,7 @@ use crate::model::ModelSpec;
 use crate::optimize::Goal;
 use crate::rsm::{ResponseSurface, StationaryKind};
 use crate::{DoeError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -347,7 +347,10 @@ pub trait SequentialEvaluator {
 /// ```
 pub struct FnEvaluator<F> {
     f: F,
-    cache: HashMap<Vec<i64>, f64>,
+    // A BTreeMap, not a HashMap (determinism rule D1): lookup-only
+    // today, but an ordered container keeps any future drain/iteration
+    // deterministic by construction.
+    cache: BTreeMap<Vec<i64>, f64>,
     budget: Option<usize>,
     fresh: usize,
     hits: usize,
@@ -358,7 +361,7 @@ impl<F: FnMut(&[f64]) -> f64> FnEvaluator<F> {
     pub fn new(f: F) -> Self {
         FnEvaluator {
             f,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             budget: None,
             fresh: 0,
             hits: 0,
@@ -410,7 +413,7 @@ impl<F: FnMut(&[f64]) -> f64> SequentialEvaluator for FnEvaluator<F> {
     }
 
     fn fresh_cost(&self, points: &[Vec<f64>]) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         points
             .iter()
             .map(|p| canonical_key(p))

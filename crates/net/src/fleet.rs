@@ -81,14 +81,18 @@ pub struct FleetNode {
 #[derive(Clone)]
 pub struct FleetEnvironment {
     label: String,
-    make: Arc<dyn Fn(u64) -> Arc<dyn VibrationSource> + Send + Sync>,
+    make: Arc<dyn Fn(u64) -> Result<Arc<dyn VibrationSource>> + Send + Sync>,
 }
 
 impl FleetEnvironment {
-    /// Wraps a seed-to-source factory under a display label.
+    /// Wraps a seed-to-source factory under a display label. The
+    /// factory is fallible (determinism rule D4: no `expect` in
+    /// library code) — a draw outside a source's valid range surfaces
+    /// as a typed [`NetError`] from [`FleetSimulator::new`] instead of
+    /// aborting mid-prep.
     pub fn new(
         label: impl Into<String>,
-        make: impl Fn(u64) -> Arc<dyn VibrationSource> + Send + Sync + 'static,
+        make: impl Fn(u64) -> Result<Arc<dyn VibrationSource>> + Send + Sync + 'static,
     ) -> Self {
         FleetEnvironment {
             label: label.into(),
@@ -108,10 +112,11 @@ impl FleetEnvironment {
             let mut rng = StdRng::seed_from_u64(seed);
             let resonance_hz = 64.0 + 6.0 * (rng.random::<f64>() - 0.5);
             let rms = 0.65 + 0.3 * rng.random::<f64>();
-            Arc::new(
-                FilteredNoise::new(resonance_hz, 8.0, (40.0, 90.0), rms, 24, seed)
-                    .expect("drawn filtered-noise spec stays in the valid range"),
-            )
+            let source = FilteredNoise::new(resonance_hz, 8.0, (40.0, 90.0), rms, 24, seed)
+                .map_err(|e| {
+                    NetError::invalid(format!("factory-floor source for stream seed {seed}: {e}"))
+                })?;
+            Ok(Arc::new(source) as Arc<dyn VibrationSource>)
         })
     }
 
@@ -121,7 +126,12 @@ impl FleetEnvironment {
     }
 
     /// Instantiates the source for one node's stream seed.
-    pub fn source_for(&self, seed: u64) -> Arc<dyn VibrationSource> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the factory's typed error (e.g. a drawn parameter
+    /// outside the source's valid range).
+    pub fn source_for(&self, seed: u64) -> Result<Arc<dyn VibrationSource>> {
         (self.make)(seed)
     }
 }
@@ -318,12 +328,14 @@ impl FleetSimulator {
                 Err(source) => return Err(NetError::Node { node: i, source }),
             }
         }
-        let sources: Vec<Arc<dyn VibrationSource>> = (0..spec.nodes.len())
-            .map(|i| {
-                spec.environment
-                    .source_for(crate::node_seed(spec.fleet_seed, i))
-            })
-            .collect();
+        let mut sources: Vec<Arc<dyn VibrationSource>> = Vec::with_capacity(spec.nodes.len());
+        for i in 0..spec.nodes.len() {
+            let source = spec
+                .environment
+                .source_for(crate::node_seed(spec.fleet_seed, i))
+                .map_err(|e| NetError::invalid(format!("node {i}: {e}")))?;
+            sources.push(source);
+        }
         let positions: Vec<Point> = spec.nodes.iter().map(|n| n.position).collect();
         let topology = Topology::new(positions, spec.sink, spec.range_m)?;
         let homogeneous = prepared

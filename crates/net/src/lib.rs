@@ -24,6 +24,7 @@
 //!   split from one fleet seed, batched/per-sim dispatch, and the
 //!   deterministic network-energy accounting pass.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fleet;

@@ -8,9 +8,9 @@
 //! thread count and of which worker ran which job. On error the
 //! **smallest failing job index** wins, matching the sequential path.
 
-use crate::Result;
+use crate::{NetError, Result};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 pub(crate) fn run_jobs<T: Send>(
     n_jobs: usize,
@@ -44,18 +44,27 @@ pub(crate) fn run_jobs<T: Send>(
                 if r.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
-                *slots[j].lock().expect("result slot poisoned") = Some(r);
+                // A poisoned slot means another worker panicked while
+                // holding the lock; each slot has exactly one writer,
+                // so recovering the guard is sound.
+                let mut slot = slots[j].lock().unwrap_or_else(PoisonError::into_inner);
+                *slot = Some(r);
             });
         }
     });
     let mut out = Vec::with_capacity(n_jobs);
     for slot in slots {
-        match slot.into_inner().expect("result slot poisoned") {
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => return Err(e),
             // Slots are claimed as a contiguous prefix, so an
-            // unclaimed slot can only sit behind a failing one.
-            None => unreachable!("unclaimed job slot implies an earlier error"),
+            // unclaimed slot can only sit behind a failing one (or a
+            // worker that died before writing its result back).
+            None => {
+                return Err(NetError::invalid(
+                    "job slot left unclaimed by a failed worker",
+                ))
+            }
         }
     }
     Ok(out)

@@ -122,15 +122,16 @@ impl Topology {
         let mut next_hop: Vec<Option<usize>> = vec![None; n + 1];
         let mut hops: Vec<Option<usize>> = vec![None; n + 1];
         hops[sink] = Some(0);
-        let mut queue = std::collections::VecDeque::from([sink]);
-        while let Some(v) = queue.pop_front() {
-            let h = hops[v].expect("queued vertex has a hop count");
+        // The queue carries each vertex's hop count alongside it, so no
+        // `expect` is needed to read it back out of `hops`.
+        let mut queue = std::collections::VecDeque::from([(sink, 0usize)]);
+        while let Some((v, h)) = queue.pop_front() {
             for link in &self.adj[v] {
                 let u = link.to;
                 if hops[u].is_none() {
                     hops[u] = Some(h + 1);
                     next_hop[u] = Some(v);
-                    queue.push_back(u);
+                    queue.push_back((u, h + 1));
                 }
             }
         }

@@ -248,7 +248,7 @@ impl PreparedSimulator {
         let p_sleep_in = reg.input_power(cfg.mcu.sleep_power_w);
         let e_measure_in = cfg.tuning.measure_energy_j / reg.efficiency;
         let e_act_tick = reg.input_power(cfg.harvester.tuning.actuator_power_w) * cfg.tick_s;
-        let max_fires_per_tick = (cfg.tick_s / MIN_TASK_PERIOD_S).ceil() as u64 + 1;
+        let max_fires_per_tick = (cfg.tick_s / MIN_TASK_PERIOD_S).ceil() as u64 + 1; // lint:allow(D5): ceil of a finite positive ratio bounds fires per tick
         Ok(PreparedSimulator {
             cfg,
             harv,
@@ -661,7 +661,7 @@ impl SystemSimulator {
         let n_ticks = tick_count(duration_s, dt)?;
         let e_cycle = cfg.task.cycle_energy_j(&cfg.mcu, &cfg.radio);
         let reg = &cfg.regulator;
-        let max_fires = (dt / MIN_TASK_PERIOD_S).ceil() as u64 + 1;
+        let max_fires = (dt / MIN_TASK_PERIOD_S).ceil() as u64 + 1; // lint:allow(D5): ceil of a finite positive ratio bounds fires per tick
 
         let mut v = cfg.v_store0;
         let mut pos = cfg.initial_position;

@@ -57,7 +57,7 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
     // [6/6] approximant in double precision.
     let norm = a.norm_inf();
     let s = if norm > 0.25 {
-        ((norm / 0.25).log2().ceil() as i32).max(0) as u32
+        ((norm / 0.25).log2().ceil() as i32).max(0) as u32 // lint:allow(D5): scaling exponent: ceil of a finite log2, clamped to >= 0
     } else {
         0
     };

@@ -133,8 +133,8 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
     let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let lo = pos.floor() as usize; // lint:allow(D5): quantile bracket: pos is finite in [0, len-1]
+    let hi = pos.ceil() as usize; // lint:allow(D5): quantile bracket: pos is finite in [0, len-1]
     if lo == hi {
         return Ok(sorted[lo]);
     }

@@ -69,6 +69,7 @@
 //! assert!(policy.act(&mut state, &obs).is_none());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::error::Error;

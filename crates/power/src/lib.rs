@@ -23,6 +23,7 @@
 //! collapse under loading, and the stage-count trade-off (more stages
 //! lower the threshold voltage gain but raise droop and diode loss).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

@@ -33,6 +33,7 @@
 //! space, run the experiment campaign, fit RSMs, and explore trade-offs
 //! instantly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Doctest anchor for `docs/METHODOLOGY.md`: every rust block of the

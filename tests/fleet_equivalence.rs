@@ -26,7 +26,10 @@ fn oracle_metrics(spec: &FleetSpec) -> Vec<NodeMetrics> {
         .map(|(i, node)| {
             let sim = PreparedSimulator::with_solver(node.config.clone(), spec.solver)
                 .expect("oracle node prepares");
-            let source = spec.environment.source_for(node_seed(spec.fleet_seed, i));
+            let source = spec
+                .environment
+                .source_for(node_seed(spec.fleet_seed, i))
+                .expect("oracle node source builds");
             sim.run(source.as_ref(), spec.duration_s)
                 .expect("oracle node runs")
         })
