@@ -13,7 +13,7 @@
 use crate::netlist::{ElementKind, Netlist};
 use crate::{CircuitError, Result};
 use ehsim_numeric::complex::Complex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of an AC sweep: per frequency, the complex node voltages.
 #[derive(Debug, Clone)]
@@ -21,7 +21,7 @@ pub struct AcSweep {
     freqs: Vec<f64>,
     /// `voltages[f][node]` — complex node voltage at sweep point `f`.
     voltages: Vec<Vec<Complex>>,
-    node_index: HashMap<String, usize>,
+    node_index: BTreeMap<String, usize>,
 }
 
 impl AcSweep {
@@ -76,7 +76,7 @@ pub fn ac_sweep(
     nl: &Netlist,
     source_name: &str,
     freqs: &[f64],
-    bias: Option<&HashMap<String, f64>>,
+    bias: Option<&BTreeMap<String, f64>>,
 ) -> Result<AcSweep> {
     nl.validate()?;
     if freqs.is_empty() || freqs.iter().any(|f| !(*f > 0.0)) {
@@ -98,9 +98,9 @@ pub fn ac_sweep(
 
     // Branch layout: voltage sources, inductors, CCVS outputs.
     let mut branch = 0usize;
-    let mut vsrc_branch = HashMap::new();
-    let mut ind_branch = HashMap::new();
-    let mut ccvs_branch = HashMap::new();
+    let mut vsrc_branch = BTreeMap::new();
+    let mut ind_branch = BTreeMap::new();
+    let mut ccvs_branch = BTreeMap::new();
     for (id, e) in nl.iter() {
         match &e.kind {
             ElementKind::VoltageSource { .. } => {

@@ -5,17 +5,17 @@
 //! with Newton–Raphson. Sources are evaluated at a caller-supplied time
 //! (usually `t = 0`).
 
-use crate::mna::{MnaBuilder, MnaSolution};
+use crate::mna::{MnaBuilder, MnaFactor, MnaSolution};
 use crate::netlist::{ElementKind, Netlist, NodeId};
-use crate::{CircuitError, Result};
-use std::collections::HashMap;
+use crate::{CircuitError, Result, SolverBackend};
+use std::collections::BTreeMap;
 
 /// Result of a DC operating-point analysis.
 #[derive(Debug, Clone)]
 pub struct DcSolution {
     sol: MnaSolution,
-    node_index: HashMap<String, NodeId>,
-    inductor_currents: HashMap<String, f64>,
+    node_index: BTreeMap<String, NodeId>,
+    inductor_currents: BTreeMap<String, f64>,
 }
 
 impl DcSolution {
@@ -40,6 +40,21 @@ impl DcSolution {
 ///   a capacitor in series with everything else leaves nodes floating
 ///   at DC.
 pub fn operating_point(nl: &Netlist, t: f64) -> Result<DcSolution> {
+    operating_point_with_backend(nl, t, SolverBackend::Auto)
+}
+
+/// [`operating_point`] with an explicit linear-solver backend. With a
+/// sparse backend the diode NR loop factors the pattern once and
+/// refactorises new values in `O(nnz)` on every later iteration.
+///
+/// # Errors
+///
+/// Same as [`operating_point`].
+pub fn operating_point_with_backend(
+    nl: &Netlist,
+    t: f64,
+    backend: SolverBackend,
+) -> Result<DcSolution> {
     nl.validate()?;
     let n_nodes = nl.node_count();
 
@@ -47,7 +62,7 @@ pub fn operating_point(nl: &Netlist, t: f64) -> Result<DcSolution> {
     let mut vsrc_branches = Vec::new();
     let mut ccvs_branches = Vec::new();
     let mut ind_branches = Vec::new();
-    let mut ind_branch_of_elem: HashMap<usize, usize> = HashMap::new();
+    let mut ind_branch_of_elem: BTreeMap<usize, usize> = BTreeMap::new();
     let mut branch = 0;
     for (id, e) in nl.iter() {
         match &e.kind {
@@ -88,6 +103,7 @@ pub fn operating_point(nl: &Netlist, t: f64) -> Result<DcSolution> {
     let mut diode_v = vec![0.0; diodes.len()];
 
     let mut last: Option<MnaSolution> = None;
+    let mut factor: Option<MnaFactor> = None;
     for _ in 0..200 {
         let mut b = MnaBuilder::new(n_nodes, branch);
         for e in nl.elements() {
@@ -124,7 +140,16 @@ pub fn operating_point(nl: &Netlist, t: f64) -> Result<DcSolution> {
             b.stamp_current_source(*a, *c, i_eq);
         }
 
-        let sol = b.solve()?;
+        let sol = match factor.as_mut() {
+            Some(f) => {
+                b.refactor(f)?;
+                b.solve_with_factor(f)?
+            }
+            None => {
+                let f = factor.insert(b.factor_backend(backend)?);
+                b.solve_with_factor(f)?
+            }
+        };
         let mut delta: f64 = 0.0;
         for ((a, c, _), vd) in diodes.iter().zip(diode_v.iter_mut()) {
             let raw = sol.voltage_between(*a, *c);

@@ -63,6 +63,7 @@ pub mod probe;
 pub mod waveform;
 
 pub use lss::LinearizedStateSpaceEngine;
+pub use mna::MnaFactor;
 pub use netlist::{DiodeModel, ElementId, ElementKind, Netlist, NodeId};
 pub use newton::NewtonRaphsonEngine;
 pub use probe::{Probe, SimStats, TransientResult};
@@ -147,6 +148,54 @@ impl From<NumericError> for CircuitError {
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CircuitError>;
 
+/// Linear-solver backend used for the MNA systems of both engines.
+///
+/// The dense LU solver is exact and cheap for the small front-end
+/// netlists this workspace started from; the sparse KLU-style solver
+/// ([`ehsim_numeric::SparseLu`]) performs a one-time symbolic analysis
+/// and then refactorises new values of the *same pattern* in `O(nnz)`,
+/// which is what makes large harvester netlists tractable.
+///
+/// `SparseNatural` keeps the columns in natural order, which makes the
+/// sparse factorisation **bit-identical** to the dense one (same pivot
+/// sequence, same arithmetic order); `SparseAmd` applies a fill-reducing
+/// ordering and trades bit-identity for lower fill-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Pick automatically by system size: dense below
+    /// [`SolverBackend::AUTO_SPARSE_DIM`] unknowns, sparse (natural
+    /// ordering) at or above it.
+    #[default]
+    Auto,
+    /// Dense partial-pivoting LU ([`ehsim_numeric::Lu`]).
+    Dense,
+    /// Sparse LU in natural column order — bit-identical to `Dense`.
+    SparseNatural,
+    /// Sparse LU with a minimum-degree fill-reducing column ordering.
+    SparseAmd,
+}
+
+impl SolverBackend {
+    /// System dimension at which [`SolverBackend::Auto`] switches from
+    /// the dense to the sparse backend.
+    pub const AUTO_SPARSE_DIM: usize = 64;
+
+    /// Resolves `Auto` against a concrete system dimension; concrete
+    /// backends are returned unchanged.
+    pub fn resolve(self, dim: usize) -> SolverBackend {
+        match self {
+            SolverBackend::Auto => {
+                if dim >= Self::AUTO_SPARSE_DIM {
+                    SolverBackend::SparseNatural
+                } else {
+                    SolverBackend::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
+
 /// Shared transient-analysis configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TransientConfig {
@@ -225,6 +274,25 @@ mod tests {
     fn config_step_count() {
         let cfg = TransientConfig::new(1.0, 0.1).unwrap();
         assert_eq!(cfg.steps(), 10);
+    }
+
+    #[test]
+    fn backend_auto_resolves_by_dimension() {
+        let auto = SolverBackend::Auto;
+        assert_eq!(auto.resolve(1), SolverBackend::Dense);
+        assert_eq!(
+            auto.resolve(SolverBackend::AUTO_SPARSE_DIM - 1),
+            SolverBackend::Dense
+        );
+        assert_eq!(
+            auto.resolve(SolverBackend::AUTO_SPARSE_DIM),
+            SolverBackend::SparseNatural
+        );
+        assert_eq!(SolverBackend::Dense.resolve(10_000), SolverBackend::Dense);
+        assert_eq!(
+            SolverBackend::SparseAmd.resolve(2),
+            SolverBackend::SparseAmd
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::waveform::SourceWaveform;
 use crate::{CircuitError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a circuit node. `NodeId(0)` is the ground reference.
@@ -22,7 +22,7 @@ impl NodeId {
 }
 
 /// Identifier of an element within a netlist.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ElementId(pub(crate) usize);
 
 impl ElementId {
@@ -184,9 +184,9 @@ pub struct Element {
 #[derive(Debug, Clone, Default)]
 pub struct Netlist {
     node_names: Vec<String>,
-    node_index: HashMap<String, NodeId>,
+    node_index: BTreeMap<String, NodeId>,
     elements: Vec<Element>,
-    element_index: HashMap<String, ElementId>,
+    element_index: BTreeMap<String, ElementId>,
 }
 
 impl Netlist {
@@ -197,9 +197,9 @@ impl Netlist {
     pub fn new() -> Self {
         let mut nl = Netlist {
             node_names: vec!["0".to_string()],
-            node_index: HashMap::new(),
+            node_index: BTreeMap::new(),
             elements: Vec::new(),
-            element_index: HashMap::new(),
+            element_index: BTreeMap::new(),
         };
         nl.node_index.insert("0".to_string(), NodeId(0));
         nl
@@ -230,6 +230,11 @@ impl Netlist {
     /// Number of nodes including ground.
     pub fn node_count(&self) -> usize {
         self.node_names.len()
+    }
+
+    /// All node ids in index order, ground first.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
     }
 
     /// The elements in insertion order.

@@ -8,11 +8,11 @@
 //! impractical. The [`crate::lss::LinearizedStateSpaceEngine`] removes
 //! that cost; benchmarks compare the two.
 
-use crate::mna::{MnaBuilder, MnaSolution};
+use crate::mna::{MnaBuilder, MnaFactor, MnaSolution};
 use crate::netlist::{DiodeModel, ElementKind, Netlist, NodeId};
 use crate::probe::{Probe, SimStats, TransientResult};
 use crate::waveform::SourceWaveform;
-use crate::{CircuitError, Result, TransientConfig};
+use crate::{CircuitError, Result, SolverBackend, TransientConfig};
 // lint:allow(D2): wall-clock feeds the reporting-only `wall` duration, never result bytes
 use std::time::Instant;
 
@@ -27,6 +27,11 @@ pub struct NewtonRaphsonEngine {
     pub v_reltol: f64,
     /// Maximum times a failing step is halved before giving up.
     pub max_step_halvings: usize,
+    /// Linear-solver backend for the per-iteration MNA solves. With a
+    /// sparse backend the NR loop captures the Jacobian pattern on the
+    /// first iteration and refactorises new values in `O(nnz)` after
+    /// that (counted in [`SimStats::refactorizations`]).
+    pub backend: SolverBackend,
 }
 
 impl Default for NewtonRaphsonEngine {
@@ -36,6 +41,7 @@ impl Default for NewtonRaphsonEngine {
             v_abstol: 1e-9,
             v_reltol: 1e-6,
             max_step_halvings: 10,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -132,7 +138,7 @@ impl Prep {
             isrcs: Vec::new(),
         };
         // Map from element index to inductor slot, for CCVS controls.
-        let mut ind_slot = std::collections::HashMap::new();
+        let mut ind_slot = std::collections::BTreeMap::new();
         for (id, e) in nl.iter() {
             match &e.kind {
                 ElementKind::Inductor { a, b, henries, ic } => {
@@ -357,9 +363,21 @@ impl NewtonRaphsonEngine {
         let mut result = TransientResult::new(probes.iter().map(|p| p.signal_name()).collect());
         let mut stats = SimStats::default();
 
+        // Cached linear-solver factor: with a sparse backend the first
+        // NR iteration factors from scratch and every later iteration
+        // (same Jacobian pattern) only refactorises values.
+        let mut factor: Option<MnaFactor> = None;
+
         // Initial solution (t = 0): solve the resistive snapshot with the
         // initial states frozen, mainly so probes at t = 0 are sensible.
-        let mut sol = self.solve_step(&mut prep, 0.0, f64::MIN_POSITIVE, &mut stats, true)?;
+        let mut sol = self.solve_step(
+            &mut prep,
+            0.0,
+            f64::MIN_POSITIVE,
+            &mut stats,
+            true,
+            &mut factor,
+        )?;
         let vals: Vec<f64> = resolved
             .iter()
             .map(|rp| prep.eval_probe(rp, &sol, 0.0))
@@ -374,7 +392,7 @@ impl NewtonRaphsonEngine {
             if h <= 0.0 {
                 break;
             }
-            sol = self.advance(&mut prep, t0, h, 0, &mut stats)?;
+            sol = self.advance(&mut prep, t0, h, 0, &mut stats, &mut factor)?;
             stats.steps += 1;
             if (k + 1) % cfg.record_stride == 0 || k + 1 == n_steps {
                 let vals: Vec<f64> = resolved
@@ -398,6 +416,7 @@ impl NewtonRaphsonEngine {
         h: f64,
         depth: usize,
         stats: &mut SimStats,
+        factor: &mut Option<MnaFactor>,
     ) -> Result<MnaSolution> {
         // Snapshot states so a failed attempt can be rolled back.
         let snapshot: (Vec<(f64, f64)>, Vec<(f64, f64)>, Vec<f64>) = (
@@ -405,7 +424,7 @@ impl NewtonRaphsonEngine {
             prep.inds.iter().map(|l| (l.i, l.v)).collect(),
             prep.diodes.iter().map(|d| d.v).collect(),
         );
-        match self.solve_step(prep, t0 + h, h, stats, false) {
+        match self.solve_step(prep, t0 + h, h, stats, false, factor) {
             Ok(sol) => Ok(sol),
             Err(CircuitError::NoConvergence { .. }) if depth < self.max_step_halvings => {
                 // Roll back and take two half steps.
@@ -420,8 +439,8 @@ impl NewtonRaphsonEngine {
                 for (d, v) in prep.diodes.iter_mut().zip(&snapshot.2) {
                     d.v = *v;
                 }
-                self.advance(prep, t0, h / 2.0, depth + 1, stats)?;
-                self.advance(prep, t0 + h / 2.0, h / 2.0, depth + 1, stats)
+                self.advance(prep, t0, h / 2.0, depth + 1, stats, factor)?;
+                self.advance(prep, t0 + h / 2.0, h / 2.0, depth + 1, stats, factor)
             }
             Err(e) => Err(e),
         }
@@ -437,6 +456,7 @@ impl NewtonRaphsonEngine {
         h: f64,
         stats: &mut SimStats,
         freeze: bool,
+        factor: &mut Option<MnaFactor>,
     ) -> Result<MnaSolution> {
         // Companion parameters (constant within the step).
         let cap_g: Vec<f64> = prep.caps.iter().map(|c| 2.0 * c.c / h).collect();
@@ -506,9 +526,22 @@ impl NewtonRaphsonEngine {
                 b.stamp_current_source(s.from, s.to, s.wave.eval(t_new));
             }
 
-            stats.lu_factorizations += 1;
+            let f = match factor.as_mut() {
+                Some(f) => {
+                    if b.refactor(f)? {
+                        stats.refactorizations += 1;
+                    } else {
+                        stats.lu_factorizations += 1;
+                    }
+                    f
+                }
+                None => {
+                    stats.lu_factorizations += 1;
+                    factor.insert(b.factor_backend(self.backend)?)
+                }
+            };
             stats.lu_solves += 1;
-            let sol = b.solve()?;
+            let sol = b.solve_with_factor(f)?;
 
             // Limit diode voltage updates.
             let mut d_delta: f64 = 0.0;
@@ -718,6 +751,34 @@ mod tests {
         assert_eq!(res.stats.steps, 100);
         assert!(res.stats.lu_factorizations >= 100);
         assert!(res.stats.nr_iterations >= res.stats.lu_factorizations);
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_bits_and_refactorizes() {
+        let nl = rc_netlist(1.0, 1e3, 1e-6);
+        let cfg = TransientConfig::new(1e-4, 1e-6).unwrap();
+        let dense = NewtonRaphsonEngine::default()
+            .simulate(&nl, &cfg, &[Probe::node_voltage("out")])
+            .unwrap();
+        let sparse = NewtonRaphsonEngine {
+            backend: SolverBackend::SparseNatural,
+            ..NewtonRaphsonEngine::default()
+        }
+        .simulate(&nl, &cfg, &[Probe::node_voltage("out")])
+        .unwrap();
+        for (d, s) in dense
+            .signal("v(out)")
+            .unwrap()
+            .iter()
+            .zip(sparse.signal("v(out)").unwrap())
+        {
+            assert_eq!(d.to_bits(), s.to_bits());
+        }
+        // The Jacobian pattern never changes: one from-scratch
+        // factorisation, everything else is the O(nnz) fast path.
+        assert_eq!(sparse.stats.lu_factorizations, 1);
+        assert!(sparse.stats.refactorizations > 0);
+        assert_eq!(dense.stats.refactorizations, 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Probes, results, and performance counters for transient analyses.
 
 use crate::{CircuitError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -59,8 +59,11 @@ impl Probe {
 pub struct SimStats {
     /// Accepted time steps.
     pub steps: usize,
-    /// LU factorisations performed.
+    /// From-scratch LU factorisations performed.
     pub lu_factorizations: usize,
+    /// `O(nnz)` sparse refactorisations (symbolic analysis and pivot
+    /// sequence reused; sparse backends only).
+    pub refactorizations: usize,
     /// Triangular solves performed.
     pub lu_solves: usize,
     /// Newton–Raphson iterations across all steps (NR engine only).
@@ -79,9 +82,10 @@ impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "steps: {}, LU factor: {}, LU solve: {}, NR iters: {}, expm: {}, topo changes: {}, cache hits: {}, wall: {:?}",
+            "steps: {}, LU factor: {}, refactor: {}, LU solve: {}, NR iters: {}, expm: {}, topo changes: {}, cache hits: {}, wall: {:?}",
             self.steps,
             self.lu_factorizations,
+            self.refactorizations,
             self.lu_solves,
             self.nr_iterations,
             self.expm_evaluations,
@@ -99,7 +103,7 @@ pub struct TransientResult {
     time: Vec<f64>,
     names: Vec<String>,
     data: Vec<Vec<f64>>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
     /// Performance counters of the run.
     pub stats: SimStats,
 }

@@ -1,0 +1,478 @@
+//! Differential battery: sparse backends against the dense oracle.
+//!
+//! The contract under test is *bit*-identity, not closeness: with the
+//! natural ordering the left-looking sparse factorization applies the
+//! same eliminations in the same order as the dense kernel, and the
+//! pivot-stability check in [`ehsim_circuit::mna::MnaBuilder::refactor`]
+//! rebuilds whenever a frozen pivot sequence could diverge from a fresh
+//! factorization. Every committed netlist fixture is simulated with
+//! both backends and compared sample by sample with `to_bits()`;
+//! randomized well-conditioned MNA systems and a 100-perturbation
+//! refactorization sweep cover the spaces the fixtures do not.
+
+use ehsim_circuit::mna::{MnaBuilder, MnaFactor};
+use ehsim_circuit::{
+    dc, LinearizedStateSpaceEngine, Netlist, NewtonRaphsonEngine, NodeId, Probe, SolverBackend,
+    SourceWaveform, TransientConfig, TransientResult,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Committed netlist fixtures — the same topologies exercised throughout
+// the crate's unit and property suites.
+// ---------------------------------------------------------------------
+
+/// Source → R → node → C ladder, `stages` deep.
+fn rc_ladder(stages: usize) -> (Netlist, Vec<Probe>) {
+    let mut nl = Netlist::new();
+    let mut prev = nl.node("in");
+    nl.vsource("V1", prev, Netlist::GROUND, SourceWaveform::sine(1.0, 65.0))
+        .expect("source");
+    let mut probes = Vec::new();
+    for i in 0..stages {
+        let node = nl.node(&format!("n{i}"));
+        nl.resistor(&format!("R{i}"), prev, node, 1e3 * (i + 1) as f64)
+            .expect("resistor");
+        nl.capacitor(&format!("C{i}"), node, Netlist::GROUND, 1e-6, 0.0)
+            .expect("capacitor");
+        probes.push(Probe::node_voltage(&format!("n{i}")));
+        prev = node;
+    }
+    (nl, probes)
+}
+
+/// Half-wave rectifier with storage capacitor and load.
+fn half_wave_rectifier() -> (Netlist, Vec<Probe>) {
+    let mut nl = Netlist::new();
+    let src = nl.node("src");
+    let out = nl.node("out");
+    nl.vsource("V1", src, Netlist::GROUND, SourceWaveform::sine(2.0, 50.0))
+        .expect("source");
+    nl.diode("D1", src, out).expect("diode");
+    nl.capacitor("CL", out, Netlist::GROUND, 1e-5, 0.0)
+        .expect("cap");
+    nl.resistor("RL", out, Netlist::GROUND, 1e5).expect("load");
+    (nl, vec![Probe::node_voltage("out")])
+}
+
+/// Greinacher voltage doubler: series cap pump plus two diodes.
+fn voltage_doubler() -> (Netlist, Vec<Probe>) {
+    let mut nl = Netlist::new();
+    let src = nl.node("src");
+    let pump = nl.node("pump");
+    let out = nl.node("out");
+    nl.vsource("V1", src, Netlist::GROUND, SourceWaveform::sine(1.5, 80.0))
+        .expect("source");
+    nl.capacitor("Cp", src, pump, 1e-6, 0.0).expect("pump cap");
+    nl.diode("D1", Netlist::GROUND, pump).expect("clamp diode");
+    nl.diode("D2", pump, out).expect("series diode");
+    nl.capacitor("Co", out, Netlist::GROUND, 1e-6, 0.0)
+        .expect("out cap");
+    nl.resistor("RL", out, Netlist::GROUND, 1e6).expect("load");
+    (
+        nl,
+        vec![Probe::node_voltage("pump"), Probe::node_voltage("out")],
+    )
+}
+
+/// Inductor-sensed CCVS: branch-branch coupling exercises the MNA
+/// border blocks that break pure diagonal dominance.
+fn ccvs_sense() -> (Netlist, Vec<Probe>) {
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    let mid = nl.node("mid");
+    let o = nl.node("o");
+    nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::sine(1.0, 40.0))
+        .expect("source");
+    nl.resistor("R1", a, mid, 100.0).expect("resistor");
+    let l1 = nl
+        .inductor("L1", mid, Netlist::GROUND, 1e-3, 0.0)
+        .expect("inductor");
+    nl.ccvs("H1", o, Netlist::GROUND, l1, 50.0).expect("ccvs");
+    nl.resistor("R2", o, Netlist::GROUND, 1e3).expect("load");
+    (
+        nl,
+        vec![Probe::node_voltage("mid"), Probe::node_voltage("o")],
+    )
+}
+
+/// Hand-built 3-stage Cockcroft–Walton ladder (the `ehsim-power`
+/// multiplier topology, reproduced here because `ehsim-circuit` cannot
+/// depend on downstream crates).
+fn cw_ladder() -> (Netlist, Vec<Probe>) {
+    let stages = 3usize;
+    let n2 = 2 * stages;
+    let mut nl = Netlist::new();
+    let src = nl.node("src");
+    let ac = nl.node("ac");
+    nl.vsource("V1", src, Netlist::GROUND, SourceWaveform::sine(1.2, 60.0))
+        .expect("source");
+    // Finite source impedance, as a real harvester presents; an ideal
+    // source makes the diode switching stiff enough to chatter.
+    nl.resistor("Rs", src, ac, 50.0).expect("source resistance");
+    let mut nodes = vec![Netlist::GROUND];
+    for i in 1..=n2 {
+        nodes.push(nl.node(&format!("n{i}")));
+    }
+    // Ladder capacitors are series C + ESR pairs, as in the power
+    // crate's builder — the ESR damps the switching transients the
+    // state-space engine would otherwise chatter on.
+    let esr_cap = |nl: &mut Netlist, name: &str, a: NodeId, b: NodeId| {
+        let mid = nl.node(&format!("{name}_esr"));
+        nl.capacitor(name, a, mid, 1e-7, 0.0).expect("cap");
+        nl.resistor(&format!("{name}_r"), mid, b, 2.0).expect("esr");
+    };
+    // AC column: ac→n1, n1→n3, …; DC column: gnd→n2, n2→n4, …
+    let mut prev = ac;
+    let mut idx = 1;
+    while idx <= n2 {
+        esr_cap(&mut nl, &format!("Ca{idx}"), prev, nodes[idx]);
+        prev = nodes[idx];
+        idx += 2;
+    }
+    let mut prev = Netlist::GROUND;
+    let mut idx = 2;
+    while idx <= n2 {
+        esr_cap(&mut nl, &format!("Cb{idx}"), prev, nodes[idx]);
+        prev = nodes[idx];
+        idx += 2;
+    }
+    for i in 1..=n2 {
+        nl.diode(&format!("D{i}"), nodes[i - 1], nodes[i])
+            .expect("diode");
+    }
+    nl.resistor("RL", nodes[n2], Netlist::GROUND, 1e6)
+        .expect("load");
+    (nl, vec![Probe::node_voltage(&format!("n{n2}"))])
+}
+
+fn all_fixtures() -> Vec<(&'static str, Netlist, Vec<Probe>)> {
+    let (rc, rc_p) = rc_ladder(3);
+    let (hw, hw_p) = half_wave_rectifier();
+    let (vd, vd_p) = voltage_doubler();
+    let (cc, cc_p) = ccvs_sense();
+    let (cw, cw_p) = cw_ladder();
+    vec![
+        ("rc_ladder", rc, rc_p),
+        ("half_wave_rectifier", hw, hw_p),
+        ("voltage_doubler", vd, vd_p),
+        ("ccvs_sense", cc, cc_p),
+        ("cw_ladder", cw, cw_p),
+    ]
+}
+
+fn assert_bit_identical(name: &str, dense: &TransientResult, sparse: &TransientResult) {
+    assert_eq!(dense.len(), sparse.len(), "{name}: sample counts differ");
+    for sig in dense.signal_names() {
+        let d = dense.signal(sig).expect("dense signal");
+        let s = sparse.signal(sig).expect("sparse signal");
+        for (k, (a, b)) in d.iter().zip(s.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: {sig}[{k}] dense {a:e} vs sparse {b:e}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine-level bit identity on every fixture.
+// ---------------------------------------------------------------------
+
+#[test]
+fn newton_sparse_is_bit_identical_on_all_fixtures() {
+    for (name, nl, probes) in all_fixtures() {
+        let cfg = TransientConfig::new(0.02, 2e-5).expect("cfg");
+        let dense = NewtonRaphsonEngine {
+            backend: SolverBackend::Dense,
+            ..Default::default()
+        }
+        .simulate(&nl, &cfg, &probes)
+        .unwrap_or_else(|e| panic!("{name}: dense NR failed: {e}"));
+        let sparse = NewtonRaphsonEngine {
+            backend: SolverBackend::SparseNatural,
+            ..Default::default()
+        }
+        .simulate(&nl, &cfg, &probes)
+        .unwrap_or_else(|e| panic!("{name}: sparse NR failed: {e}"));
+        assert_bit_identical(name, &dense, &sparse);
+        assert_eq!(
+            dense.stats.refactorizations, 0,
+            "{name}: dense backend must never report refactorizations"
+        );
+    }
+}
+
+#[test]
+fn lss_sparse_is_bit_identical_on_all_fixtures() {
+    for (name, nl, probes) in all_fixtures() {
+        let cfg = TransientConfig::new(0.02, 2e-5).expect("cfg");
+        let dense = LinearizedStateSpaceEngine {
+            backend: SolverBackend::Dense,
+            ..Default::default()
+        }
+        .simulate(&nl, &cfg, &probes)
+        .unwrap_or_else(|e| panic!("{name}: dense LSS failed: {e}"));
+        let sparse = LinearizedStateSpaceEngine {
+            backend: SolverBackend::SparseNatural,
+            ..Default::default()
+        }
+        .simulate(&nl, &cfg, &probes)
+        .unwrap_or_else(|e| panic!("{name}: sparse LSS failed: {e}"));
+        assert_bit_identical(name, &dense, &sparse);
+    }
+}
+
+#[test]
+fn dc_operating_point_sparse_is_bit_identical_on_all_fixtures() {
+    for (name, nl, _) in all_fixtures() {
+        let d = dc::operating_point_with_backend(&nl, 0.0, SolverBackend::Dense)
+            .unwrap_or_else(|e| panic!("{name}: dense DC failed: {e}"));
+        let s = dc::operating_point_with_backend(&nl, 0.0, SolverBackend::SparseNatural)
+            .unwrap_or_else(|e| panic!("{name}: sparse DC failed: {e}"));
+        for id in nl.node_ids() {
+            let node = nl.node_name(id).to_string();
+            let dv = d.node_voltage(&node).expect("dense voltage");
+            let sv = s.node_voltage(&node).expect("sparse voltage");
+            assert_eq!(
+                dv.to_bits(),
+                sv.to_bits(),
+                "{name}: dc v({node}) dense {dv:e} vs sparse {sv:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_backend_matches_dense_on_small_fixtures() {
+    // Every committed fixture is far below the auto-dispatch threshold,
+    // so `Auto` must be *the same code path* as `Dense`, not merely a
+    // close one.
+    for (name, nl, probes) in all_fixtures() {
+        let cfg = TransientConfig::new(0.01, 2e-5).expect("cfg");
+        let auto = NewtonRaphsonEngine::default()
+            .simulate(&nl, &cfg, &probes)
+            .unwrap_or_else(|e| panic!("{name}: auto NR failed: {e}"));
+        let dense = NewtonRaphsonEngine {
+            backend: SolverBackend::Dense,
+            ..Default::default()
+        }
+        .simulate(&nl, &cfg, &probes)
+        .unwrap_or_else(|e| panic!("{name}: dense NR failed: {e}"));
+        assert_bit_identical(name, &auto, &dense);
+        assert_eq!(auto.stats.refactorizations, 0, "{name}");
+    }
+}
+
+#[test]
+fn sparse_backend_actually_refactorizes_on_fixtures() {
+    // The sparse fast path must be exercised, not silently bypassed:
+    // transient runs re-stamp values every step, so almost every step
+    // after the first should hit the O(nnz) refactorization.
+    let (nl, probes) = rc_ladder(4);
+    let cfg = TransientConfig::new(0.01, 1e-5).expect("cfg");
+    let res = NewtonRaphsonEngine {
+        backend: SolverBackend::SparseNatural,
+        ..Default::default()
+    }
+    .simulate(&nl, &cfg, &probes)
+    .expect("sparse NR");
+    assert_eq!(res.stats.lu_factorizations, 1, "one symbolic+numeric pass");
+    assert!(
+        res.stats.refactorizations > 100,
+        "refactorizations = {}",
+        res.stats.refactorizations
+    );
+}
+
+// ---------------------------------------------------------------------
+// MNA-level: randomized well-conditioned systems and the 100-step
+// refactorization sweep.
+// ---------------------------------------------------------------------
+
+/// `NodeId` is only mintable through a netlist; a scratch netlist
+/// yields ids 1..n in order (ground is id 0).
+fn scratch_ids(n_nodes: usize) -> Vec<NodeId> {
+    let mut nl = Netlist::new();
+    let mut ids = vec![Netlist::GROUND];
+    for i in 1..n_nodes {
+        ids.push(nl.node(&format!("n{i}")));
+    }
+    ids
+}
+
+/// Deterministic LCG so the perturbation sweep needs no RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Stamps a strictly diagonally dominant conductance network: a dense
+/// mesh of pairwise conductances plus a grounding conductance per node.
+/// Strict dominance keeps every sparse pivot on the diagonal with all
+/// multipliers below one, so refactorization is always on the fast path.
+fn stamp_mesh(b: &mut MnaBuilder, ids: &[NodeId], g: &[f64], ground_g: &[f64], inj: &[f64]) {
+    let n_nodes = ids.len();
+    let mut k = 0;
+    for i in 1..n_nodes {
+        for j in (i + 1)..n_nodes {
+            b.stamp_conductance(ids[i], ids[j], g[k]);
+            k += 1;
+        }
+        b.stamp_conductance(ids[i], ids[0], ground_g[i - 1]);
+        b.stamp_current_source(ids[0], ids[i], inj[i - 1]);
+    }
+}
+
+#[test]
+fn refactorize_is_bit_identical_to_fresh_over_100_perturbations() {
+    let n_nodes = 6usize;
+    let n_pairs = (n_nodes - 1) * (n_nodes - 2) / 2;
+    let mut rng = Lcg(0x5eed_cafe_f00d_0001);
+    let base_g: Vec<f64> = (0..n_pairs)
+        .map(|_| 1e-4 + 1e-3 * rng.next_unit())
+        .collect();
+    let base_gnd: Vec<f64> = (0..n_nodes - 1)
+        .map(|_| 1e-3 + 1e-2 * rng.next_unit())
+        .collect();
+    let inj: Vec<f64> = (0..n_nodes - 1).map(|_| rng.next_unit() - 0.5).collect();
+
+    let ids = scratch_ids(n_nodes);
+    let mut b = MnaBuilder::new(n_nodes, 0);
+    stamp_mesh(&mut b, &ids, &base_g, &base_gnd, &inj);
+    let mut factor = b
+        .factor_backend(SolverBackend::SparseNatural)
+        .expect("sparse factor");
+    assert!(factor.is_sparse());
+
+    for step in 0..100 {
+        // Perturb every conductance by up to ±20 % — well conditioned,
+        // nonzero, same pattern.
+        let g: Vec<f64> = base_g
+            .iter()
+            .map(|v| v * (0.8 + 0.4 * rng.next_unit()))
+            .collect();
+        let gnd: Vec<f64> = base_gnd
+            .iter()
+            .map(|v| v * (0.8 + 0.4 * rng.next_unit()))
+            .collect();
+        let mut b = MnaBuilder::new(n_nodes, 0);
+        stamp_mesh(&mut b, &ids, &g, &gnd, &inj);
+
+        let fast = b.refactor(&mut factor).expect("refactor");
+        assert!(fast, "step {step}: expected the O(nnz) fast path");
+        let warm = b.solve_with_factor(&factor).expect("warm solve");
+
+        let fresh_factor = b
+            .factor_backend(SolverBackend::SparseNatural)
+            .expect("fresh sparse factor");
+        let fresh = b.solve_with_factor(&fresh_factor).expect("fresh solve");
+        let dense_factor = b.factor_backend(SolverBackend::Dense).expect("dense");
+        let oracle = b.solve_with_factor(&dense_factor).expect("dense solve");
+
+        for i in 0..n_nodes {
+            assert_eq!(
+                warm.v[i].to_bits(),
+                fresh.v[i].to_bits(),
+                "step {step}: refactorized v[{i}] differs from fresh"
+            );
+            assert_eq!(
+                warm.v[i].to_bits(),
+                oracle.v[i].to_bits(),
+                "step {step}: sparse v[{i}] differs from dense oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn refactor_pattern_escape_falls_back_correctly() {
+    // A value appearing at a matrix position outside the captured
+    // pattern must trigger the rebuild path and still solve right.
+    let ids = scratch_ids(4);
+    let mut b = MnaBuilder::new(4, 0);
+    b.stamp_conductance(ids[1], ids[0], 1e-3);
+    b.stamp_conductance(ids[2], ids[0], 1e-3);
+    b.stamp_conductance(ids[3], ids[0], 1e-3);
+    b.stamp_current_source(ids[0], ids[1], 1e-3);
+    let mut factor = b
+        .factor_backend(SolverBackend::SparseNatural)
+        .expect("factor");
+
+    // New coupling 1–2: positions (1,2) and (2,1) are new.
+    let mut b2 = MnaBuilder::new(4, 0);
+    b2.stamp_conductance(ids[1], ids[0], 1e-3);
+    b2.stamp_conductance(ids[2], ids[0], 1e-3);
+    b2.stamp_conductance(ids[3], ids[0], 1e-3);
+    b2.stamp_conductance(ids[1], ids[2], 5e-4);
+    b2.stamp_current_source(ids[0], ids[1], 1e-3);
+    let fast = b2.refactor(&mut factor).expect("refactor");
+    assert!(!fast, "pattern escape must take the slow path");
+    let warm = b2.solve_with_factor(&factor).expect("solve");
+    let oracle = b2
+        .solve_with_factor(&b2.factor_backend(SolverBackend::Dense).expect("dense"))
+        .expect("dense solve");
+    for i in 0..4 {
+        assert_eq!(warm.v[i].to_bits(), oracle.v[i].to_bits(), "v[{i}]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized well-conditioned systems: sparse-natural and dense
+    /// must agree bit for bit on node voltages and branch currents.
+    #[test]
+    fn sparse_natural_matches_dense_on_random_systems(
+        n_nodes in 3usize..9,
+        raw in prop::collection::vec(0.05f64..1.0, 64),
+        inj in prop::collection::vec(-1.0f64..1.0, 8),
+        branch_sel in 0.0f64..1.0,
+    ) {
+        let with_branch = branch_sel > 0.5;
+        let ids = scratch_ids(n_nodes);
+        let n_branches = usize::from(with_branch);
+        let mut b = MnaBuilder::new(n_nodes, n_branches);
+        let mut k = 0;
+        for i in 1..n_nodes {
+            for j in (i + 1)..n_nodes {
+                // Sparsify: drop roughly half the couplings.
+                let v = raw[k % raw.len()];
+                k += 1;
+                if v > 0.5 {
+                    b.stamp_conductance(ids[i], ids[j], 1e-3 * v);
+                }
+            }
+            b.stamp_conductance(ids[i], ids[0], 1e-2 + 1e-2 * raw[(k * 7 + 3) % raw.len()]);
+            b.stamp_current_source(ids[0], ids[i], inj[(i - 1) % inj.len()]);
+        }
+        if with_branch {
+            // A voltage-source branch: the zero diagonal forces an
+            // off-diagonal pivot in both kernels.
+            b.stamp_branch_incidence(0, ids[1], ids[0]);
+            b.set_branch_rhs(0, 1.0);
+        }
+        let sparse = b
+            .factor_backend(SolverBackend::SparseNatural)
+            .expect("sparse factor");
+        prop_assert!(matches!(sparse, MnaFactor::Sparse { .. }));
+        let s = b.solve_with_factor(&sparse).expect("sparse solve");
+        let d = b
+            .solve_with_factor(&b.factor_backend(SolverBackend::Dense).expect("dense"))
+            .expect("dense solve");
+        for i in 0..n_nodes {
+            prop_assert_eq!(s.v[i].to_bits(), d.v[i].to_bits());
+        }
+        for (si, di) in s.i_branch.iter().zip(d.i_branch.iter()) {
+            prop_assert_eq!(si.to_bits(), di.to_bits());
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Fill-reducing orderings and structural analysis for sparse LU.
+//!
+//! Three classic structural algorithms, all operating on a [`Csc`]
+//! pattern (values are ignored):
+//!
+//! * [`min_degree_order`] — a greedy minimum-degree ordering of the
+//!   symmetrised pattern `A + Aᵀ`, the AMD-style fill-reducing column
+//!   permutation used by [`crate::sparse_lu::Ordering::Amd`]. Ties are
+//!   broken by smallest node index so the ordering is deterministic.
+//! * [`max_transversal`] — a maximum matching of rows to columns
+//!   (MC21-style augmenting paths). A full transversal proves the
+//!   matrix is structurally nonsingular; a deficient one means no
+//!   permutation can produce a zero-free diagonal.
+//! * [`btf_blocks`] — Tarjan's strongly-connected-components algorithm
+//!   on the transversal-permuted pattern, yielding the block-triangular
+//!   form (BTF) block structure of the matrix.
+//!
+//! All three are deterministic: identical inputs produce identical
+//! permutations, with no randomised tie-breaking anywhere.
+
+use crate::csc::Csc;
+use crate::{NumericError, Result};
+use std::collections::BTreeSet;
+
+/// Greedy minimum-degree ordering of the symmetrised pattern.
+///
+/// Returns a permutation `q` such that eliminating columns in the order
+/// `q[0], q[1], …` tends to minimise fill-in. The algorithm is the
+/// textbook quotient-free variant: maintain the adjacency of
+/// `A + Aᵀ` (off-diagonal), repeatedly eliminate the minimum-degree
+/// node (smallest index on ties), and connect its neighbours into a
+/// clique. Quadratic in the worst case, which is fine at circuit sizes.
+///
+/// # Errors
+///
+/// [`NumericError::Dimension`] if `a` is not square.
+pub fn min_degree_order(a: &Csc) -> Result<Vec<usize>> {
+    let n = square_dim(a)?;
+    // Symmetrised off-diagonal adjacency.
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for j in 0..n {
+        for k in a.col_ptr()[j]..a.col_ptr()[j + 1] {
+            let i = a.row_idx()[k];
+            if i != j {
+                adj[i].insert(j);
+                adj[j].insert(i);
+            }
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Minimum degree, smallest index on ties.
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if !eliminated[v] && adj[v].len() < best_deg {
+                best = v;
+                best_deg = adj[v].len();
+            }
+        }
+        let v = best;
+        eliminated[v] = true;
+        order.push(v);
+        // Clique the neighbourhood, then detach v.
+        let neigh: Vec<usize> = adj[v].iter().copied().collect();
+        for &x in &neigh {
+            adj[x].remove(&v);
+        }
+        for (i, &x) in neigh.iter().enumerate() {
+            for &y in &neigh[i + 1..] {
+                adj[x].insert(y);
+                adj[y].insert(x);
+            }
+        }
+        adj[v].clear();
+    }
+    Ok(order)
+}
+
+/// Maximum transversal (row-to-column matching) by augmenting paths.
+///
+/// Returns `(row_of_col, size)`: `row_of_col[j]` is the row matched to
+/// column `j` (or `usize::MAX` if column `j` is unmatched) and `size`
+/// is the matching cardinality. `size == n` proves structural
+/// nonsingularity.
+///
+/// # Errors
+///
+/// [`NumericError::Dimension`] if `a` is not square.
+pub fn max_transversal(a: &Csc) -> Result<(Vec<usize>, usize)> {
+    let n = square_dim(a)?;
+    let mut row_of_col = vec![usize::MAX; n];
+    let mut col_of_row = vec![usize::MAX; n];
+    let mut size = 0usize;
+    let mut visited = vec![usize::MAX; n]; // per-pass row stamp
+    for j in 0..n {
+        if augment(a, j, j, &mut row_of_col, &mut col_of_row, &mut visited) {
+            size += 1;
+        }
+    }
+    Ok((row_of_col, size))
+}
+
+/// One augmenting-path pass from column `j` (depth-first, iterative).
+fn augment(
+    a: &Csc,
+    j: usize,
+    stamp: usize,
+    row_of_col: &mut [usize],
+    col_of_row: &mut [usize],
+    visited: &mut [usize],
+) -> bool {
+    // Stack of (column, next entry offset within the column).
+    let mut stack: Vec<(usize, usize)> = vec![(j, a.col_ptr()[j])];
+    while let Some(&(c, k)) = stack.last() {
+        if k >= a.col_ptr()[c + 1] {
+            // Column exhausted: it keeps its old match; the parent
+            // resumes scanning from where it left off.
+            stack.pop();
+            continue;
+        }
+        let top = stack.len() - 1;
+        stack[top].1 = k + 1;
+        let r = a.row_idx()[k];
+        if visited[r] == stamp {
+            continue;
+        }
+        visited[r] = stamp;
+        if col_of_row[r] == usize::MAX {
+            // Free row: unwind the stack, flipping the path.
+            let mut row = r;
+            while let Some((c2, _)) = stack.pop() {
+                let prev = row_of_col[c2];
+                row_of_col[c2] = row;
+                col_of_row[row] = c2;
+                row = prev;
+                if row == usize::MAX {
+                    break;
+                }
+            }
+            return true;
+        }
+        // Occupied row: try to re-match its column deeper.
+        let c2 = col_of_row[r];
+        stack.push((c2, a.col_ptr()[c2]));
+    }
+    false
+}
+
+/// Block-triangular-form block structure via Tarjan's SCC algorithm.
+///
+/// The matrix is viewed as a directed graph on `n` vertices after the
+/// row permutation implied by a full transversal (`row_of_col` from
+/// [`max_transversal`]): vertex `j` has an edge to `j'` when column `j`
+/// has an entry in the row matched to column `j'`. The strongly
+/// connected components of this graph are the diagonal blocks of the
+/// BTF; the returned `(block_of, n_blocks)` assigns each column a block
+/// index in `0..n_blocks`, numbered in a topological order of the
+/// block dependency graph (block `b` only depends on blocks `>= b`).
+///
+/// # Errors
+///
+/// * [`NumericError::Dimension`] if `a` is not square.
+/// * [`NumericError::Singular`] if the transversal is not full
+///   (structurally singular matrices have no BTF).
+pub fn btf_blocks(a: &Csc, row_of_col: &[usize]) -> Result<(Vec<usize>, usize)> {
+    let n = square_dim(a)?;
+    if row_of_col.len() != n || row_of_col.iter().any(|&r| r == usize::MAX) {
+        return Err(NumericError::Singular);
+    }
+    // Column matched to each row.
+    let mut col_of_row = vec![usize::MAX; n];
+    for (j, &r) in row_of_col.iter().enumerate() {
+        if r >= n || col_of_row[r] != usize::MAX {
+            return Err(NumericError::Singular);
+        }
+        col_of_row[r] = j;
+    }
+    // Iterative Tarjan.
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<usize> = Vec::new();
+    let mut block_of = vec![UNSET; n];
+    let mut next_index = 0usize;
+    let mut n_blocks = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        // Work stack of (vertex, next entry offset).
+        let mut work: Vec<(usize, usize)> = vec![(root, a.col_ptr()[root])];
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        scc_stack.push(root);
+        on_stack[root] = true;
+        while let Some(&(v, k)) = work.last() {
+            if k < a.col_ptr()[v + 1] {
+                let top = work.len() - 1;
+                work[top].1 = k + 1;
+                let r = a.row_idx()[k];
+                let w = col_of_row[r];
+                if w == v {
+                    continue;
+                }
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    scc_stack.push(w);
+                    on_stack[w] = true;
+                    work.push((w, a.col_ptr()[w]));
+                } else if on_stack[w] && index[w] < lowlink[v] {
+                    lowlink[v] = index[w];
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    if lowlink[v] < lowlink[parent] {
+                        lowlink[parent] = lowlink[v];
+                    }
+                }
+                if lowlink[v] == index[v] {
+                    // v roots an SCC: pop it off.
+                    while let Some(w) = scc_stack.pop() {
+                        on_stack[w] = false;
+                        block_of[w] = n_blocks;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_blocks += 1;
+                }
+            }
+        }
+    }
+    Ok((block_of, n_blocks))
+}
+
+/// Checks `perm` is a permutation of `0..n`.
+pub fn is_permutation(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+fn square_dim(a: &Csc) -> Result<usize> {
+    if a.n_rows() != a.n_cols() {
+        return Err(NumericError::dimension(
+            "square matrix",
+            format!("{}x{}", a.n_rows(), a.n_cols()),
+        ));
+    }
+    Ok(a.n_rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn arrow(n: usize) -> Csc {
+        // Arrow matrix: dense first row/column + diagonal. Natural-order
+        // elimination fills everything; eliminating the spokes first
+        // (min-degree) produces no fill.
+        Csc::from_dense(&Matrix::from_fn(n, n, |i, j| {
+            if i == 0 || j == 0 || i == j {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    #[test]
+    fn min_degree_defers_the_hub() {
+        let order = min_degree_order(&arrow(6)).unwrap();
+        assert!(is_permutation(&order, 6));
+        // The hub (node 0, degree 5) must outlast every spoke except
+        // the final degree-1 pair, where the index tie-break lets the
+        // hub go first.
+        let hub_pos = order.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= 4, "hub eliminated too early: {order:?}");
+    }
+
+    #[test]
+    fn transversal_full_on_identity_pattern() {
+        let a = Csc::from_dense(&Matrix::identity(4));
+        let (row_of_col, size) = max_transversal(&a).unwrap();
+        assert_eq!(size, 4);
+        assert_eq!(row_of_col, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn transversal_needs_augmenting_path() {
+        // Column 0 hits rows {0,1}, column 1 hits {0}: matching must
+        // re-route column 0 to row 1.
+        let a = Csc::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let (row_of_col, size) = max_transversal(&a).unwrap();
+        assert_eq!(size, 2);
+        assert_eq!(row_of_col, vec![1, 0]);
+    }
+
+    #[test]
+    fn transversal_deficient_on_empty_column() {
+        let a = Csc::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        let (_, size) = max_transversal(&a).unwrap();
+        assert_eq!(size, 1);
+    }
+
+    #[test]
+    fn btf_identifies_triangular_blocks() {
+        // Lower-block-triangular: {0,1} strongly connected, {2} alone.
+        let m = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]]).unwrap();
+        let a = Csc::from_dense(&m);
+        let (row_of_col, size) = max_transversal(&a).unwrap();
+        assert_eq!(size, 3);
+        let (block_of, n_blocks) = btf_blocks(&a, &row_of_col).unwrap();
+        assert_eq!(n_blocks, 2);
+        assert_eq!(block_of[0], block_of[1]);
+        assert_ne!(block_of[0], block_of[2]);
+    }
+
+    #[test]
+    fn btf_rejects_deficient_transversal() {
+        let a = Csc::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        let (row_of_col, _) = max_transversal(&a).unwrap();
+        assert_eq!(btf_blocks(&a, &row_of_col), Err(NumericError::Singular));
+    }
+}

@@ -1,0 +1,400 @@
+//! Compressed-sparse-column (CSC) matrices.
+//!
+//! [`Csc`] is the storage format behind the sparse circuit engine: a
+//! matrix is held as three arrays — `col_ptr` (length `n_cols + 1`),
+//! `row_idx` and `values` (length `nnz`) — with the entries of column
+//! `j` stored contiguously in `row_idx[col_ptr[j]..col_ptr[j + 1]]`,
+//! sorted by ascending row index and with no duplicate rows.
+//!
+//! Construction is **deterministic**: [`Csc::from_triplets`] sorts the
+//! input with a stable `(col, row)` key and sums duplicates in their
+//! original insertion order, so the same triplet list always produces
+//! bit-identical values regardless of how the caller generated it.
+//!
+//! The pattern (everything except `values`) is what the sparse LU's
+//! symbolic analysis consumes; [`Csc::refresh_from_dense`] and
+//! [`Csc::set_values`] let a caller reuse one pattern across many
+//! numeric refactorisations.
+
+use crate::matrix::Matrix;
+use crate::{NumericError, Result};
+
+/// A sparse matrix in compressed-sparse-column form.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::Csc;
+///
+/// # fn main() -> Result<(), ehsim_numeric::NumericError> {
+/// // [2 0]
+/// // [1 3]
+/// let a = Csc::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)])?;
+/// assert_eq!(a.nnz(), 3);
+/// let y = a.matvec(&[1.0, 1.0])?;
+/// assert_eq!(y, vec![2.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    n_rows: usize,
+    n_cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate `(row, col)` entries are summed in their insertion
+    /// order, making the result deterministic for a given triplet list.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::Dimension`] if the matrix would be empty or any
+    /// triplet indexes out of range.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
+        Ok(Self::from_triplets_with_map(n_rows, n_cols, triplets)?.0)
+    }
+
+    /// Like [`Csc::from_triplets`], additionally returning, for each
+    /// input triplet, the index of the value slot it was folded into —
+    /// the map a caller needs to refresh `values` in `O(nnz)` without
+    /// re-running construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Csc::from_triplets`].
+    pub fn from_triplets_with_map(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<(Self, Vec<usize>)> {
+        if n_rows == 0 || n_cols == 0 {
+            return Err(NumericError::dimension(
+                "at least 1x1",
+                format!("{n_rows}x{n_cols}"),
+            ));
+        }
+        for &(r, c, _) in triplets {
+            if r >= n_rows || c >= n_cols {
+                return Err(NumericError::dimension(
+                    format!("indices within {n_rows}x{n_cols}"),
+                    format!("entry at ({r}, {c})"),
+                ));
+            }
+        }
+        // Stable sort by (col, row): duplicates stay in insertion order,
+        // so the summation order below is deterministic.
+        let mut order: Vec<usize> = (0..triplets.len()).collect();
+        order.sort_by_key(|&i| (triplets[i].1, triplets[i].0));
+
+        let mut col_ptr = vec![0usize; n_cols + 1];
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut slot_of = vec![0usize; triplets.len()];
+        let mut last: Option<(usize, usize)> = None;
+        for &i in &order {
+            let (r, c, v) = triplets[i];
+            if last == Some((c, r)) {
+                // Duplicate of the previous emitted entry: fold into its
+                // slot. Insertion order is preserved by the stable sort,
+                // so the summation order is deterministic.
+                let slot = values.len() - 1;
+                values[slot] += v;
+                slot_of[i] = slot;
+                continue;
+            }
+            row_idx.push(r);
+            values.push(v);
+            slot_of[i] = values.len() - 1;
+            col_ptr[c + 1] = row_idx.len();
+            last = Some((c, r));
+        }
+        // Prefix-fill: columns with no entries inherit the running count.
+        for c in 0..n_cols {
+            if col_ptr[c + 1] < col_ptr[c] {
+                col_ptr[c + 1] = col_ptr[c];
+            }
+        }
+        Ok((
+            Csc {
+                n_rows,
+                n_cols,
+                col_ptr,
+                row_idx,
+                values,
+            },
+            slot_of,
+        ))
+    }
+
+    /// Builds a sparse matrix holding the nonzero entries of `a`.
+    pub fn from_dense(a: &Matrix) -> Self {
+        let (n_rows, n_cols) = (a.rows(), a.cols());
+        let mut col_ptr = vec![0usize; n_cols + 1];
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..n_cols {
+            for i in 0..n_rows {
+                let v = a[(i, j)];
+                if v != 0.0 {
+                    row_idx.push(i);
+                    values.push(v);
+                }
+            }
+            col_ptr[j + 1] = row_idx.len();
+        }
+        Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Re-reads `values` from a dense matrix at this pattern's
+    /// positions.
+    ///
+    /// Returns `Ok(true)` when every nonzero of `a` lies inside the
+    /// pattern (the refresh is then complete); `Ok(false)` when `a` has
+    /// a nonzero outside the pattern, in which case `self` is left
+    /// unchanged and the caller must rebuild the pattern from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::Dimension`] if `a` has a different shape.
+    pub fn refresh_from_dense(&mut self, a: &Matrix) -> Result<bool> {
+        if a.rows() != self.n_rows || a.cols() != self.n_cols {
+            return Err(NumericError::dimension(
+                format!("{}x{}", self.n_rows, self.n_cols),
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
+        }
+        // Count nonzeros of `a` inside the pattern; compare with the
+        // total nonzero count to detect out-of-pattern entries without
+        // a per-entry membership probe.
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for j in 0..self.n_cols {
+            for i in 0..self.n_rows {
+                if a[(i, j)] != 0.0 {
+                    total += 1;
+                }
+            }
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                if a[(self.row_idx[k], j)] != 0.0 {
+                    covered += 1;
+                }
+            }
+        }
+        if covered != total {
+            return Ok(false);
+        }
+        for j in 0..self.n_cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                self.values[k] = a[(self.row_idx[k], j)];
+            }
+        }
+        Ok(true)
+    }
+
+    /// Overwrites the value array, keeping the pattern.
+    ///
+    /// `new_values[k]` replaces the `k`-th stored value (the slot
+    /// numbering returned by [`Csc::from_triplets_with_map`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::Dimension`] if `new_values.len() != self.nnz()`.
+    pub fn set_values(&mut self, new_values: &[f64]) -> Result<()> {
+        if new_values.len() != self.values.len() {
+            return Err(NumericError::dimension(
+                format!("{} values", self.values.len()),
+                format!("{}", new_values.len()),
+            ));
+        }
+        self.values.copy_from_slice(new_values);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries (structural nonzeros).
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column-pointer array (`n_cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array (`nnz` entries, ascending within a column).
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The stored values (`nnz` entries, parallel to [`Csc::row_idx`]).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Whether `other` has the identical sparsity pattern (shape,
+    /// column pointers and row indices all equal).
+    pub fn same_pattern(&self, other: &Csc) -> bool {
+        self.n_rows == other.n_rows
+            && self.n_cols == other.n_cols
+            && self.col_ptr == other.col_ptr
+            && self.row_idx == other.row_idx
+    }
+
+    /// The stored value at `(row, col)`, or `0.0` when the position is
+    /// not in the pattern.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        if row >= self.n_rows || col >= self.n_cols {
+            return 0.0;
+        }
+        let seg = &self.row_idx[self.col_ptr[col]..self.col_ptr[col + 1]];
+        match seg.binary_search(&row) {
+            Ok(k) => self.values[self.col_ptr[col] + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expands to a dense [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows, self.n_cols);
+        for j in 0..self.n_cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                m[(self.row_idx[k], j)] += self.values[k];
+            }
+        }
+        m
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::Dimension`] if `x.len() != self.n_cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n_cols {
+            return Err(NumericError::dimension(
+                format!("vector of length {}", self.n_cols),
+                format!("length {}", x.len()),
+            ));
+        }
+        let mut y = vec![0.0; self.n_rows];
+        for j in 0..self.n_cols {
+            let xj = x[j];
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                y[self.row_idx[k]] += self.values[k] * xj;
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sorted_and_deduplicated() {
+        // Out-of-order insertion with a duplicate at (1, 0).
+        let (a, map) = Csc::from_triplets_with_map(
+            3,
+            3,
+            &[
+                (2, 1, 5.0),
+                (1, 0, 1.0),
+                (0, 0, 4.0),
+                (1, 0, 2.0),
+                (0, 2, -1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.col_ptr(), &[0, 2, 3, 4]);
+        assert_eq!(a.row_idx(), &[0, 1, 2, 0]);
+        assert_eq!(a.values(), &[4.0, 3.0, 5.0, -1.0]);
+        // map: triplet 1 and 3 share the slot of (1, 0).
+        assert_eq!(map[1], map[3]);
+        assert_eq!(a.get(1, 0), 3.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn empty_columns_get_valid_pointers() {
+        let a = Csc::from_triplets(4, 4, &[(3, 3, 1.0)]).unwrap();
+        assert_eq!(a.col_ptr(), &[0, 0, 0, 0, 1]);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_range_triplet_is_rejected() {
+        assert!(matches!(
+            Csc::from_triplets(2, 2, &[(2, 0, 1.0)]),
+            Err(NumericError::Dimension { .. })
+        ));
+        assert!(matches!(
+            Csc::from_triplets(0, 2, &[]),
+            Err(NumericError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]]).unwrap();
+        let a = Csc::from_dense(&m);
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.to_dense(), m);
+    }
+
+    #[test]
+    fn refresh_from_dense_detects_pattern_escape() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let mut a = Csc::from_dense(&m);
+        let m2 = Matrix::from_rows(&[&[7.0, 0.0], &[0.0, 8.0]]).unwrap();
+        assert!(a.refresh_from_dense(&m2).unwrap());
+        assert_eq!(a.get(0, 0), 7.0);
+        let m3 = Matrix::from_rows(&[&[7.0, 1.0], &[0.0, 8.0]]).unwrap();
+        assert!(!a.refresh_from_dense(&m3).unwrap());
+        // Unchanged on failure.
+        assert_eq!(a.get(0, 0), 7.0);
+        let wrong_shape = Matrix::zeros(3, 3);
+        assert!(a.refresh_from_dense(&wrong_shape).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.0, 3.0, 4.0]]).unwrap();
+        let a = Csc::from_dense(&m);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x).unwrap(), m.matvec(&x).unwrap());
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn set_values_keeps_pattern() {
+        let mut a = Csc::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        a.set_values(&[5.0, 6.0]).unwrap();
+        assert_eq!(a.get(1, 1), 6.0);
+        assert!(a.set_values(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,773 @@
+//! KLU-style sparse LU: one-time symbolic analysis plus an `O(nnz)`
+//! numeric refactorisation.
+//!
+//! The factorisation is split the way circuit simulators split it:
+//!
+//! 1. [`Symbolic::analyze`] runs once per sparsity *pattern*. It checks
+//!    structural nonsingularity (maximum transversal), records the
+//!    block-triangular block structure (Tarjan SCC), and chooses a
+//!    fill-reducing column permutation `Q` ([`Ordering::Amd`]) or the
+//!    identity ([`Ordering::Natural`]).
+//! 2. [`SparseLu::factorize`] runs a left-looking Gilbert–Peierls
+//!    factorisation `L·U = P·A·Q` with partial pivoting, recording the
+//!    pivot sequence and the L/U structure.
+//! 3. [`SparseLu::refactorize`] refactors **new values on the same
+//!    pattern** by replaying the recorded structure and pivot sequence
+//!    — no pivot search, no reachability analysis, no allocation: pure
+//!    `O(nnz(L) + nnz(U))` arithmetic. This is what a transient circuit
+//!    loop calls on every Newton iteration after the first.
+//!
+//! # Determinism and dense bit-compatibility
+//!
+//! Under [`Ordering::Natural`] the factorisation replicates the dense
+//! [`Lu`](crate::Lu) arithmetic **bit for bit**: the pivot search scans
+//! candidates in ascending current-position order with the same
+//! strictly-greater rule and the same singularity threshold; column
+//! updates are applied in ascending pivot order with the same
+//! `m == 0.0` skip; and [`SparseLu::solve`] substitutes row-by-row in
+//! the same loop order as the dense solve, via CSR mirrors of `L` and
+//! `U`. Entries the dense code touches but the sparse structure does
+//! not are exactly `±0.0` on the dense side; subtracting them can only
+//! flip the sign of a zero accumulator, a corner the differential
+//! battery pins empirically. Refactorisation reproduces a from-scratch
+//! factorisation bit-for-bit whenever the fresh pivot search would
+//! select the same pivot sequence (always true for strictly
+//! column-diagonally-dominant values); otherwise it still yields a
+//! valid factorisation with the frozen pivot order, as KLU does.
+
+use crate::amd::{btf_blocks, max_transversal, min_degree_order};
+use crate::csc::Csc;
+use crate::matrix::Matrix;
+use crate::{NumericError, Result};
+
+/// Pivot magnitudes below this threshold are treated as singular (the
+/// same threshold as the dense [`Lu`](crate::Lu)).
+const SINGULAR_TOL: f64 = 1e-300;
+
+/// Sentinel for "not yet pivoted".
+const UNPIVOTED: usize = usize::MAX;
+
+/// Column-ordering strategy for the symbolic analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// No column permutation. Bit-identical to the dense LU.
+    #[default]
+    Natural,
+    /// Minimum-degree fill-reducing permutation of `A + Aᵀ`.
+    /// Deterministic, but not bit-identical to the dense LU.
+    Amd,
+}
+
+/// Reusable symbolic analysis of a sparsity pattern.
+///
+/// # Example
+///
+/// ```
+/// use ehsim_numeric::{Csc, Matrix, Symbolic, SparseLu, sparse_lu::Ordering};
+///
+/// # fn main() -> Result<(), ehsim_numeric::NumericError> {
+/// let m = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let a = Csc::from_dense(&m);
+/// let sym = Symbolic::analyze(&a, Ordering::Natural)?;
+/// let lu = SparseLu::factorize(&sym, &a)?;
+/// let x = lu.solve(&[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Symbolic {
+    n: usize,
+    ordering: Ordering,
+    /// Column permutation: working column `j` is original column `q[j]`.
+    q: Vec<usize>,
+    /// The analysed pattern (for refactorisation-time validation).
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    /// BTF block index of each column, blocks in topological order.
+    block_of: Vec<usize>,
+    n_blocks: usize,
+}
+
+impl Symbolic {
+    /// Analyses the pattern of a square sparse matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::Dimension`] if `a` is not square.
+    /// * [`NumericError::Singular`] if the pattern is structurally
+    ///   singular (no permutation yields a zero-free diagonal).
+    pub fn analyze(a: &Csc, ordering: Ordering) -> Result<Self> {
+        if a.n_rows() != a.n_cols() {
+            return Err(NumericError::dimension(
+                "square matrix",
+                format!("{}x{}", a.n_rows(), a.n_cols()),
+            ));
+        }
+        let n = a.n_rows();
+        let (row_of_col, size) = max_transversal(a)?;
+        if size < n {
+            return Err(NumericError::Singular);
+        }
+        let (block_of, n_blocks) = btf_blocks(a, &row_of_col)?;
+        let q = match ordering {
+            Ordering::Natural => (0..n).collect(),
+            Ordering::Amd => min_degree_order(a)?,
+        };
+        Ok(Symbolic {
+            n,
+            ordering,
+            q,
+            col_ptr: a.col_ptr().to_vec(),
+            row_idx: a.row_idx().to_vec(),
+            block_of,
+            n_blocks,
+        })
+    }
+
+    /// Dimension of the analysed pattern.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ordering strategy the analysis used.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// The column permutation `q`: working column `j` of the factored
+    /// system is original column `q[j]`.
+    pub fn col_perm(&self) -> &[usize] {
+        &self.q
+    }
+
+    /// Number of diagonal blocks in the block-triangular form.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// BTF block index of each column (blocks numbered so that block
+    /// `b` only couples into blocks `>= b`).
+    pub fn block_of(&self) -> &[usize] {
+        &self.block_of
+    }
+
+    /// Whether `a` has exactly the analysed pattern.
+    pub fn matches_pattern(&self, a: &Csc) -> bool {
+        a.n_rows() == self.n
+            && a.n_cols() == self.n
+            && a.col_ptr() == self.col_ptr.as_slice()
+            && a.row_idx() == self.row_idx.as_slice()
+    }
+}
+
+/// A sparse LU factorisation `L·U = P·A·Q` with a replayable pivot
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    q: Vec<usize>,
+    // Strictly-lower L by pivot column; row indices are *original* rows.
+    l_col_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    // Strictly-upper U by working column; row indices are pivot steps.
+    u_col_ptr: Vec<usize>,
+    u_steps: Vec<usize>,
+    u_vals: Vec<f64>,
+    u_diag: Vec<f64>,
+    /// `prow[t]` = original row pivoted at step `t` (final position `t`).
+    prow: Vec<usize>,
+    /// `pinv[r]` = final position of original row `r`.
+    pinv: Vec<usize>,
+    sign: f64,
+    // CSR mirrors (final-position rows) for dense-order substitution;
+    // `*_from` index into `l_vals` / `u_vals`, so refactorisation never
+    // has to rebuild them.
+    lr_ptr: Vec<usize>,
+    lr_col: Vec<usize>,
+    lr_from: Vec<usize>,
+    ur_ptr: Vec<usize>,
+    ur_col: Vec<usize>,
+    ur_from: Vec<usize>,
+}
+
+/// Scratch state for one left-looking factorisation pass.
+struct Workspace {
+    /// Dense accumulator, indexed by original row.
+    x: Vec<f64>,
+    /// Column stamp marking rows present in the current column's reach.
+    stamp: Vec<usize>,
+    /// Current position of each original row (dense-compatible pivoting).
+    row_to_pos: Vec<usize>,
+    pos_to_row: Vec<usize>,
+    /// DFS stack for the reachability pass: (row, next L offset).
+    dfs: Vec<(usize, usize)>,
+}
+
+impl SparseLu {
+    /// Factors the values of `a` using a prior symbolic analysis of its
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InvalidArgument`] if `a`'s pattern differs
+    ///   from the one `symbolic` analysed.
+    /// * [`NumericError::Singular`] if a pivot underflows to zero (the
+    ///   same threshold and scan rule as the dense LU).
+    pub fn factorize(symbolic: &Symbolic, a: &Csc) -> Result<Self> {
+        if !symbolic.matches_pattern(a) {
+            return Err(NumericError::invalid(
+                "matrix pattern does not match the symbolic analysis",
+            ));
+        }
+        let n = symbolic.n;
+        let mut lu = SparseLu {
+            n,
+            q: symbolic.q.clone(),
+            l_col_ptr: Vec::with_capacity(n + 1),
+            l_rows: Vec::new(),
+            l_vals: Vec::new(),
+            u_col_ptr: Vec::with_capacity(n + 1),
+            u_steps: Vec::new(),
+            u_vals: Vec::new(),
+            u_diag: vec![0.0; n],
+            prow: vec![0; n],
+            pinv: vec![UNPIVOTED; n],
+            sign: 1.0,
+            lr_ptr: Vec::new(),
+            lr_col: Vec::new(),
+            lr_from: Vec::new(),
+            ur_ptr: Vec::new(),
+            ur_col: Vec::new(),
+            ur_from: Vec::new(),
+        };
+        let mut ws = Workspace {
+            x: vec![0.0; n],
+            stamp: vec![UNPIVOTED; n],
+            row_to_pos: (0..n).collect(),
+            pos_to_row: (0..n).collect(),
+            dfs: Vec::new(),
+        };
+        lu.l_col_ptr.push(0);
+        lu.u_col_ptr.push(0);
+        let mut reach_pivoted: Vec<usize> = Vec::new();
+        let mut reach_below: Vec<usize> = Vec::new();
+        for j in 0..n {
+            lu.factor_column(j, a, &mut ws, &mut reach_pivoted, &mut reach_below)?;
+        }
+        lu.build_csr_mirrors();
+        Ok(lu)
+    }
+
+    /// Processes working column `j`: sparse triangular solve against the
+    /// already-computed columns, dense-compatible pivot search, then
+    /// appends the new L/U column.
+    fn factor_column(
+        &mut self,
+        j: usize,
+        a: &Csc,
+        ws: &mut Workspace,
+        reach_pivoted: &mut Vec<usize>,
+        reach_below: &mut Vec<usize>,
+    ) -> Result<()> {
+        let col = self.q[j];
+        reach_pivoted.clear();
+        reach_below.clear();
+        // Scatter column q[j] of A and walk the reachable set: a row
+        // already pivoted at step t pulls in the rows of L's column t.
+        for k in a.col_ptr()[col]..a.col_ptr()[col + 1] {
+            let r = a.row_idx()[k];
+            if ws.stamp[r] != j {
+                ws.stamp[r] = j;
+                ws.x[r] = a.values()[k];
+                self.reach_from(r, j, ws, reach_pivoted, reach_below);
+            } else {
+                ws.x[r] = a.values()[k];
+            }
+        }
+        // Updates in ascending pivot order: per target row this is the
+        // exact accumulation sequence of the dense right-looking loop.
+        reach_pivoted.sort_unstable();
+        for &t in reach_pivoted.iter() {
+            let xt = ws.x[self.prow[t]];
+            for idx in self.l_col_ptr[t]..self.l_col_ptr[t + 1] {
+                let m = self.l_vals[idx];
+                if m == 0.0 {
+                    continue;
+                }
+                ws.x[self.l_rows[idx]] -= m * xt;
+            }
+        }
+        // Pivot search, replicating the dense scan bit-for-bit: start
+        // from the value currently at position j, then take any strictly
+        // larger magnitude, scanning in ascending current position.
+        let r0 = ws.pos_to_row[j];
+        let mut max = if ws.stamp[r0] == j {
+            ws.x[r0].abs()
+        } else {
+            0.0
+        };
+        let mut p = j;
+        reach_below.sort_unstable_by_key(|&r| ws.row_to_pos[r]);
+        for &r in reach_below.iter() {
+            let pos = ws.row_to_pos[r];
+            if pos == j {
+                continue; // already the initial candidate
+            }
+            let v = ws.x[r].abs();
+            if v > max {
+                max = v;
+                p = pos;
+            }
+        }
+        if max < SINGULAR_TOL || !max.is_finite() {
+            return Err(NumericError::Singular);
+        }
+        if p != j {
+            let rp = ws.pos_to_row[p];
+            let rj = ws.pos_to_row[j];
+            ws.pos_to_row.swap(p, j);
+            ws.row_to_pos[rp] = j;
+            ws.row_to_pos[rj] = p;
+            self.sign = -self.sign;
+        }
+        let rp = ws.pos_to_row[j];
+        self.pinv[rp] = j;
+        self.prow[j] = rp;
+        let pivot = ws.x[rp];
+        self.u_diag[j] = pivot;
+        // U column j: the pivoted part of the reach, ascending steps.
+        for &t in reach_pivoted.iter() {
+            self.u_steps.push(t);
+            self.u_vals.push(ws.x[self.prow[t]]);
+        }
+        self.u_col_ptr.push(self.u_steps.len());
+        // L column j: the sub-pivot part, divided through; stored in
+        // ascending original-row order (deterministic, order-free
+        // numerically because each target takes one update per column).
+        reach_below.sort_unstable();
+        for &r in reach_below.iter() {
+            if r == rp {
+                continue;
+            }
+            self.l_rows.push(r);
+            self.l_vals.push(ws.x[r] / pivot);
+        }
+        self.l_col_ptr.push(self.l_rows.len());
+        Ok(())
+    }
+
+    /// Depth-first reachability from row `r` through the structure of
+    /// the already-computed L columns, stamping and zero-initialising
+    /// newly reached rows.
+    fn reach_from(
+        &self,
+        r: usize,
+        j: usize,
+        ws: &mut Workspace,
+        reach_pivoted: &mut Vec<usize>,
+        reach_below: &mut Vec<usize>,
+    ) {
+        // The caller has already stamped `r`.
+        if self.pinv[r] == UNPIVOTED {
+            reach_below.push(r);
+            return;
+        }
+        reach_pivoted.push(self.pinv[r]);
+        ws.dfs.clear();
+        ws.dfs.push((self.pinv[r], self.l_col_ptr[self.pinv[r]]));
+        while let Some(&(t, k)) = ws.dfs.last() {
+            if k >= self.l_col_ptr[t + 1] {
+                ws.dfs.pop();
+                continue;
+            }
+            let top = ws.dfs.len() - 1;
+            ws.dfs[top].1 = k + 1;
+            let rr = self.l_rows[k];
+            if ws.stamp[rr] == j {
+                continue;
+            }
+            ws.stamp[rr] = j;
+            ws.x[rr] = 0.0;
+            if self.pinv[rr] == UNPIVOTED {
+                reach_below.push(rr);
+            } else {
+                reach_pivoted.push(self.pinv[rr]);
+                ws.dfs.push((self.pinv[rr], self.l_col_ptr[self.pinv[rr]]));
+            }
+        }
+    }
+
+    /// Refactors new values on the same pattern by replaying the
+    /// recorded structure and pivot sequence — no pivot search, no
+    /// reachability, `O(nnz)` arithmetic.
+    ///
+    /// Returns `true` when every multiplier stayed strictly below 1 in
+    /// magnitude, i.e. each frozen pivot is still the strict maximum of
+    /// its column among the eligible rows. In that case a from-scratch
+    /// [`SparseLu::factorize`] on the same values would pick the same
+    /// pivot sequence and the replay is **bit-identical** to it.
+    /// Returns `false` when a fresh factorisation might pivot
+    /// differently — the factorisation is still valid (KLU-style frozen
+    /// pivots) but carries a growth factor up to the largest multiplier.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InvalidArgument`] if `a`'s pattern differs
+    ///   from the analysed pattern or `symbolic` disagrees with the
+    ///   factorisation's shape/ordering.
+    /// * [`NumericError::Singular`] if a frozen pivot underflows to
+    ///   zero on the new values.
+    pub fn refactorize(&mut self, symbolic: &Symbolic, a: &Csc) -> Result<bool> {
+        if !symbolic.matches_pattern(a) || symbolic.n != self.n || symbolic.q != self.q {
+            return Err(NumericError::invalid(
+                "matrix pattern does not match the symbolic analysis",
+            ));
+        }
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        let mut stable = true;
+        for j in 0..n {
+            // Zero exactly the rows this column's recorded structure
+            // touches, then scatter the new values over them.
+            for k in self.u_col_ptr[j]..self.u_col_ptr[j + 1] {
+                x[self.prow[self.u_steps[k]]] = 0.0;
+            }
+            for k in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
+                x[self.l_rows[k]] = 0.0;
+            }
+            x[self.prow[j]] = 0.0;
+            let col = self.q[j];
+            for k in a.col_ptr()[col]..a.col_ptr()[col + 1] {
+                x[a.row_idx()[k]] = a.values()[k];
+            }
+            // Replay the updates in the recorded (ascending) pivot order.
+            for k in self.u_col_ptr[j]..self.u_col_ptr[j + 1] {
+                let t = self.u_steps[k];
+                let xt = x[self.prow[t]];
+                self.u_vals[k] = xt;
+                for idx in self.l_col_ptr[t]..self.l_col_ptr[t + 1] {
+                    let m = self.l_vals[idx];
+                    if m == 0.0 {
+                        continue;
+                    }
+                    x[self.l_rows[idx]] -= m * xt;
+                }
+            }
+            let pivot = x[self.prow[j]];
+            if pivot.abs() < SINGULAR_TOL || !pivot.is_finite() {
+                return Err(NumericError::Singular);
+            }
+            self.u_diag[j] = pivot;
+            for idx in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
+                let m = x[self.l_rows[idx]] / pivot;
+                self.l_vals[idx] = m;
+                // A multiplier at or above 1 means some eligible row now
+                // matches or beats the frozen pivot; a fresh pivot
+                // search could choose differently.
+                if !(m.abs() < 1.0) {
+                    stable = false;
+                }
+            }
+        }
+        Ok(stable)
+    }
+
+    /// Builds CSR (row-major) mirrors of L and U over final positions,
+    /// so the solves can run in the dense row-by-row loop order. The
+    /// `*_from` indirection into the value arrays survives
+    /// refactorisation unchanged.
+    fn build_csr_mirrors(&mut self) {
+        let n = self.n;
+        let transpose = |col_ptr: &[usize], rows_final: &dyn Fn(usize) -> usize| {
+            let nnz = col_ptr[n];
+            let mut ptr = vec![0usize; n + 1];
+            for k in 0..nnz {
+                ptr[rows_final(k) + 1] += 1;
+            }
+            for i in 0..n {
+                ptr[i + 1] += ptr[i];
+            }
+            let mut fill = ptr.clone();
+            let mut cols = vec![0usize; nnz];
+            let mut from = vec![0usize; nnz];
+            for j in 0..n {
+                for k in col_ptr[j]..col_ptr[j + 1] {
+                    let i = rows_final(k);
+                    cols[fill[i]] = j;
+                    from[fill[i]] = k;
+                    fill[i] += 1;
+                }
+            }
+            (ptr, cols, from)
+        };
+        let pinv = self.pinv.clone();
+        let l_rows = self.l_rows.clone();
+        let (lp, lc, lf) = transpose(&self.l_col_ptr, &|k: usize| pinv[l_rows[k]]);
+        let u_steps = self.u_steps.clone();
+        let (up, uc, uf) = transpose(&self.u_col_ptr, &|k: usize| u_steps[k]);
+        self.lr_ptr = lp;
+        self.lr_col = lc;
+        self.lr_from = lf;
+        self.ur_ptr = up;
+        self.ur_col = uc;
+        self.ur_from = uf;
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries in `L` and `U` combined, unit diagonal included —
+    /// the quantity the fill-in bound (`nnz <= n^2`) speaks about.
+    pub fn nnz(&self) -> usize {
+        self.l_vals.len() + self.u_vals.len() + 2 * self.n
+    }
+
+    /// The row permutation: row `i` of `P·A` is row `row_perm()[i]` of
+    /// `A`, making `L·U == P·A·Q`.
+    pub fn row_perm(&self) -> &[usize] {
+        &self.prow
+    }
+
+    /// The column permutation `Q` as `q`: column `j` of `A·Q` is column
+    /// `q[j]` of `A`.
+    pub fn col_perm(&self) -> &[usize] {
+        &self.q
+    }
+
+    /// The unit-lower-triangular factor as a dense matrix.
+    pub fn l(&self) -> Matrix {
+        let mut m = Matrix::identity(self.n);
+        for j in 0..self.n {
+            for k in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
+                m[(self.pinv[self.l_rows[k]], j)] = self.l_vals[k];
+            }
+        }
+        m
+    }
+
+    /// The upper-triangular factor as a dense matrix.
+    pub fn u(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            m[(j, j)] = self.u_diag[j];
+            for k in self.u_col_ptr[j]..self.u_col_ptr[j + 1] {
+                m[(self.u_steps[k], j)] = self.u_vals[k];
+            }
+        }
+        m
+    }
+
+    /// Determinant of the original matrix (pivot product times the
+    /// parities of both permutations).
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign * permutation_sign(&self.q);
+        for &u in &self.u_diag {
+            d *= u;
+        }
+        d
+    }
+
+    /// Solves `A x = b`, substituting in the dense loop order so that
+    /// [`Ordering::Natural`] factorisations return bit-identical
+    /// solutions to the dense LU.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::Dimension`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericError::dimension(
+                format!("vector of length {n}"),
+                format!("length {}", b.len()),
+            ));
+        }
+        // Row permutation, then forward substitution with unit L, then
+        // back substitution with U — row-oriented, ascending columns,
+        // exactly the dense traversal over the stored structure.
+        let mut x: Vec<f64> = self.prow.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for k in self.lr_ptr[i]..self.lr_ptr[i + 1] {
+                acc -= self.l_vals[self.lr_from[k]] * x[self.lr_col[k]];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for k in self.ur_ptr[i]..self.ur_ptr[i + 1] {
+                acc -= self.u_vals[self.ur_from[k]] * x[self.ur_col[k]];
+            }
+            x[i] = acc / self.u_diag[i];
+        }
+        // Undo the column permutation: x_original[q[j]] = y[j].
+        let mut out = vec![0.0; n];
+        for j in 0..n {
+            out[self.q[j]] = x[j];
+        }
+        Ok(out)
+    }
+}
+
+/// Parity of a permutation (`+1.0` even, `-1.0` odd) via cycle counting.
+fn permutation_sign(perm: &[usize]) -> f64 {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    let mut sign = 1.0;
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut len = 0usize;
+        let mut i = start;
+        while !seen[i] {
+            seen[i] = true;
+            i = perm[i];
+            len += 1;
+        }
+        if len % 2 == 0 {
+            sign = -sign;
+        }
+    }
+    sign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::Lu;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn factor_both(m: &Matrix) -> (Lu, SparseLu, Csc) {
+        let a = Csc::from_dense(m);
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        let sparse = SparseLu::factorize(&sym, &a).unwrap();
+        (Lu::factor(m).unwrap(), sparse, a)
+    }
+
+    #[test]
+    fn natural_matches_dense_bits_with_pivoting() {
+        // Forces a row swap (zero leading entry) plus fill-in.
+        let m = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, 0.5, 0.0], &[1.0, 0.0, 4.0]]).unwrap();
+        let (dense, sparse, _) = factor_both(&m);
+        assert_eq!(dense.permutation(), sparse.row_perm());
+        let b = [1.0, -2.0, 0.5];
+        assert_eq!(
+            bits(&dense.solve(&b).unwrap()),
+            bits(&sparse.solve(&b).unwrap())
+        );
+        assert!((dense.det() - sparse.det()).abs() <= 1e-15 * dense.det().abs());
+    }
+
+    #[test]
+    fn refactorize_matches_fresh_bits() {
+        let m =
+            Matrix::from_rows(&[&[10.0, 1.0, 0.0], &[2.0, 12.0, 3.0], &[0.0, 1.0, 9.0]]).unwrap();
+        let a = Csc::from_dense(&m);
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        let mut lu = SparseLu::factorize(&sym, &a).unwrap();
+        // New values, same pattern, still diagonally dominant.
+        let m2 = Matrix::from_rows(&[&[20.0, -1.0, 0.0], &[3.0, 15.0, -2.0], &[0.0, 4.0, 11.0]])
+            .unwrap();
+        let a2 = Csc::from_dense(&m2);
+        assert!(sym.matches_pattern(&a2));
+        // Diagonally dominant values keep every multiplier below 1, so
+        // the replay must report a stable (fresh-equivalent) pivot order.
+        assert!(lu.refactorize(&sym, &a2).unwrap());
+        let fresh = SparseLu::factorize(&sym, &a2).unwrap();
+        let b = [0.3, 1.7, -2.2];
+        assert_eq!(
+            bits(&lu.solve(&b).unwrap()),
+            bits(&fresh.solve(&b).unwrap())
+        );
+        // And both match dense on the new values.
+        let dense = Lu::factor(&m2).unwrap();
+        assert_eq!(
+            bits(&dense.solve(&b).unwrap()),
+            bits(&lu.solve(&b).unwrap())
+        );
+    }
+
+    #[test]
+    fn amd_solves_to_tolerance() {
+        // Arrow matrix: worst case for natural order, best for AMD.
+        let n = 8;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0 + i as f64
+            } else if i == 0 || j == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let a = Csc::from_dense(&m);
+        let sym = Symbolic::analyze(&a, Ordering::Amd).unwrap();
+        let lu = SparseLu::factorize(&sym, &a).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = m.matvec(&x_true).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+        // Residual check of the factor product.
+        let pa_q = {
+            let mut w = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    w[(i, j)] = m[(lu.row_perm()[i], lu.col_perm()[j])];
+                }
+            }
+            w
+        };
+        let prod = (&lu.l() * &lu.u()).unwrap();
+        assert!(prod.max_abs_diff(&pa_q).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn structurally_singular_is_typed_error() {
+        // Empty column 1.
+        let a = Csc::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(
+            Symbolic::analyze(&a, Ordering::Natural).unwrap_err(),
+            NumericError::Singular
+        );
+    }
+
+    #[test]
+    fn numerically_singular_is_typed_error() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let a = Csc::from_dense(&m);
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        assert_eq!(
+            SparseLu::factorize(&sym, &a).unwrap_err(),
+            NumericError::Singular
+        );
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected() {
+        let a = Csc::from_dense(&Matrix::identity(2));
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        let other = Csc::from_dense(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap());
+        assert!(SparseLu::factorize(&sym, &other).is_err());
+        let mut lu = SparseLu::factorize(&sym, &a).unwrap();
+        assert!(lu.refactorize(&sym, &other).is_err());
+    }
+
+    #[test]
+    fn btf_info_exposed() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[1.0, 2.0, 0.0], &[0.0, 1.0, 3.0]]).unwrap();
+        let a = Csc::from_dense(&m);
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        assert_eq!(sym.n_blocks(), 3);
+        assert_eq!(sym.block_of().len(), 3);
+    }
+}
