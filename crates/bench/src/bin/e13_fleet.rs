@@ -37,9 +37,10 @@ use ehsim_core::space::{DesignSpace, Factor};
 use ehsim_doe::design::ccd::CentralComposite;
 use ehsim_doe::optimize::{optimize_fn, Goal};
 use ehsim_doe::{Design, FittedModel};
-use ehsim_net::{FleetSimulator, FleetSpec, Point};
-use std::path::PathBuf;
+use ehsim_net::{FleetSimulator, FleetSpec, Point, RadioEnergyModel, Topology};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// CSV column header, shared with the smoke test and asserted by CI.
 pub const CSV_HEADER: [&str; 9] = [
@@ -79,8 +80,10 @@ fn main() {
     println!("E13 — shared vs per-cluster harvester tuning at fleet scale\n");
     if smoke {
         run(48, 120.0, 2, PathBuf::from("target"));
+        bench_fleet(true, 4, Path::new("target"));
     } else {
         run(1000, 600.0, 8, PathBuf::from("target"));
+        bench_fleet(false, 8, Path::new("target"));
     }
 }
 
@@ -323,6 +326,241 @@ fn run(n_nodes: usize, duration_s: f64, threads: usize, out_dir: PathBuf) {
     let path = out_dir.join("e13_fleet.csv");
     write_labeled_csv(&path, &CSV_HEADER, &csv_labels, &csv_rows).expect("csv writes");
     println!("\nwrote {} ({} rows)", path.display(), csv_rows.len());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_fleet.json — topology-build and fleet-tick throughput
+// ---------------------------------------------------------------------------
+
+/// Asserts that the grid-bucket topology build is **bit-identical** to
+/// the all-pairs oracle — link set, link order, link distances, and
+/// both routers' parents and costs — and returns the link count. Runs
+/// *before* any timing: the speedup number is only meaningful for a
+/// kernel proven equivalent.
+fn assert_grid_matches_all_pairs(positions: &[Point], sink: Point, range_m: f64) -> usize {
+    let grid = Topology::new(positions.to_vec(), sink, range_m).expect("grid build");
+    let oracle = Topology::new_all_pairs(positions.to_vec(), sink, range_m).expect("oracle build");
+    assert_eq!(grid.link_count(), oracle.link_count(), "link counts differ");
+    for v in 0..=grid.n_nodes() {
+        let (a, b) = (grid.neighbors(v), oracle.neighbors(v));
+        assert_eq!(a.len(), b.len(), "vertex {v}: degree differs");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!((x.from, x.to), (y.from, y.to), "vertex {v}: link differs");
+            assert_eq!(
+                x.distance_m.to_bits(),
+                y.distance_m.to_bits(),
+                "vertex {v}: link distance differs"
+            );
+        }
+    }
+    let radio = RadioEnergyModel::typical();
+    let blocked = vec![false; grid.n_nodes()];
+    let (mh_g, mh_o) = (grid.min_hop_routes(), oracle.min_hop_routes());
+    let ea_g = grid
+        .energy_aware_routes(&radio, 1024, &blocked)
+        .expect("grid energy-aware routes");
+    let ea_o = oracle
+        .energy_aware_routes_reference(&radio, 1024, &blocked)
+        .expect("oracle reference routes");
+    for v in 0..=grid.n_nodes() {
+        assert_eq!(mh_g.next_hop(v), mh_o.next_hop(v), "min-hop parent {v}");
+        assert_eq!(
+            ea_g.next_hop(v),
+            ea_o.next_hop(v),
+            "energy-aware parent {v}"
+        );
+        assert_eq!(
+            ea_g.cost(v).map(f64::to_bits),
+            ea_o.cost(v).map(f64::to_bits),
+            "energy-aware cost {v}"
+        );
+    }
+    grid.link_count()
+}
+
+struct TopoBuildPoint {
+    n: usize,
+    links: usize,
+    grid_builds_per_sec: f64,
+    all_pairs_builds_per_sec: Option<f64>,
+    speedup: Option<f64>,
+    bit_identical: bool,
+}
+
+struct FleetTickPoint {
+    n: usize,
+    duration_s: f64,
+    node_ticks_per_sec: f64,
+}
+
+/// The scaling benchmark behind `BENCH_fleet.json`: grid-bucket vs
+/// all-pairs topology build at 1k/10k nodes (bit-identity asserted
+/// in-binary before any clock starts, ≥ 20× required at 10k), a
+/// 100k-node grid-only build, and batched fleet node-phase throughput.
+fn bench_fleet(smoke: bool, threads: usize, out_dir: &Path) {
+    println!("\nfleet-layer scaling — topology build and node-phase throughput");
+
+    // --- topology build: grid vs all-pairs oracle -------------------
+    let mut topo_points: Vec<TopoBuildPoint> = Vec::new();
+    let (grid_reps, oracle_reps) = if smoke { (10, 3) } else { (15, 5) };
+    println!(
+        "{:<10} {:>10} {:>16} {:>16} {:>9}",
+        "n", "links", "grid builds/s", "oracle builds/s", "speedup"
+    );
+    println!("{}", "-".repeat(66));
+    for n in [1_000usize, 10_000] {
+        let (positions, sink, range_m) = e13_placement(n);
+        let links = assert_grid_matches_all_pairs(&positions, sink, range_m);
+        // Best-of-N timing on both sides: each build is deterministic,
+        // so the minimum wall time is the least-noise estimate and the
+        // ratio stays stable under scheduler jitter.
+        let mut t_grid = f64::INFINITY;
+        for _ in 0..grid_reps {
+            let start = Instant::now();
+            let t = Topology::new(positions.clone(), sink, range_m).expect("grid build");
+            t_grid = t_grid.min(start.elapsed().as_secs_f64());
+            assert_eq!(t.link_count(), links);
+        }
+        let mut t_oracle = f64::INFINITY;
+        for _ in 0..oracle_reps {
+            let start = Instant::now();
+            let t =
+                Topology::new_all_pairs(positions.clone(), sink, range_m).expect("oracle build");
+            t_oracle = t_oracle.min(start.elapsed().as_secs_f64());
+            assert_eq!(t.link_count(), links);
+        }
+        let speedup = t_oracle / t_grid;
+        println!(
+            "{:<10} {:>10} {:>16.1} {:>16.1} {:>8.1}x",
+            n,
+            links,
+            1.0 / t_grid,
+            1.0 / t_oracle,
+            speedup
+        );
+        if n == 10_000 {
+            assert!(
+                speedup >= 20.0,
+                "grid-bucket build must be at least 20x the all-pairs oracle \
+                 at 10k nodes; measured {speedup:.1}x"
+            );
+        }
+        topo_points.push(TopoBuildPoint {
+            n,
+            links,
+            grid_builds_per_sec: 1.0 / t_grid,
+            all_pairs_builds_per_sec: Some(1.0 / t_oracle),
+            speedup: Some(speedup),
+            bit_identical: true,
+        });
+    }
+    // 100k: grid-only (the all-pairs oracle would take ~100x the 10k
+    // cost; equivalence at this scale rests on the differential
+    // property suite, not an in-binary replay).
+    {
+        let n = 100_000usize;
+        let (positions, sink, range_m) = e13_placement(n);
+        let start = Instant::now();
+        let built = Topology::new(positions.clone(), sink, range_m).expect("100k grid build");
+        let links = built.link_count();
+        drop(built);
+        let mut t_grid = start.elapsed().as_secs_f64();
+        let reps = if smoke { 1 } else { 3 };
+        for _ in 0..reps {
+            let start = Instant::now();
+            let t = Topology::new(positions.clone(), sink, range_m).expect("100k grid build");
+            t_grid = t_grid.min(start.elapsed().as_secs_f64());
+            assert_eq!(t.link_count(), links);
+        }
+        println!(
+            "{:<10} {:>10} {:>16.1} {:>16} {:>9}",
+            n,
+            links,
+            1.0 / t_grid,
+            "-",
+            "-"
+        );
+        topo_points.push(TopoBuildPoint {
+            n,
+            links,
+            grid_builds_per_sec: 1.0 / t_grid,
+            all_pairs_builds_per_sec: None,
+            speedup: None,
+            bit_identical: false,
+        });
+    }
+
+    // --- fleet node-phase throughput --------------------------------
+    let mut tick_points: Vec<FleetTickPoint> = Vec::new();
+    let fleet_sizes: &[usize] = if smoke { &[1_000] } else { &[1_000, 10_000] };
+    let duration_s = 30.0;
+    println!("\n{:<10} {:>12} {:>18}", "n", "duration s", "node-ticks/s");
+    println!("{}", "-".repeat(42));
+    for &n in fleet_sizes {
+        let (positions, sink, range_m) = e13_placement(n);
+        let spec = FleetSpec::homogeneous(e13_base_config(), positions, sink, range_m, duration_s);
+        let tick_s = spec.nodes[0].config.tick_s;
+        let fleet = FleetSimulator::prepare(spec, threads).expect("bench fleet prepares");
+        // Warm once (allocators, caches), then time one full run.
+        fleet.run(threads).expect("warm-up run");
+        let start = Instant::now();
+        let out = fleet.run(threads).expect("timed run");
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(out.per_node.len(), n);
+        let node_ticks = n as f64 * (duration_s / tick_s);
+        println!("{:<10} {:>12.0} {:>18.0}", n, duration_s, node_ticks / wall);
+        tick_points.push(FleetTickPoint {
+            n,
+            duration_s,
+            node_ticks_per_sec: node_ticks / wall,
+        });
+    }
+
+    // --- machine-readable artefact ----------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"generated_by\": \"e13_fleet\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"topology_build\": [\n");
+    for (i, p) in topo_points.iter().enumerate() {
+        let sep = if i + 1 == topo_points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"links\": {}, \"grid_builds_per_sec\": {}, \
+             \"all_pairs_builds_per_sec\": {}, \"speedup\": {}, \
+             \"bit_identical\": {}}}{sep}\n",
+            p.n,
+            p.links,
+            json_num(p.grid_builds_per_sec),
+            p.all_pairs_builds_per_sec.map_or("null".into(), json_num),
+            p.speedup.map_or("null".into(), json_num),
+            p.bit_identical,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"fleet_tick\": [\n");
+    for (i, p) in tick_points.iter().enumerate() {
+        let sep = if i + 1 == tick_points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"duration_s\": {}, \"node_ticks_per_sec\": {}}}{sep}\n",
+            p.n,
+            json_num(p.duration_s),
+            json_num(p.node_ticks_per_sec),
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    let path = out_dir.join("BENCH_fleet.json");
+    std::fs::write(&path, &json).expect("BENCH_fleet.json writes");
+    println!("\nwrote {}", path.display());
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,12 @@ pub enum FleetIndicator {
     MinBrownoutMarginV,
     /// Mean per-node uptime fraction.
     MeanUptimeFraction,
+    /// Epoch boundaries at which routes were recomputed around
+    /// browned-out relays (0 for a static-routing run) — the
+    /// route-repair activity of a multi-epoch fleet run.
+    RouteRepairs,
+    /// Nodes with no route to the sink under the final epoch's routes.
+    UnreachableNodes,
 }
 
 impl FleetIndicator {
@@ -62,6 +68,8 @@ impl FleetIndicator {
             FleetIndicator::ResidualSpreadMj,
             FleetIndicator::MinBrownoutMarginV,
             FleetIndicator::MeanUptimeFraction,
+            FleetIndicator::RouteRepairs,
+            FleetIndicator::UnreachableNodes,
         ]
     }
 
@@ -75,6 +83,8 @@ impl FleetIndicator {
             FleetIndicator::ResidualSpreadMj => "residual_spread_mj",
             FleetIndicator::MinBrownoutMarginV => "min_brownout_margin_v",
             FleetIndicator::MeanUptimeFraction => "mean_uptime_fraction",
+            FleetIndicator::RouteRepairs => "route_repairs",
+            FleetIndicator::UnreachableNodes => "unreachable_nodes",
         }
     }
 
@@ -88,6 +98,8 @@ impl FleetIndicator {
             FleetIndicator::ResidualSpreadMj => m.residual_spread_j * 1e3,
             FleetIndicator::MinBrownoutMarginV => m.min_brownout_margin_v,
             FleetIndicator::MeanUptimeFraction => m.mean_uptime_fraction,
+            FleetIndicator::RouteRepairs => f64::from(m.route_repairs),
+            FleetIndicator::UnreachableNodes => f64::from(m.unreachable_nodes),
         }
     }
 }
@@ -153,13 +165,18 @@ impl FleetCampaign {
     }
 
     /// Builds (and validates) the fleet at a coded point without
-    /// running it.
+    /// running it. Per-node preparation runs on the campaign's
+    /// node-phase threads (the result is thread-count-invariant —
+    /// the fleet layer's parallel-prep contract).
     ///
     /// # Errors
     ///
     /// Propagates fleet validation errors ([`CoreError::Fleet`]).
     pub fn fleet_at(&self, coded: &[f64]) -> Result<FleetSimulator> {
-        Ok(FleetSimulator::new((self.configure)(coded))?)
+        Ok(FleetSimulator::prepare(
+            (self.configure)(coded),
+            self.threads,
+        )?)
     }
 
     /// Runs one fleet at a coded point and returns the indicator
@@ -307,8 +324,10 @@ mod tests {
     #[test]
     fn indicator_names_are_stable() {
         let names: Vec<&str> = FleetIndicator::all().iter().map(|i| i.name()).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 9);
         assert!(names.contains(&"delivered_per_hour"));
         assert!(names.contains(&"residual_spread_mj"));
+        assert!(names.contains(&"route_repairs"));
+        assert!(names.contains(&"unreachable_nodes"));
     }
 }

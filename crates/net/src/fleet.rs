@@ -1,9 +1,10 @@
 //! The fleet simulator: thousands of node simulations composed with a
 //! radio/routing layer under one deterministic scheduler.
 //!
-//! # Two-phase execution
+//! # Execution model: node phase × route epochs
 //!
-//! A [`FleetSimulator::run`] is two strictly separated phases:
+//! A [`FleetSimulator::run`] interleaves two phases over
+//! [`FleetSpec::route_epochs`] equal time slices:
 //!
 //! 1. **Node phase** — every node's `ehsim-node` simulation runs
 //!    against its own vibration stream (seeds split from the fleet
@@ -21,25 +22,44 @@
 //!    [`NetError::Node`].
 //!
 //! 2. **Network phase** — a sequential, node-index-ordered energy
-//!    accounting pass over the phase-1 metrics. Packets originate at
-//!    each node (`packets_delivered` of the node simulation — the
-//!    node's own radio cost is already inside its energy trace) and
-//!    flow to the sink along the routing tree. Each relay pays
+//!    accounting pass per epoch. Packets originate at each node
+//!    (`packets_delivered` of the node simulation — the node's own
+//!    radio cost is already inside its energy trace) and flow to the
+//!    sink along the epoch's routing tree. Each relay pays
 //!    [`RadioEnergyModel::hop_energy_j`] per forwarded packet out of
 //!    its **energy headroom** — the stored energy above its brown-out
-//!    threshold at end of run (zero if the node browned out during the
-//!    run). A relay whose total demand exceeds its headroom forwards
-//!    only the fraction it can afford (a deterministic fluid
-//!    approximation: each packet stream is scaled by the product of
-//!    its relays' forwarding fractions), and its extrapolated
-//!    exhaustion time feeds the fleet's first-node-death indicator.
+//!    threshold at the epoch boundary, minus what earlier epochs
+//!    already spent (zero once the node has browned out). A relay
+//!    whose epoch demand exceeds its available headroom forwards only
+//!    the fraction it can afford (a deterministic fluid approximation:
+//!    each packet stream is scaled by the product of its relays'
+//!    forwarding fractions), and its extrapolated exhaustion time
+//!    feeds the fleet's first-node-death indicator.
 //!
-//! Phase 2 is plain sequential float arithmetic in a fixed order, so
-//! the full [`FleetMetrics`] record inherits phase 1's bit-exactness
-//! contract: identical [`FleetSpec`]s give bit-identical metrics for
-//! any thread count and dispatch.
+//! **Route repair**: at each epoch boundary, relays that have browned
+//! out are excluded and the energy-aware routes are recomputed on the
+//! surviving graph ([`crate::Topology::energy_aware_routes`]), with an
+//! epoch-by-epoch audit trail ([`EpochAudit`]) in [`FleetMetrics`] and
+//! a typed [`NetError::Partitioned`] — under
+//! [`PartitionPolicy::Error`] — instead of silent stranding.
+//! [`RoutingPolicy::MinHop`] stays deliberately oblivious: its routes
+//! are computed once and never repaired, making it the static
+//! baseline route repair is measured against.
+//!
+//! Node trajectories are independent of the run duration tick for
+//! tick (the vibration sources are pure functions of time), so each
+//! epoch boundary snapshot is an *exact prefix* of the full run and
+//! per-epoch deltas are exact — at `route_epochs = 1` the whole
+//! machinery collapses, bit for bit, to the original
+//! single-accounting-pass fleet run (pinned by
+//! `tests/fleet_equivalence.rs`).
+//!
+//! The network phase is plain sequential float arithmetic in a fixed
+//! order, so the full [`FleetMetrics`] record inherits the node
+//! phase's bit-exactness contract: identical [`FleetSpec`]s give
+//! bit-identical metrics for any thread count and dispatch.
 
-use crate::sched::run_jobs;
+use crate::sched::{run_jobs, run_jobs_capturing};
 use crate::topology::{Routes, Topology};
 use crate::{NetError, Point, RadioEnergyModel, Result};
 use ehsim_node::{BatchSimulator, NodeConfig, NodeMetrics, PreparedSimulator, SolverMode};
@@ -64,6 +84,55 @@ pub enum RoutingPolicy {
     /// Cheapest total per-packet relay energy, never relaying through
     /// a browned-out node ([`Topology::energy_aware_routes`]).
     EnergyAware,
+}
+
+/// What a fleet run does when an epoch's routing leaves nodes with no
+/// path to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Record stranded nodes in the [`EpochAudit`] trail and in
+    /// [`FleetMetrics::unreachable_nodes`], and carry on — their
+    /// traffic simply never arrives (the default, and the historical
+    /// behaviour).
+    Tolerate,
+    /// Fail the run with a typed [`NetError::Partitioned`] naming the
+    /// earliest affected epoch and its smallest stranded node — no
+    /// silent stranding.
+    Error,
+}
+
+/// Audit record of one route epoch — the per-epoch trail
+/// [`FleetMetrics::epochs`] carries so a fleet run can show *when*
+/// relays dropped out, *whether* repair rerouted around them, and
+/// *what* each slice of the run actually delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochAudit {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Epoch start time (s).
+    pub t_start_s: f64,
+    /// Epoch end time (s).
+    pub t_end_s: f64,
+    /// Relays excluded from this epoch's routes (browned out by the
+    /// epoch's end; always 0 under [`RoutingPolicy::MinHop`], which
+    /// never excludes).
+    pub excluded_relays: u32,
+    /// Nodes newly browned out during this epoch (ascending indices).
+    pub newly_browned: Vec<usize>,
+    /// Whether routes were recomputed at this epoch's boundary (always
+    /// `false` for epoch 0 — the initial routes — and under min-hop
+    /// routing).
+    pub rerouted: bool,
+    /// Nodes with no route to the sink under this epoch's routes.
+    pub unreachable_nodes: u32,
+    /// Nodes that *lost* their route at this boundary — reachable
+    /// under the previous epoch's routes, stranded under this one
+    /// (ascending indices; empty for epoch 0).
+    pub newly_stranded: Vec<usize>,
+    /// Packets originated fleet-wide during this epoch.
+    pub packets_originated: f64,
+    /// Packets delivered to the sink during this epoch (fluid count).
+    pub packets_delivered: f64,
 }
 
 /// One node of the fleet: its simulator configuration and position.
@@ -168,6 +237,15 @@ pub struct FleetSpec {
     pub solver: SolverMode,
     /// Simulated duration (s).
     pub duration_s: f64,
+    /// Number of route epochs the run is sliced into (≥ 1). At 1 the
+    /// run reproduces the original static-routing accounting bit for
+    /// bit; larger values buy mid-run route repair around browned-out
+    /// relays at the cost of re-simulating prefixes of the node phase
+    /// (the node simulators are snapshot-free, so epoch `e` re-runs
+    /// ticks `0..t_e` — roughly `(E+1)/2` node phases for `E` epochs).
+    pub route_epochs: usize,
+    /// What to do when an epoch's routing leaves nodes stranded.
+    pub on_partition: PartitionPolicy,
 }
 
 impl FleetSpec {
@@ -196,6 +274,8 @@ impl FleetSpec {
             environment: FleetEnvironment::factory_floor(),
             solver: SolverMode::Exact,
             duration_s,
+            route_epochs: 1,
+            on_partition: PartitionPolicy::Tolerate,
         }
     }
 }
@@ -274,6 +354,11 @@ pub struct FleetMetrics {
     pub min_brownout_margin_v: f64,
     /// Mean per-node uptime fraction.
     pub mean_uptime_fraction: f64,
+    /// Epoch boundaries at which routes were actually recomputed
+    /// (exclusion set changed); 0 for a static-routing run.
+    pub route_repairs: u32,
+    /// The epoch-by-epoch audit trail (one entry per route epoch).
+    pub epochs: Vec<EpochAudit>,
 }
 
 /// Everything a fleet run produces: raw node metrics, the network
@@ -300,15 +385,38 @@ pub struct FleetSimulator {
 
 impl FleetSimulator {
     /// Validates the spec, prepares every node simulator, derives
-    /// per-node vibration streams and builds the topology.
+    /// per-node vibration streams and builds the topology — on one
+    /// thread. Equivalent to [`FleetSimulator::prepare`]`(spec, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetSimulator::prepare`].
+    pub fn new(spec: FleetSpec) -> Result<Self> {
+        Self::prepare(spec, 1)
+    }
+
+    /// Validates the spec and prepares every node — simulator
+    /// construction *and* vibration-source instantiation fused into
+    /// one per-node job — on the deterministic self-scheduling queue
+    /// across `threads` workers, then builds the topology
+    /// (grid-bucket, `O(n + links)`).
+    ///
+    /// **Determinism contract**: per-node preparation is *total* — a
+    /// failure at node `i` never abandons the validation of any node
+    /// `j > i` — and the surfaced error is always the **smallest
+    /// failing node index**, whatever the thread count. (A node's
+    /// config error takes precedence over its own environment error,
+    /// since the config is validated first within the fused job; across
+    /// nodes, only the index decides.)
     ///
     /// # Errors
     ///
     /// [`NetError::InvalidParameter`] for an empty fleet, a
-    /// non-positive payload or an invalid duration/topology;
-    /// [`NetError::Node`] (smallest failing index) if a node config
-    /// fails preparation.
-    pub fn new(spec: FleetSpec) -> Result<Self> {
+    /// non-positive payload, an invalid duration, zero route epochs,
+    /// an invalid topology, or an environment-factory failure
+    /// (smallest failing node); [`NetError::Node`] (smallest failing
+    /// index) if a node config fails preparation.
+    pub fn prepare(spec: FleetSpec, threads: usize) -> Result<Self> {
         if spec.nodes.is_empty() {
             return Err(NetError::invalid("fleet needs at least one node"));
         }
@@ -321,20 +429,30 @@ impl FleetSimulator {
                 spec.duration_s
             )));
         }
-        let mut prepared = Vec::with_capacity(spec.nodes.len());
-        for (i, node) in spec.nodes.iter().enumerate() {
-            match PreparedSimulator::with_solver(node.config.clone(), spec.solver) {
-                Ok(p) => prepared.push(p),
-                Err(source) => return Err(NetError::Node { node: i, source }),
-            }
+        if spec.route_epochs == 0 {
+            return Err(NetError::invalid(
+                "route_epochs must be at least 1 (1 = static routing)",
+            ));
         }
-        let mut sources: Vec<Arc<dyn VibrationSource>> = Vec::with_capacity(spec.nodes.len());
-        for i in 0..spec.nodes.len() {
+        // Total validation on the capturing queue: every node's result
+        // exists, and the ascending scan below makes the
+        // smallest-failing-node error thread-count-invariant.
+        let results = run_jobs_capturing(spec.nodes.len(), threads, |i| {
+            let prepared =
+                PreparedSimulator::with_solver(spec.nodes[i].config.clone(), spec.solver)
+                    .map_err(|source| NetError::Node { node: i, source })?;
             let source = spec
                 .environment
                 .source_for(crate::node_seed(spec.fleet_seed, i))
                 .map_err(|e| NetError::invalid(format!("node {i}: {e}")))?;
-            sources.push(source);
+            Ok((prepared, source))
+        });
+        let mut prepared = Vec::with_capacity(spec.nodes.len());
+        let mut sources: Vec<Arc<dyn VibrationSource>> = Vec::with_capacity(spec.nodes.len());
+        for r in results {
+            let (p, s) = r?;
+            prepared.push(p);
+            sources.push(s);
         }
         let positions: Vec<Point> = spec.nodes.iter().map(|n| n.position).collect();
         let topology = Topology::new(positions, spec.sink, spec.range_m)?;
@@ -395,6 +513,19 @@ impl FleetSimulator {
         threads: usize,
         dispatch: Dispatch,
     ) -> Result<Vec<ehsim_node::Result<NodeMetrics>>> {
+        self.run_nodes_for(threads, dispatch, self.spec.duration_s)
+    }
+
+    /// Phase 1 truncated to `duration_s` — the epoch loop runs this at
+    /// every epoch boundary. Node trajectories depend only on the tick
+    /// index (sources are pure in time), so a shorter run is an exact
+    /// prefix of a longer one, on either dispatch path.
+    fn run_nodes_for(
+        &self,
+        threads: usize,
+        dispatch: Dispatch,
+        duration_s: f64,
+    ) -> Result<Vec<ehsim_node::Result<NodeMetrics>>> {
         let batched = match dispatch {
             Dispatch::Auto => self.homogeneous,
             Dispatch::PerSim => false,
@@ -408,7 +539,6 @@ impl FleetSimulator {
             }
         };
         let n = self.prepared.len();
-        let duration_s = self.spec.duration_s;
         if batched {
             // Contiguous chunks, one batch kernel per chunk. The chunk
             // width depends only on (n, threads) and results are
@@ -453,15 +583,34 @@ impl FleetSimulator {
     /// [`NetError::InvalidParameter`] for a forced-batched dispatch of
     /// a heterogeneous fleet.
     pub fn run_with_dispatch(&self, threads: usize, dispatch: Dispatch) -> Result<FleetOutcome> {
-        let lanes = self.run_nodes(threads, dispatch)?;
-        let mut per_node = Vec::with_capacity(lanes.len());
-        for (i, lane) in lanes.into_iter().enumerate() {
-            match lane {
-                Ok(m) => per_node.push(m),
-                Err(source) => return Err(NetError::Node { node: i, source }),
+        let epochs = self.spec.route_epochs;
+        // One node-phase snapshot per epoch boundary. Each snapshot is
+        // an exact prefix of the full run (sources are pure in time),
+        // so per-epoch deltas in the accounting pass are exact. The
+        // final boundary is `duration_s` itself — not
+        // `duration_s·E/E`, which need not round to the same bits.
+        let mut snapshots: Vec<Vec<NodeMetrics>> = Vec::with_capacity(epochs);
+        for e in 1..=epochs {
+            let t_end = if e == epochs {
+                self.spec.duration_s
+            } else {
+                self.spec.duration_s * e as f64 / epochs as f64
+            };
+            let lanes = self.run_nodes_for(threads, dispatch, t_end)?;
+            let mut snap = Vec::with_capacity(lanes.len());
+            for (i, lane) in lanes.into_iter().enumerate() {
+                match lane {
+                    Ok(m) => snap.push(m),
+                    Err(source) => return Err(NetError::Node { node: i, source }),
+                }
             }
+            snapshots.push(snap);
         }
-        let (net, metrics) = self.network_accounting(&per_node)?;
+        let (net, metrics) = self.network_accounting(&snapshots)?;
+        let Some(per_node) = snapshots.pop() else {
+            // route_epochs ≥ 1 is validated at prep; unreachable.
+            return Err(NetError::invalid("fleet run produced no snapshots"));
+        };
         Ok(FleetOutcome {
             per_node,
             net,
@@ -469,47 +618,30 @@ impl FleetSimulator {
         })
     }
 
-    /// Phase 2: the sequential network-energy accounting pass.
+    /// The network phase: a sequential energy-accounting pass per
+    /// route epoch over the node-phase boundary snapshots
+    /// (`snapshots[e]` = every node's metrics at the end of epoch
+    /// `e`; the last snapshot is the full run).
+    ///
+    /// With one snapshot this is exactly the original single-pass
+    /// accounting — every epoch-generalised expression reduces bit
+    /// for bit to its static form (pinned by
+    /// `tests/fleet_equivalence.rs`).
     fn network_accounting(
         &self,
-        per_node: &[NodeMetrics],
+        snapshots: &[Vec<NodeMetrics>],
     ) -> Result<(Vec<NodeNetStats>, FleetMetrics)> {
+        let Some(per_node) = snapshots.last() else {
+            // route_epochs ≥ 1 is validated at prep; unreachable.
+            return Err(NetError::invalid("network accounting needs snapshots"));
+        };
         let n = per_node.len();
+        let epochs = snapshots.len();
         let sink = self.topology.sink_index();
         let duration_s = self.spec.duration_s;
         let radio = &self.spec.radio;
         let bits = self.spec.payload_bits;
 
-        let browned_out: Vec<bool> = per_node.iter().map(|m| m.brownout_count > 0).collect();
-        let routes: Routes = match self.spec.routing {
-            RoutingPolicy::MinHop => self.topology.min_hop_routes(),
-            RoutingPolicy::EnergyAware => {
-                self.topology
-                    .energy_aware_routes(radio, bits, &browned_out)?
-            }
-        };
-
-        // Headroom: stored energy above the brown-out threshold at end
-        // of run; a node that browned out has, by definition, no relay
-        // budget to spare.
-        let headroom: Vec<f64> = (0..n)
-            .map(|i| {
-                if browned_out[i] {
-                    0.0
-                } else {
-                    let cfg = self.prepared[i].config();
-                    (cfg.storage.energy_j(per_node[i].final_v_store)
-                        - cfg.storage.energy_j(cfg.thresholds.v_off))
-                    .max(0.0)
-                }
-            })
-            .collect();
-
-        let originated: Vec<f64> = per_node
-            .iter()
-            .map(|m| m.packets_delivered as f64)
-            .collect();
-        let paths: Vec<Option<Vec<usize>>> = (0..n).map(|i| routes.path(i).ok()).collect();
         let vpos = |v: usize| {
             if v == sink {
                 self.topology.sink()
@@ -524,67 +656,182 @@ impl FleetSimulator {
             radio.hop_energy_j(bits, d)
         };
 
-        // Pass 1 — relay demand at full (unscaled) traffic.
-        let mut demand = vec![0.0f64; n];
-        for i in 0..n {
-            let Some(path) = &paths[i] else { continue };
-            for j in 1..path.len() - 1 {
-                demand[path[j]] += originated[i] * hop_energy(path, j);
-            }
-        }
-
-        // Forwarding fraction: what share of its demanded traffic each
-        // relay can actually afford.
-        let scale: Vec<f64> = (0..n)
-            .map(|u| {
-                if demand[u] > headroom[u] && demand[u] > 0.0 {
-                    headroom[u] / demand[u]
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-
-        // Pass 2 — fluid flow: each stream attenuates through its
-        // relays' forwarding fractions; relays pay rx on what arrives
-        // and tx on what they forward.
+        // Cumulative state threaded across epochs.
         let mut spent = vec![0.0f64; n];
-        let mut delivered = vec![0.0f64; n];
-        let mut relay_hops = 0.0f64;
-        for i in 0..n {
-            let Some(path) = &paths[i] else { continue };
-            let mut flow = originated[i];
-            for j in 1..path.len() - 1 {
-                let u = path[j];
-                let d = vpos(u).distance_m(&vpos(path[j + 1]));
-                let arriving = flow;
-                flow *= scale[u];
-                spent[u] += arriving * radio.rx_energy_j(bits) + flow * radio.tx_energy_j(bits, d);
-                relay_hops += arriving;
-            }
-            delivered[i] = flow;
-        }
-
-        // Relay death: extrapolated exhaustion time of over-demanded
-        // relays that had survived their own duty cycle.
+        let mut originated_total = vec![0.0f64; n];
+        let mut delivered_total = vec![0.0f64; n];
+        let mut demand_total = vec![0.0f64; n];
+        let mut death_s: Vec<Option<f64>> = vec![None; n];
         let mut first_death_s = duration_s;
-        let mut dead_nodes = 0u32;
-        let death_s: Vec<Option<f64>> = (0..n)
-            .map(|u| {
-                if !browned_out[u] && demand[u] > headroom[u] {
-                    dead_nodes += 1;
-                    let t = duration_s * headroom[u] / demand[u];
+        let mut relay_hops = 0.0f64;
+        let mut prev_packets: Vec<u64> = vec![0; n];
+        let mut prev_browned = vec![false; n];
+        let mut prev_reachable: Vec<bool> = Vec::new();
+        let mut routes: Option<Routes> = None;
+        let mut route_repairs = 0u32;
+        let mut audits: Vec<EpochAudit> = Vec::with_capacity(epochs);
+        let mut t_prev = 0.0f64;
+        let mut last_paths: Vec<Option<Vec<usize>>> = Vec::new();
+        let mut last_headroom = vec![0.0f64; n];
+
+        for (e, snap) in snapshots.iter().enumerate() {
+            let t_end = if e + 1 == epochs {
+                duration_s
+            } else {
+                duration_s * (e + 1) as f64 / epochs as f64
+            };
+            // Brown-outs are cumulative (each snapshot is a prefix of
+            // the next), so `browned` only ever grows across epochs.
+            let browned: Vec<bool> = snap.iter().map(|m| m.brownout_count > 0).collect();
+            let newly_browned: Vec<usize> =
+                (0..n).filter(|&i| browned[i] && !prev_browned[i]).collect();
+
+            // Route repair: energy-aware routes are recomputed
+            // whenever the exclusion set changed; min-hop stays the
+            // static baseline (computed once, never repaired).
+            let recompute = match self.spec.routing {
+                RoutingPolicy::MinHop => routes.is_none(),
+                RoutingPolicy::EnergyAware => routes.is_none() || browned != prev_browned,
+            };
+            let rerouted = recompute && e > 0;
+            if recompute {
+                let r = match self.spec.routing {
+                    RoutingPolicy::MinHop => self.topology.min_hop_routes(),
+                    RoutingPolicy::EnergyAware => {
+                        self.topology.energy_aware_routes(radio, bits, &browned)?
+                    }
+                };
+                if rerouted {
+                    route_repairs += 1;
+                }
+                routes = Some(r);
+            }
+            let Some(routes_e) = routes.as_ref() else {
+                return Err(NetError::invalid("routes unavailable after recompute"));
+            };
+            let paths: Vec<Option<Vec<usize>>> = (0..n).map(|i| routes_e.path(i).ok()).collect();
+            if self.spec.on_partition == PartitionPolicy::Error {
+                if let Some(node) = (0..n).find(|&i| paths[i].is_none()) {
+                    return Err(NetError::Partitioned { epoch: e, node });
+                }
+            }
+            let newly_stranded: Vec<usize> = if e == 0 {
+                Vec::new()
+            } else {
+                (0..n)
+                    .filter(|&i| prev_reachable[i] && paths[i].is_none())
+                    .collect()
+            };
+
+            // Headroom at this epoch's boundary: stored energy above
+            // the brown-out threshold (zero once browned out), less
+            // what earlier epochs' relaying already spent.
+            let headroom: Vec<f64> = (0..n)
+                .map(|i| {
+                    if browned[i] {
+                        0.0
+                    } else {
+                        let cfg = self.prepared[i].config();
+                        (cfg.storage.energy_j(snap[i].final_v_store)
+                            - cfg.storage.energy_j(cfg.thresholds.v_off))
+                        .max(0.0)
+                    }
+                })
+                .collect();
+            let available: Vec<f64> = (0..n).map(|u| (headroom[u] - spent[u]).max(0.0)).collect();
+
+            // Packets this epoch: exact prefix deltas.
+            let originated: Vec<f64> = (0..n)
+                .map(|i| snap[i].packets_delivered.saturating_sub(prev_packets[i]) as f64)
+                .collect();
+
+            // Pass 1 — relay demand at full (unscaled) epoch traffic.
+            let mut demand = vec![0.0f64; n];
+            for i in 0..n {
+                let Some(path) = &paths[i] else { continue };
+                for j in 1..path.len() - 1 {
+                    demand[path[j]] += originated[i] * hop_energy(path, j);
+                }
+            }
+
+            // Forwarding fraction: what share of its demanded traffic
+            // each relay can still afford.
+            let scale: Vec<f64> = (0..n)
+                .map(|u| {
+                    if demand[u] > available[u] && demand[u] > 0.0 {
+                        available[u] / demand[u]
+                    } else {
+                        1.0
+                    }
+                })
+                .collect();
+
+            // Pass 2 — fluid flow: each stream attenuates through its
+            // relays' forwarding fractions; relays pay rx on what
+            // arrives and tx on what they forward.
+            let mut delivered = vec![0.0f64; n];
+            for i in 0..n {
+                let Some(path) = &paths[i] else { continue };
+                let mut flow = originated[i];
+                for j in 1..path.len() - 1 {
+                    let u = path[j];
+                    let d = vpos(u).distance_m(&vpos(path[j + 1]));
+                    let arriving = flow;
+                    flow *= scale[u];
+                    spent[u] +=
+                        arriving * radio.rx_energy_j(bits) + flow * radio.tx_energy_j(bits, d);
+                    relay_hops += arriving;
+                }
+                delivered[i] = flow;
+            }
+
+            // Relay death: extrapolated exhaustion time, within this
+            // epoch, of over-demanded relays that had survived their
+            // own duty cycle. First death wins per node.
+            for u in 0..n {
+                if !browned[u] && demand[u] > available[u] && death_s[u].is_none() {
+                    let t = t_prev + (t_end - t_prev) * available[u] / demand[u];
                     if t < first_death_s {
                         first_death_s = t;
                     }
-                    Some(t)
-                } else {
-                    None
+                    death_s[u] = Some(t);
                 }
-            })
-            .collect();
+            }
 
-        let residual: Vec<f64> = (0..n).map(|u| (headroom[u] - spent[u]).max(0.0)).collect();
+            for i in 0..n {
+                originated_total[i] += originated[i];
+                delivered_total[i] += delivered[i];
+                demand_total[i] += demand[i];
+            }
+            audits.push(EpochAudit {
+                epoch: e,
+                t_start_s: t_prev,
+                t_end_s: t_end,
+                excluded_relays: match self.spec.routing {
+                    RoutingPolicy::MinHop => 0,
+                    RoutingPolicy::EnergyAware => browned.iter().filter(|&&b| b).count() as u32,
+                },
+                newly_browned,
+                rerouted,
+                unreachable_nodes: paths.iter().filter(|p| p.is_none()).count() as u32,
+                newly_stranded,
+                packets_originated: originated.iter().sum(),
+                packets_delivered: delivered.iter().sum(),
+            });
+
+            prev_reachable = paths.iter().map(|p| p.is_some()).collect();
+            for i in 0..n {
+                prev_packets[i] = snap[i].packets_delivered;
+            }
+            prev_browned = browned;
+            last_headroom = headroom;
+            last_paths = paths;
+            t_prev = t_end;
+        }
+
+        let residual: Vec<f64> = (0..n)
+            .map(|u| (last_headroom[u] - spent[u]).max(0.0))
+            .collect();
         let residual_mean = residual.iter().sum::<f64>() / n as f64;
         let residual_spread = (residual
             .iter()
@@ -593,9 +840,10 @@ impl FleetSimulator {
             / n as f64)
             .sqrt();
 
-        let packets_originated: f64 = originated.iter().sum();
-        let packets_delivered: f64 = delivered.iter().sum();
+        let packets_originated: f64 = originated_total.iter().sum();
+        let packets_delivered: f64 = delivered_total.iter().sum();
         let relay_energy_j: f64 = spent.iter().sum();
+        let dead_nodes = death_s.iter().filter(|d| d.is_some()).count() as u32;
         let min_brownout_margin_v = (0..n)
             .map(|i| per_node[i].min_v_store - self.prepared[i].config().thresholds.v_off)
             .fold(f64::INFINITY, f64::min);
@@ -604,14 +852,14 @@ impl FleetSimulator {
 
         let net: Vec<NodeNetStats> = (0..n)
             .map(|i| NodeNetStats {
-                originated: originated[i],
-                delivered: delivered[i],
-                hops_to_sink: paths[i].as_ref().map(|p| p.len() - 1),
-                relay_demand_j: demand[i],
+                originated: originated_total[i],
+                delivered: delivered_total[i],
+                hops_to_sink: last_paths[i].as_ref().map(|p| p.len() - 1),
+                relay_demand_j: demand_total[i],
                 relay_spent_j: spent[i],
-                headroom_j: headroom[i],
+                headroom_j: last_headroom[i],
                 residual_j: residual[i],
-                browned_out: browned_out[i],
+                browned_out: prev_browned[i],
                 dead: death_s[i].is_some(),
                 death_s: death_s[i],
             })
@@ -635,12 +883,14 @@ impl FleetSimulator {
             },
             first_death_s,
             dead_nodes,
-            browned_out_nodes: browned_out.iter().filter(|&&b| b).count() as u32,
-            unreachable_nodes: paths.iter().filter(|p| p.is_none()).count() as u32,
+            browned_out_nodes: prev_browned.iter().filter(|&&b| b).count() as u32,
+            unreachable_nodes: last_paths.iter().filter(|p| p.is_none()).count() as u32,
             residual_mean_j: residual_mean,
             residual_spread_j: residual_spread,
             min_brownout_margin_v,
             mean_uptime_fraction,
+            route_repairs,
+            epochs: audits,
         };
         Ok((net, metrics))
     }

@@ -34,8 +34,8 @@ mod sched;
 pub mod topology;
 
 pub use fleet::{
-    Dispatch, FleetEnvironment, FleetMetrics, FleetNode, FleetOutcome, FleetSimulator, FleetSpec,
-    NodeNetStats, RoutingPolicy,
+    Dispatch, EpochAudit, FleetEnvironment, FleetMetrics, FleetNode, FleetOutcome, FleetSimulator,
+    FleetSpec, NodeNetStats, PartitionPolicy, RoutingPolicy,
 };
 pub use placement::{Placement, Point};
 pub use radio::{Link, RadioEnergyModel};
@@ -55,6 +55,15 @@ pub enum NetError {
     /// A node has no route to the sink.
     UnreachableSink {
         /// Index of the stranded node.
+        node: usize,
+    },
+    /// An epoch's routing left part of the fleet with no path to the
+    /// sink (surfaced under [`fleet::PartitionPolicy::Error`] instead
+    /// of silently stranding the traffic).
+    Partitioned {
+        /// Route epoch (0-based) at which the partition appeared.
+        epoch: usize,
+        /// Smallest stranded node index.
         node: usize,
     },
     /// A node simulation failed; carries the **smallest** failing node
@@ -84,6 +93,13 @@ impl fmt::Display for NetError {
             }
             NetError::UnreachableSink { node } => {
                 write!(f, "node {node} has no route to the sink")
+            }
+            NetError::Partitioned { epoch, node } => {
+                write!(
+                    f,
+                    "route epoch {epoch} left node {node} (and possibly others) \
+                     with no route to the sink"
+                )
             }
             NetError::Node { node, source } => write!(f, "node {node}: {source}"),
         }

@@ -70,6 +70,57 @@ pub(crate) fn run_jobs<T: Send>(
     Ok(out)
 }
 
+/// Runs **every** job to completion and returns each job's own
+/// `Result` in job order — no early abandon.
+///
+/// This is the total-validation variant [`FleetSimulator`] prep runs
+/// on: where [`run_jobs`] flips a shared `failed` flag and lets
+/// workers abandon unclaimed jobs (fine when the caller only wants the
+/// first error), a validation pass must not let a failure at node `i`
+/// decide *nondeterministically* whether node `j > i` was ever
+/// checked. Here nothing is abandoned: all `n_jobs` results exist, so
+/// the caller's ascending scan for the smallest failing index is
+/// thread-count-invariant by construction.
+///
+/// [`FleetSimulator`]: crate::FleetSimulator
+pub(crate) fn run_jobs_capturing<T: Send>(
+    n_jobs: usize,
+    threads: usize,
+    job: impl Fn(usize) -> Result<T> + Sync,
+) -> Vec<Result<T>> {
+    let threads = threads.clamp(1, n_jobs.max(1));
+    if threads == 1 {
+        return (0..n_jobs).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= n_jobs {
+                    break;
+                }
+                let r = job(j);
+                let mut slot = slots[j].lock().unwrap_or_else(PoisonError::into_inner);
+                *slot = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(r) => r,
+                // Only reachable if a worker died between claiming and
+                // writing back — surfaced as a typed per-job error, not
+                // a panic.
+                None => Err(NetError::invalid("job slot left unwritten by its worker")),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +135,34 @@ mod tests {
             assert_eq!(seq.len(), par.len());
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn capturing_variant_runs_every_job_despite_failures() {
+        let job = |j: usize| {
+            if j % 5 == 2 {
+                Err(NetError::invalid(format!("job {j}")))
+            } else {
+                Ok(j * j)
+            }
+        };
+        for threads in [1, 2, 8] {
+            let out = run_jobs_capturing(31, threads, job);
+            assert_eq!(out.len(), 31);
+            for (j, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => {
+                        assert_ne!(j % 5, 2);
+                        assert_eq!(*v, j * j);
+                    }
+                    Err(NetError::InvalidParameter { message }) => {
+                        assert_eq!(j % 5, 2);
+                        assert_eq!(*message, format!("job {j}"));
+                    }
+                    other => panic!("unexpected result {other:?}"),
+                }
             }
         }
     }

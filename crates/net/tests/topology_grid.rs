@@ -1,0 +1,273 @@
+//! Differential battery: the grid-bucket topology build against the
+//! all-pairs oracle, and the heap router against the `O(V²)`
+//! reference.
+//!
+//! Contracts proven here, over randomized and adversarial geometries:
+//!
+//! * [`Topology::new`] (grid-bucket) produces the **same link set in
+//!   the same deterministic order, bit for bit** — same neighbour
+//!   indices, same link distances — as [`Topology::new_all_pairs`];
+//! * both routers produce the same parents from either build: min-hop
+//!   and energy-aware route tables (parents *and* costs) are
+//!   bit-identical whether the topology came from the grid or the
+//!   all-pairs scan, and the heap Dijkstra matches the `O(V²)`
+//!   selection reference with arbitrary relay-exclusion sets;
+//! * degenerate inputs fail identically: a co-located pair is
+//!   rejected by both builds with the **same error at the same
+//!   `(a, b)` site**, and non-finite coordinates never reach the
+//!   bucketing;
+//! * adversarial geometries hold: nodes *exactly on cell boundaries*
+//!   (lattice multiples of the radio range, including pairs at
+//!   distance exactly `range`), co-located pairs, and isolated tail
+//!   clusters far outside the main bounding box.
+
+use ehsim_net::{Point, RadioEnergyModel, Routes, Topology};
+use proptest::prelude::*;
+
+fn zip_points(xs: &[f64], ys: &[f64]) -> Vec<Point> {
+    xs.iter().zip(ys).map(|(&x, &y)| Point::new(x, y)).collect()
+}
+
+fn assert_topologies_bit_identical(grid: &Topology, oracle: &Topology) -> Result<(), String> {
+    if grid.n_nodes() != oracle.n_nodes() {
+        return Err("node counts differ".into());
+    }
+    for v in 0..=grid.n_nodes() {
+        let (a, b) = (grid.neighbors(v), oracle.neighbors(v));
+        if a.len() != b.len() {
+            return Err(format!(
+                "vertex {v}: grid degree {} vs oracle degree {}",
+                a.len(),
+                b.len()
+            ));
+        }
+        for (x, y) in a.iter().zip(b) {
+            if x.from != y.from || x.to != y.to {
+                return Err(format!(
+                    "vertex {v}: link ({}, {}) vs ({}, {})",
+                    x.from, x.to, y.from, y.to
+                ));
+            }
+            if x.distance_m.to_bits() != y.distance_m.to_bits() {
+                return Err(format!(
+                    "vertex {v} link to {}: distance {} vs {}",
+                    x.to, x.distance_m, y.distance_m
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn assert_routes_bit_identical(a: &Routes, b: &Routes, n: usize, what: &str) -> Result<(), String> {
+    for v in 0..=n {
+        if a.next_hop(v) != b.next_hop(v) {
+            return Err(format!(
+                "{what}: vertex {v} parent {:?} vs {:?}",
+                a.next_hop(v),
+                b.next_hop(v)
+            ));
+        }
+        if a.cost(v).map(f64::to_bits) != b.cost(v).map(f64::to_bits) {
+            return Err(format!(
+                "{what}: vertex {v} cost {:?} vs {:?}",
+                a.cost(v),
+                b.cost(v)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The full differential: build both ways; identical topologies (or
+/// identical errors), identical min-hop parents, identical
+/// energy-aware parents/costs from both builds and both Dijkstra
+/// implementations, under a pseudorandom relay-exclusion set.
+fn full_differential(
+    positions: Vec<Point>,
+    sink: Point,
+    range_m: f64,
+    blocked_bits: u64,
+) -> Result<(), String> {
+    let grid = Topology::new(positions.clone(), sink, range_m);
+    let oracle = Topology::new_all_pairs(positions, sink, range_m);
+    let (g, o) = match (grid, oracle) {
+        (Ok(g), Ok(o)) => (g, o),
+        (Err(ge), Err(oe)) => {
+            let (ge, oe) = (format!("{ge}"), format!("{oe}"));
+            if ge != oe {
+                return Err(format!("errors differ: grid {ge:?} vs oracle {oe:?}"));
+            }
+            return Ok(());
+        }
+        (g, o) => {
+            return Err(format!(
+                "builds disagree: grid ok = {}, oracle ok = {}",
+                g.is_ok(),
+                o.is_ok()
+            ))
+        }
+    };
+    assert_topologies_bit_identical(&g, &o)?;
+    let n = g.n_nodes();
+    assert_routes_bit_identical(&g.min_hop_routes(), &o.min_hop_routes(), n, "min-hop")?;
+    let radio = RadioEnergyModel::typical();
+    let blocked: Vec<bool> = (0..n)
+        .map(|i| (blocked_bits >> (i % 64)) & 1 == 1)
+        .collect();
+    let heap_g = g
+        .energy_aware_routes(&radio, 1024, &blocked)
+        .map_err(|e| format!("grid heap router: {e}"))?;
+    let heap_o = o
+        .energy_aware_routes(&radio, 1024, &blocked)
+        .map_err(|e| format!("oracle heap router: {e}"))?;
+    let reference = o
+        .energy_aware_routes_reference(&radio, 1024, &blocked)
+        .map_err(|e| format!("reference router: {e}"))?;
+    assert_routes_bit_identical(&heap_g, &heap_o, n, "energy-aware grid-vs-oracle")?;
+    assert_routes_bit_identical(&heap_o, &reference, n, "energy-aware heap-vs-reference")?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Uniform random placements, random sink, random radio range.
+    #[test]
+    fn random_placements_match_all_pairs(
+        xs in prop::collection::vec(-60.0f64..60.0, 1..70),
+        ys in prop::collection::vec(-60.0f64..60.0, 1..70),
+        sx in -60.0f64..60.0,
+        sy in -60.0f64..60.0,
+        range_m in 2.0f64..80.0,
+        blocked_bits in 0u64..u64::MAX,
+    ) {
+        let k = xs.len().min(ys.len()).max(1);
+        let pts = zip_points(&xs[..k.min(xs.len())], &ys[..k.min(ys.len())]);
+        prop_assume!(!pts.is_empty());
+        let r = full_differential(pts, Point::new(sx, sy), range_m, blocked_bits);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Adversarial: every vertex exactly on a cell boundary (lattice
+    /// multiples of the radio range), so nearest-neighbour pairs sit
+    /// at distance *exactly* `range` and every coordinate lands on a
+    /// bucket edge.
+    #[test]
+    fn cell_boundary_lattice_matches_all_pairs(
+        cells in prop::collection::vec(0usize..81, 1..40),
+        range_m in 1.0f64..20.0,
+        sink_cell in 0usize..81,
+        blocked_bits in 0u64..u64::MAX,
+    ) {
+        // Distinct lattice sites on a 9×9 grid scaled by the range.
+        let mut sites = cells;
+        sites.sort_unstable();
+        sites.dedup();
+        let at = |c: usize| Point::new((c % 9) as f64 * range_m, (c / 9) as f64 * range_m);
+        // The sink takes a lattice site too; drop a node there if one
+        // collided (co-location is covered by its own test below).
+        let pts: Vec<Point> = sites
+            .iter()
+            .filter(|&&c| c != sink_cell)
+            .map(|&c| at(c))
+            .collect();
+        prop_assume!(!pts.is_empty());
+        let r = full_differential(pts, at(sink_cell), range_m, blocked_bits);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Adversarial: a co-located pair must be rejected by *both*
+    /// builds with the same error at the same `(a, b)` site.
+    #[test]
+    fn colocated_pair_fails_identically_in_both_builds(
+        cells in prop::collection::vec(0usize..64, 2..30),
+        dup_from in 0usize..1000,
+        dup_to in 0usize..1000,
+        range_m in 1.0f64..15.0,
+    ) {
+        let mut sites = cells;
+        sites.sort_unstable();
+        sites.dedup();
+        let mut pts: Vec<Point> = sites
+            .iter()
+            .map(|&c| Point::new((c % 8) as f64 * range_m, (c / 8) as f64 * range_m))
+            .collect();
+        prop_assume!(pts.len() >= 2);
+        // Duplicate one node's position onto another slot.
+        let dup = pts[dup_from % pts.len()];
+        let slot = dup_to % pts.len();
+        if pts[slot].x.to_bits() == dup.x.to_bits() && pts[slot].y.to_bits() == dup.y.to_bits() {
+            pts.push(dup);
+        } else {
+            pts[slot] = dup;
+        }
+        let sink = Point::new(-3.0 * range_m, -3.0 * range_m);
+        let grid = Topology::new(pts.clone(), sink, range_m);
+        let oracle = Topology::new_all_pairs(pts, sink, range_m);
+        prop_assert!(grid.is_err(), "grid build accepted a co-located pair");
+        prop_assert!(oracle.is_err(), "all-pairs build accepted a co-located pair");
+        prop_assert_eq!(
+            format!("{}", grid.unwrap_err()),
+            format!("{}", oracle.unwrap_err())
+        );
+    }
+
+    /// Adversarial: an isolated tail cluster far outside the main
+    /// bounding box — stretches the bucket grid to its cell-count cap
+    /// and leaves the tail with no route to the sink.
+    #[test]
+    fn isolated_tail_clusters_match_all_pairs(
+        xs_a in prop::collection::vec(-20.0f64..20.0, 1..25),
+        ys_a in prop::collection::vec(-20.0f64..20.0, 1..25),
+        xs_b in prop::collection::vec(-20.0f64..20.0, 1..25),
+        ys_b in prop::collection::vec(-20.0f64..20.0, 1..25),
+        offset in 1000.0f64..50_000.0,
+        range_m in 2.0f64..30.0,
+        blocked_bits in 0u64..u64::MAX,
+    ) {
+        let ka = xs_a.len().min(ys_a.len()).max(1);
+        let kb = xs_b.len().min(ys_b.len()).max(1);
+        let mut pts = zip_points(&xs_a[..ka.min(xs_a.len())], &ys_a[..ka.min(ys_a.len())]);
+        for p in zip_points(&xs_b[..kb.min(xs_b.len())], &ys_b[..kb.min(ys_b.len())]) {
+            pts.push(Point::new(p.x + offset, p.y + offset));
+        }
+        prop_assume!(!pts.is_empty());
+        let r = full_differential(pts, Point::new(0.0, 0.0), range_m, blocked_bits);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+}
+
+/// A node placed exactly at the sink position: co-located with vertex
+/// `n`, rejected identically by both builds.
+#[test]
+fn node_at_sink_position_fails_identically() {
+    let sink = Point::new(5.0, 5.0);
+    let pts = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
+    let grid = Topology::new(pts.clone(), sink, 10.0);
+    let oracle = Topology::new_all_pairs(pts, sink, 10.0);
+    assert!(grid.is_err());
+    assert!(oracle.is_err());
+    assert_eq!(
+        format!("{}", grid.unwrap_err()),
+        format!("{}", oracle.unwrap_err())
+    );
+}
+
+/// Deterministic mid-scale identity check: 1,500 nodes at constant
+/// density — large enough that the bucket grid has real structure
+/// (hundreds of cells), small enough for the all-pairs oracle.
+#[test]
+fn mid_scale_identity_1500_nodes() {
+    let positions = ehsim_net::Placement::UniformRandom {
+        n: 1500,
+        width_m: 245.0,
+        height_m: 245.0,
+        seed: 0x10_0B,
+    }
+    .positions()
+    .expect("valid placement");
+    let sink = Point::new(122.5, 122.5);
+    let r = full_differential(positions, sink, 12.0, 0xDEAD_BEEF_CAFE_F00D);
+    assert!(r.is_ok(), "{}", r.unwrap_err());
+}

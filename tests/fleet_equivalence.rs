@@ -224,3 +224,437 @@ fn smallest_failing_node_is_reported() {
         Ok(_) => panic!("expected smallest-failing-node error, got a fleet"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Route epochs, parallel prep, and the legacy static-accounting oracle
+// ---------------------------------------------------------------------------
+
+use ehsim::net::{NetError, RoutingPolicy, Topology};
+
+/// A homogeneous fleet with one deliberately starved node: a small
+/// supercap, no tuning controller (its startup actuation would empty
+/// the cap instantly anyway), and a heavy fixed sensing duty, so the
+/// node browns out partway through the run and the exclusion-set /
+/// route-repair machinery has real work to do. The tick is unchanged,
+/// so the fleet stays batched-dispatch eligible.
+fn starved_node_spec(n: usize) -> FleetSpec {
+    let mut spec = homogeneous_spec(n);
+    let cfg = &mut spec.nodes[3].config;
+    cfg.policy = ehsim::node::DutyCyclePolicy::Fixed;
+    cfg.tuning.enabled = false;
+    cfg.storage.capacitance = 0.0015;
+    cfg.task.period_s = 1.0;
+    cfg.task.sense_power_w = 0.02;
+    spec
+}
+
+/// A faithful reimplementation of the *original* (pre-route-epoch)
+/// single-pass network accounting, straight from the spec: all-pairs
+/// topology build, `O(V²)` reference Dijkstra, one headroom/demand/
+/// flow pass over the full-run node metrics.
+struct LegacyAccounts {
+    originated: Vec<f64>,
+    delivered: Vec<f64>,
+    demand: Vec<f64>,
+    spent: Vec<f64>,
+    headroom: Vec<f64>,
+    residual: Vec<f64>,
+    hops: Vec<Option<usize>>,
+    browned: Vec<bool>,
+    death_s: Vec<Option<f64>>,
+    first_death_s: f64,
+    relay_hops: f64,
+    residual_mean: f64,
+    residual_spread: f64,
+}
+
+fn legacy_static_accounting(spec: &FleetSpec, per_node: &[NodeMetrics]) -> LegacyAccounts {
+    let n = per_node.len();
+    let positions: Vec<Point> = spec.nodes.iter().map(|nd| nd.position).collect();
+    let topo =
+        Topology::new_all_pairs(positions, spec.sink, spec.range_m).expect("oracle topology");
+    let sink = topo.sink_index();
+    let browned: Vec<bool> = per_node.iter().map(|m| m.brownout_count > 0).collect();
+    let routes = match spec.routing {
+        RoutingPolicy::MinHop => topo.min_hop_routes(),
+        RoutingPolicy::EnergyAware => topo
+            .energy_aware_routes_reference(&spec.radio, spec.payload_bits, &browned)
+            .expect("oracle routes"),
+    };
+    let paths: Vec<Option<Vec<usize>>> = (0..n).map(|i| routes.path(i).ok()).collect();
+    let vpos = |v: usize| {
+        if v == sink {
+            topo.sink()
+        } else {
+            topo.position(v)
+        }
+    };
+    let hop_energy = |path: &[usize], j: usize| {
+        let d = vpos(path[j]).distance_m(&vpos(path[j + 1]));
+        spec.radio.hop_energy_j(spec.payload_bits, d)
+    };
+
+    let headroom: Vec<f64> = (0..n)
+        .map(|i| {
+            if browned[i] {
+                0.0
+            } else {
+                let cfg = &spec.nodes[i].config;
+                (cfg.storage.energy_j(per_node[i].final_v_store)
+                    - cfg.storage.energy_j(cfg.thresholds.v_off))
+                .max(0.0)
+            }
+        })
+        .collect();
+    let originated: Vec<f64> = (0..n)
+        .map(|i| per_node[i].packets_delivered as f64)
+        .collect();
+
+    let mut demand = vec![0.0f64; n];
+    for i in 0..n {
+        let Some(path) = &paths[i] else { continue };
+        for j in 1..path.len() - 1 {
+            demand[path[j]] += originated[i] * hop_energy(path, j);
+        }
+    }
+    let scale: Vec<f64> = (0..n)
+        .map(|u| {
+            if demand[u] > headroom[u] && demand[u] > 0.0 {
+                headroom[u] / demand[u]
+            } else {
+                1.0
+            }
+        })
+        .collect();
+
+    let mut spent = vec![0.0f64; n];
+    let mut delivered = vec![0.0f64; n];
+    let mut relay_hops = 0.0f64;
+    for i in 0..n {
+        let Some(path) = &paths[i] else { continue };
+        let mut flow = originated[i];
+        for j in 1..path.len() - 1 {
+            let u = path[j];
+            let d = vpos(u).distance_m(&vpos(path[j + 1]));
+            let arriving = flow;
+            flow *= scale[u];
+            spent[u] += arriving * spec.radio.rx_energy_j(spec.payload_bits)
+                + flow * spec.radio.tx_energy_j(spec.payload_bits, d);
+            relay_hops += arriving;
+        }
+        delivered[i] = flow;
+    }
+
+    let mut death_s: Vec<Option<f64>> = vec![None; n];
+    let mut first_death_s = spec.duration_s;
+    for u in 0..n {
+        if !browned[u] && demand[u] > headroom[u] {
+            let t = spec.duration_s * headroom[u] / demand[u];
+            if t < first_death_s {
+                first_death_s = t;
+            }
+            death_s[u] = Some(t);
+        }
+    }
+
+    let residual: Vec<f64> = (0..n).map(|u| (headroom[u] - spent[u]).max(0.0)).collect();
+    let residual_mean = residual.iter().sum::<f64>() / n as f64;
+    let residual_spread = (residual
+        .iter()
+        .map(|r| (r - residual_mean) * (r - residual_mean))
+        .sum::<f64>()
+        / n as f64)
+        .sqrt();
+
+    LegacyAccounts {
+        hops: paths
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.len() - 1))
+            .collect(),
+        originated,
+        delivered,
+        demand,
+        spent,
+        headroom,
+        residual,
+        browned,
+        death_s,
+        first_death_s,
+        relay_hops,
+        residual_mean,
+        residual_spread,
+    }
+}
+
+/// The static-routing regression: a `route_epochs = 1` run reproduces
+/// the original single-pass accounting **bit for bit** — metrics and
+/// every per-node network account — for both routing policies, with
+/// a browned-out node in the fleet so the exclusion and fluid-scaling
+/// branches are genuinely exercised.
+#[test]
+fn single_epoch_run_reproduces_legacy_static_accounting() {
+    for routing in [RoutingPolicy::EnergyAware, RoutingPolicy::MinHop] {
+        let mut spec = starved_node_spec(13);
+        spec.routing = routing;
+        assert_eq!(spec.route_epochs, 1, "homogeneous() must default static");
+        let fleet = FleetSimulator::new(spec.clone()).expect("valid fleet");
+        let out = fleet.run(4).expect("fleet runs");
+        assert!(
+            out.per_node.iter().any(|m| m.brownout_count > 0),
+            "{routing:?}: the starved node must brown out for this regression to bite"
+        );
+        let legacy = legacy_static_accounting(&spec, &out.per_node);
+
+        assert_eq!(out.metrics.route_repairs, 0, "{routing:?}: static run");
+        assert_eq!(out.metrics.epochs.len(), 1, "{routing:?}: one epoch");
+        for (i, s) in out.net.iter().enumerate() {
+            let label = format!("{routing:?} node {i}");
+            assert_eq!(
+                s.originated.to_bits(),
+                legacy.originated[i].to_bits(),
+                "{label} originated"
+            );
+            assert_eq!(
+                s.delivered.to_bits(),
+                legacy.delivered[i].to_bits(),
+                "{label} delivered"
+            );
+            assert_eq!(
+                s.relay_demand_j.to_bits(),
+                legacy.demand[i].to_bits(),
+                "{label} demand"
+            );
+            assert_eq!(
+                s.relay_spent_j.to_bits(),
+                legacy.spent[i].to_bits(),
+                "{label} spent"
+            );
+            assert_eq!(
+                s.headroom_j.to_bits(),
+                legacy.headroom[i].to_bits(),
+                "{label} headroom"
+            );
+            assert_eq!(
+                s.residual_j.to_bits(),
+                legacy.residual[i].to_bits(),
+                "{label} residual"
+            );
+            assert_eq!(s.hops_to_sink, legacy.hops[i], "{label} hops");
+            assert_eq!(s.browned_out, legacy.browned[i], "{label} browned");
+            assert_eq!(s.dead, legacy.death_s[i].is_some(), "{label} dead");
+            assert_eq!(
+                s.death_s.map(f64::to_bits),
+                legacy.death_s[i].map(f64::to_bits),
+                "{label} death_s"
+            );
+        }
+        let m = &out.metrics;
+        let orig: f64 = legacy.originated.iter().sum();
+        let del: f64 = legacy.delivered.iter().sum();
+        let relay: f64 = legacy.spent.iter().sum();
+        assert_eq!(m.packets_originated.to_bits(), orig.to_bits());
+        assert_eq!(m.packets_delivered.to_bits(), del.to_bits());
+        assert_eq!(m.relay_energy_j.to_bits(), relay.to_bits());
+        let frac = if orig > 0.0 { del / orig } else { 1.0 };
+        assert_eq!(m.delivery_fraction.to_bits(), frac.to_bits());
+        let hop = if legacy.relay_hops > 0.0 {
+            relay / legacy.relay_hops
+        } else {
+            0.0
+        };
+        assert_eq!(m.mean_hop_relay_energy_j.to_bits(), hop.to_bits());
+        assert_eq!(m.first_death_s.to_bits(), legacy.first_death_s.to_bits());
+        assert_eq!(m.residual_mean_j.to_bits(), legacy.residual_mean.to_bits());
+        assert_eq!(
+            m.residual_spread_j.to_bits(),
+            legacy.residual_spread.to_bits()
+        );
+        assert_eq!(
+            m.dead_nodes as usize,
+            legacy.death_s.iter().filter(|d| d.is_some()).count()
+        );
+        assert_eq!(
+            m.browned_out_nodes as usize,
+            legacy.browned.iter().filter(|&&b| b).count()
+        );
+        assert_eq!(
+            m.unreachable_nodes as usize,
+            legacy.hops.iter().filter(|h| h.is_none()).count()
+        );
+    }
+}
+
+/// Route epochs keep the determinism contract: a multi-epoch run with
+/// a mid-run brown-out and a real route repair is bit-identical —
+/// metrics, audit trail, per-node accounts — across thread counts and
+/// dispatch strategies.
+#[test]
+fn epoch_runs_are_bit_identical_across_threads_and_dispatch() {
+    let mut spec = starved_node_spec(13);
+    spec.route_epochs = 4;
+    let fleet = FleetSimulator::new(spec).expect("valid fleet");
+    let base = fleet
+        .run_with_dispatch(1, Dispatch::PerSim)
+        .expect("base run");
+    assert!(
+        base.metrics.route_repairs >= 1,
+        "the starved node's brown-out must trigger a repair"
+    );
+    assert_eq!(base.metrics.epochs.len(), 4);
+    for threads in [1, 2, 8] {
+        for dispatch in [Dispatch::Auto, Dispatch::Batched, Dispatch::PerSim] {
+            let out = fleet
+                .run_with_dispatch(threads, dispatch)
+                .expect("fleet runs");
+            let label = format!("{dispatch:?}@{threads}t");
+            assert_eq!(
+                base.metrics.route_repairs, out.metrics.route_repairs,
+                "{label}: route_repairs"
+            );
+            for (a, b) in base.metrics.epochs.iter().zip(&out.metrics.epochs) {
+                assert_eq!(a.epoch, b.epoch, "{label}: epoch index");
+                assert_eq!(a.newly_browned, b.newly_browned, "{label}: newly_browned");
+                assert_eq!(
+                    a.newly_stranded, b.newly_stranded,
+                    "{label}: newly_stranded"
+                );
+                assert_eq!(a.rerouted, b.rerouted, "{label}: rerouted");
+                assert_eq!(
+                    a.packets_delivered.to_bits(),
+                    b.packets_delivered.to_bits(),
+                    "{label}: epoch {} delivered",
+                    a.epoch
+                );
+                assert_eq!(
+                    a.packets_originated.to_bits(),
+                    b.packets_originated.to_bits(),
+                    "{label}: epoch {} originated",
+                    a.epoch
+                );
+            }
+            for (x, y, field) in [
+                (
+                    base.metrics.packets_delivered,
+                    out.metrics.packets_delivered,
+                    "packets_delivered",
+                ),
+                (
+                    base.metrics.relay_energy_j,
+                    out.metrics.relay_energy_j,
+                    "relay_energy_j",
+                ),
+                (
+                    base.metrics.first_death_s,
+                    out.metrics.first_death_s,
+                    "first_death_s",
+                ),
+                (
+                    base.metrics.residual_spread_j,
+                    out.metrics.residual_spread_j,
+                    "residual_spread_j",
+                ),
+            ] {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: {field}");
+            }
+            for (i, (x, y)) in base.net.iter().zip(&out.net).enumerate() {
+                assert_eq!(x, y, "{label}: node {i} net stats differ");
+            }
+            for (i, (a, b)) in base.per_node.iter().zip(&out.per_node).enumerate() {
+                assert_metrics_bitwise_eq(a, b, i, &label);
+            }
+        }
+    }
+}
+
+/// Parallel per-node preparation is bit-identical to sequential
+/// preparation: same prepared fleet, same run output — for both the
+/// homogeneous and the mixed-tick (per-sim fallback) fleet shapes.
+#[test]
+fn parallel_prep_is_bit_identical_to_sequential() {
+    for (spec, what) in [
+        (homogeneous_spec(13), "homogeneous"),
+        (mixed_tick_spec(11), "mixed-tick"),
+    ] {
+        let seq = FleetSimulator::new(spec.clone()).expect("sequential prep");
+        for threads in [2, 8] {
+            let par = FleetSimulator::prepare(spec.clone(), threads).expect("parallel prep");
+            assert_eq!(seq.node_count(), par.node_count(), "{what}: node count");
+            assert_eq!(
+                seq.is_homogeneous(),
+                par.is_homogeneous(),
+                "{what}: homogeneity"
+            );
+            let a = seq.run(2).expect("sequential-prep fleet runs");
+            let b = par.run(2).expect("parallel-prep fleet runs");
+            for (i, (x, y)) in a.per_node.iter().zip(&b.per_node).enumerate() {
+                assert_metrics_bitwise_eq(x, y, i, &format!("{what} prep@{threads}t"));
+            }
+            assert_eq!(
+                a.metrics.packets_delivered.to_bits(),
+                b.metrics.packets_delivered.to_bits(),
+                "{what} prep@{threads}t: packets_delivered"
+            );
+            assert_eq!(
+                a.metrics.residual_spread_j.to_bits(),
+                b.metrics.residual_spread_j.to_bits(),
+                "{what} prep@{threads}t: residual_spread_j"
+            );
+            for (i, (x, y)) in a.net.iter().zip(&b.net).enumerate() {
+                assert_eq!(x, y, "{what} prep@{threads}t: node {i} net stats");
+            }
+        }
+    }
+}
+
+/// The smallest-failing-node contract holds for *parallel* prep at
+/// every thread count: validation is total (no node's check is
+/// abandoned because another failed first), so the reported node is
+/// always 4 — never 7, never a scheduling accident.
+#[test]
+fn smallest_failing_node_is_thread_count_invariant() {
+    let mut spec = homogeneous_spec(9);
+    spec.nodes[4].config.storage.capacitance = 0.0;
+    spec.nodes[7].config.storage.capacitance = 0.0;
+    for threads in [1, 2, 8] {
+        match FleetSimulator::prepare(spec.clone(), threads) {
+            Err(NetError::Node { node, .. }) => {
+                assert_eq!(node, 4, "prep@{threads}t reported the wrong node")
+            }
+            Err(other) => panic!("prep@{threads}t: expected node error, got {other:?}"),
+            Ok(_) => panic!("prep@{threads}t: expected node error, got a fleet"),
+        }
+    }
+}
+
+/// Environment-factory failures obey the same contract: with factory
+/// failures at nodes 2 and 5 *and* a config failure at node 6, the
+/// surfaced error is always node 2's environment error — across
+/// every thread count, with no node's validation abandoned.
+#[test]
+fn env_factory_failure_reports_smallest_node_across_threads() {
+    let mut spec = homogeneous_spec(9);
+    spec.nodes[6].config.storage.capacitance = 0.0;
+    let bad = [node_seed(spec.fleet_seed, 2), node_seed(spec.fleet_seed, 5)];
+    let floor = FleetEnvironment::factory_floor();
+    spec.environment = FleetEnvironment::new("failing-floor", move |seed| {
+        if bad.contains(&seed) {
+            Err(NetError::InvalidParameter {
+                message: format!("synthetic factory failure for stream seed {seed}"),
+            })
+        } else {
+            floor.source_for(seed)
+        }
+    });
+    for threads in [1, 2, 8] {
+        match FleetSimulator::prepare(spec.clone(), threads) {
+            Err(NetError::InvalidParameter { message }) => {
+                assert!(
+                    message.starts_with("node 2:"),
+                    "prep@{threads}t surfaced the wrong failure: {message}"
+                );
+            }
+            Err(other) => panic!("prep@{threads}t: expected env error, got {other:?}"),
+            Ok(_) => panic!("prep@{threads}t: expected env error, got a fleet"),
+        }
+    }
+}
